@@ -1,0 +1,70 @@
+//! Microbenchmarks comparing solver iteration costs: SOPHIE's engine vs
+//! PRIS, simulated annealing, simulated bifurcation, and local search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sophie_baselines::local_search::{search, BlsConfig};
+use sophie_baselines::sa::{anneal, SaConfig};
+use sophie_baselines::sb::{bifurcate, SbConfig, SbVariant};
+use sophie_graph::generate::{gnm, WeightDist};
+use sophie_pris::runner::{solve_max_cut, RunConfig};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let g = gnm(256, 1280, WeightDist::Unit, 9).unwrap();
+    let mut group = c.benchmark_group("solver_256_nodes");
+    group.sample_size(10);
+
+    group.bench_function("sa_50_sweeps", |b| {
+        b.iter(|| {
+            anneal(
+                black_box(&g),
+                &SaConfig {
+                    sweeps: 50,
+                    ..SaConfig::default()
+                },
+            )
+        });
+    });
+    group.bench_function("dsb_200_steps", |b| {
+        b.iter(|| {
+            bifurcate(
+                black_box(&g),
+                &SbConfig {
+                    steps: 200,
+                    variant: SbVariant::Discrete,
+                    ..SbConfig::default()
+                },
+            )
+        });
+    });
+    group.bench_function("bls_5_rounds", |b| {
+        b.iter(|| {
+            search(
+                black_box(&g),
+                &BlsConfig {
+                    rounds: 5,
+                    ..BlsConfig::default()
+                },
+            )
+        });
+    });
+    group.bench_function("pris_100_iters", |b| {
+        b.iter(|| {
+            solve_max_cut(
+                black_box(&g),
+                0.0,
+                &RunConfig {
+                    iterations: 100,
+                    phi: 0.1,
+                    seed: 1,
+                    target_cut: None,
+                },
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! `repro` — regenerate the SOPHIE paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|all> [--fast] [--out DIR]
+//! ```
+//!
+//! `--fast` shrinks grids/repetitions for a minutes-scale run; the default
+//! uses the paper's settings. Results print to stdout and are mirrored as
+//! CSV into the output directory (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sophie_bench::experiments;
+use sophie_bench::{Fidelity, Instances, Report};
+
+const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|all> [--fast] [--out DIR]";
+
+fn main() -> ExitCode {
+    let mut command: Option<String> = None;
+    let mut fast = false;
+    let mut out_dir = PathBuf::from("results");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if command.is_none() && !other.starts_with('-') => {
+                command = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(command) = command else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let fidelity = Fidelity::from_fast_flag(fast);
+    let report = match Report::new(&out_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot create output directory {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut instances = Instances::new();
+
+    type Exp = fn(&mut Instances, Fidelity, &Report) -> std::io::Result<()>;
+    let all: &[(&str, Exp)] = &[
+        ("table1", experiments::table1::run),
+        ("fig6", experiments::fig6::run),
+        ("fig7", experiments::fig7::run),
+        ("fig8", experiments::fig8::run),
+        ("fig9", experiments::fig9::run),
+        ("fig10", experiments::fig10::run),
+        ("table2", experiments::table2::run),
+        ("table3", experiments::table3::run),
+        ("summary", experiments::summary::run),
+        ("ablations", experiments::ablations::run),
+        ("power", experiments::power::run),
+    ];
+
+    let selected: Vec<&(&str, Exp)> = if command == "all" {
+        all.iter().collect()
+    } else {
+        match all.iter().find(|(name, _)| *name == command) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("unknown experiment {command:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    for (name, exp) in selected {
+        eprintln!("\n### running {name} ({fidelity:?}) ###");
+        let start = std::time::Instant::now();
+        if let Err(e) = exp(&mut instances, fidelity, &report) {
+            eprintln!("experiment {name} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("### {name} done in {:.1?} ###", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,58 @@
+//! Fig. 7 — impact of stochastic tile computation on solution quality
+//! (G22, fixed total budget of local iterations).
+
+use sophie_core::SophieConfig;
+
+use crate::experiments::{mean, parallel_runs};
+use crate::fidelity::Fidelity;
+use crate::instances::Instances;
+use crate::report::Report;
+
+/// Regenerates the Fig. 7 grid: average cut vs (local iterations per
+/// global iteration × fraction of tiles selected), everything else at the
+/// Fig. 6 optimum.
+///
+/// # Errors
+///
+/// Returns I/O errors from report writing.
+pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io::Result<()> {
+    let name = "G22";
+    let graph = inst.graph(name);
+    let best_known = inst.best_known(name, fidelity);
+    let budget = fidelity.total_local_iters();
+
+    let mut rows = Vec::new();
+    for &local in fidelity.local_iter_grid() {
+        for &frac in fidelity.fraction_grid() {
+            let config = SophieConfig {
+                tile_size: 64,
+                local_iters: local,
+                global_iters: (budget / local).max(1),
+                tile_fraction: frac,
+                phi: 0.05,
+                alpha: 0.0,
+                stochastic_spin_update: true,
+            };
+            let solver = inst.solver(name, &config);
+            let outs = parallel_runs(&solver, &graph, fidelity.runs(), None);
+            let avg = mean(outs.iter().map(|o| o.best_cut));
+            rows.push(vec![
+                local.to_string(),
+                format!("{frac}"),
+                format!("{avg:.1}"),
+                format!("{:.1}", 100.0 * avg / best_known),
+            ]);
+            eprintln!("[fig7] L={local} frac={frac}: avg cut {avg:.1}");
+        }
+    }
+    report.table(
+        "fig7",
+        &format!("Fig. 7: G22 quality vs (local iters/global, %tiles) at {budget} total local iterations"),
+        &["local_iters_per_global", "tile_fraction", "avg_cut", "pct_of_best_known"],
+        &rows,
+    )?;
+    report.note(
+        "fig7: expected shape — quality degrades mildly (≲10 %) as fewer tiles \
+         are selected or synchronization becomes less frequent.",
+    )
+}

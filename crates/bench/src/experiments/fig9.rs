@@ -1,0 +1,84 @@
+//! Fig. 9 — EDAP of one accelerator vs tile size and batch size
+//! (K32768, 500 global iterations × 10 local iterations).
+//!
+//! No spin state is simulated: the schedule is replayed analytically for
+//! exact operation counts, then the PPA models evaluate each
+//! (tile, batch) machine variant under a constant total GST cell budget.
+
+use sophie_core::SophieConfig;
+use sophie_hw::arch::MachineConfig;
+use sophie_hw::cost::{edap, params::CostParams, workload::WorkloadSummary};
+use sophie_hw::device::opcm::OpcmCellSpec;
+
+use crate::fidelity::Fidelity;
+use crate::instances::Instances;
+use crate::report::Report;
+
+/// Regenerates the Fig. 9 EDAP sweep.
+///
+/// # Errors
+///
+/// Returns I/O errors from report writing.
+///
+/// # Panics
+///
+/// Panics if a machine variant cannot be constructed (tile size outside
+/// the cell budget — excluded by the grids).
+pub fn run(_inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io::Result<()> {
+    let n = fidelity.fig9_order();
+    let rounds = fidelity.fig9_rounds();
+    let params = CostParams::default();
+    let cell = OpcmCellSpec::default();
+    let base = MachineConfig::sophie_default(1);
+
+    let mut rows = Vec::new();
+    let mut best: Option<(f64, usize, usize)> = None;
+    for &tile in fidelity.tile_grid() {
+        let config = SophieConfig {
+            tile_size: tile,
+            local_iters: 10,
+            global_iters: rounds,
+            tile_fraction: 1.0,
+            ..SophieConfig::default()
+        };
+        eprintln!("[fig9] replaying schedule for tile {tile} (n = {n})…");
+        let ops = sophie_core::analytic::analytic_op_counts(n, &config, 0)
+            .expect("validated configuration");
+        let machine = MachineConfig {
+            accelerator: base
+                .accelerator
+                .with_tile_size_same_cells(tile)
+                .expect("tile within cell budget"),
+            ..base
+        };
+        for &batch in fidelity.batch_grid() {
+            let w = WorkloadSummary::from_ops(n, &config, &ops, batch);
+            let ppa = edap::evaluate(&machine, &params, &cell, &w, &ops, 8)
+                .expect("validated machine");
+            let e = ppa.edap();
+            if best.is_none_or(|(b, _, _)| e < b) {
+                best = Some((e, tile, batch));
+            }
+            rows.push(vec![
+                tile.to_string(),
+                batch.to_string(),
+                format!("{e:.3e}"),
+                format!("{:.3e}", ppa.timing.per_job_s),
+                format!("{:.3e}", ppa.energy.total_j()),
+                format!("{:.1}", ppa.area.total_mm2()),
+            ]);
+        }
+    }
+    report.table(
+        "fig9",
+        &format!("Fig. 9: EDAP per job, K{n}, one accelerator ({rounds} global iterations)"),
+        &["tile_size", "batch_size", "edap_J_s_mm2", "time_per_job_s", "energy_per_job_J", "area_mm2"],
+        &rows,
+    )?;
+    if let Some((e, t, b)) = best {
+        report.note(&format!(
+            "fig9: minimum EDAP {e:.3e} at tile {t}, batch {b} (paper: tile 64, batch 100)."
+        ))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! One module per table/figure of the paper's evaluation section.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod power;
+pub mod summary;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use sophie_core::{SophieOutcome, SophieSolver};
+use sophie_graph::Graph;
+
+/// Runs `runs` independent seeds of `solver` on `graph` in parallel and
+/// returns the outcomes in seed order.
+pub(crate) fn parallel_runs(
+    solver: &SophieSolver,
+    graph: &Graph,
+    runs: usize,
+    target: Option<f64>,
+) -> Vec<SophieOutcome> {
+    sophie_linalg::par::parallel_map(runs, |seed| {
+        solver
+            .run(graph, seed as u64, target)
+            .expect("engine runs are infallible after construction")
+    })
+}
+
+/// Mean of an iterator of f64 values (0 for empty).
+pub(crate) fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sophie_core::SophieConfig;
+    use sophie_graph::generate::{complete, WeightDist};
+
+    #[test]
+    fn parallel_runs_are_seed_ordered_and_deterministic() {
+        let g = complete(24, WeightDist::Unit, 0).unwrap();
+        let cfg = SophieConfig {
+            tile_size: 8,
+            global_iters: 20,
+            ..SophieConfig::default()
+        };
+        let solver = SophieSolver::from_graph(&g, cfg).unwrap();
+        let a = parallel_runs(&solver, &g, 4, None);
+        let b = parallel_runs(&solver, &g, 4, None);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.best_cut, y.best_cut);
+        }
+    }
+
+    #[test]
+    fn mean_handles_empty_and_values() {
+        assert_eq!(mean([]), 0.0);
+        assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+}

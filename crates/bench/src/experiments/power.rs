@@ -1,0 +1,40 @@
+//! Steady-state power budget of the paper's machine configurations
+//! (extension — the paper quotes component powers in §IV-A; this rolls
+//! them up and contrasts with D-Wave's 16 kW cryogenics from §II-B).
+
+use sophie_hw::arch::MachineConfig;
+use sophie_hw::cost::{params::CostParams, power::power_budget};
+use sophie_hw::device::opcm::OpcmCellSpec;
+
+use crate::fidelity::Fidelity;
+use crate::instances::Instances;
+use crate::report::Report;
+
+/// Prints the power budget for 1/2/4-accelerator machines at batch 100.
+///
+/// # Errors
+///
+/// Returns I/O errors from report writing.
+pub fn run(_inst: &mut Instances, _fidelity: Fidelity, report: &Report) -> std::io::Result<()> {
+    let params = CostParams::default();
+    let cell = OpcmCellSpec::default();
+    let mut rows = Vec::new();
+    for accels in [1usize, 2, 4] {
+        let b = power_budget(&MachineConfig::sophie_default(accels), &params, &cell, 100);
+        rows.push(vec![
+            accels.to_string(),
+            format!("{:.1}", b.laser_w),
+            format!("{:.1}", b.adc_w),
+            format!("{:.2}", b.sram_w),
+            format!("{:.3}", b.control_w),
+            format!("{:.1}", b.dram_w),
+            format!("{:.1}", b.total_w()),
+        ]);
+    }
+    report.table(
+        "power",
+        "Steady-state power budget (W), batch 100 — vs D-Wave's 16 kW cryogenics",
+        &["accelerators", "laser", "adc", "sram", "control", "dram", "total"],
+        &rows,
+    )
+}

@@ -1,0 +1,178 @@
+//! Experiment fidelity levels.
+//!
+//! Every experiment runs at two fidelities: `Full` uses the paper's
+//! settings (500 global iterations, 10-run averages, the complete
+//! parameter grids); `Fast` shrinks grids, repetitions, and iteration
+//! budgets so the whole suite finishes in minutes on a laptop. The tables
+//! in EXPERIMENTS.md state which fidelity produced them.
+
+/// How faithfully to reproduce an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Reduced grids and repetitions for quick runs and CI.
+    #[default]
+    Fast,
+    /// The paper's experiment settings.
+    Full,
+}
+
+impl Fidelity {
+    /// Parses the conventional CLI flag.
+    #[must_use]
+    pub fn from_fast_flag(fast: bool) -> Self {
+        if fast {
+            Fidelity::Fast
+        } else {
+            Fidelity::Full
+        }
+    }
+
+    /// Independent runs averaged per data point (paper: 10 for Fig. 6/7,
+    /// 100 for Fig. 8).
+    #[must_use]
+    pub fn runs(self) -> usize {
+        match self {
+            Fidelity::Fast => 3,
+            Fidelity::Full => 10,
+        }
+    }
+
+    /// Runs for the convergence statistics of Fig. 8 (the paper averages
+    /// 100; `Full` uses 20 to stay within a workstation budget — noted in
+    /// EXPERIMENTS.md).
+    #[must_use]
+    pub fn convergence_runs(self) -> usize {
+        match self {
+            Fidelity::Fast => 3,
+            Fidelity::Full => 20,
+        }
+    }
+
+    /// Global iterations for quality sweeps (paper: 500).
+    #[must_use]
+    pub fn global_iters(self) -> usize {
+        match self {
+            Fidelity::Fast => 150,
+            Fidelity::Full => 500,
+        }
+    }
+
+    /// Total local-iteration budget for Fig. 7/8/10 (paper: 5000).
+    #[must_use]
+    pub fn total_local_iters(self) -> usize {
+        match self {
+            Fidelity::Fast => 2000,
+            Fidelity::Full => 5000,
+        }
+    }
+
+    /// Noise levels swept in Fig. 6 (our φ convention is scaled by the
+    /// per-row signal magnitude, see `sophie_pris::noise`).
+    #[must_use]
+    pub fn phis(self) -> &'static [f64] {
+        match self {
+            Fidelity::Fast => &[0.0, 0.05, 0.1, 0.2],
+            Fidelity::Full => &[0.0, 0.025, 0.05, 0.1, 0.2, 0.4],
+        }
+    }
+
+    /// Dropout factors swept in Fig. 6.
+    #[must_use]
+    pub fn alphas(self) -> &'static [f64] {
+        match self {
+            Fidelity::Fast => &[0.0, 0.1],
+            Fidelity::Full => &[0.0, 0.1, 0.2],
+        }
+    }
+
+    /// Local-iterations-per-global-iteration values for Fig. 7/8/10.
+    #[must_use]
+    pub fn local_iter_grid(self) -> &'static [usize] {
+        match self {
+            Fidelity::Fast => &[5, 10, 25],
+            Fidelity::Full => &[2, 5, 10, 25, 50],
+        }
+    }
+
+    /// Tile-selection fractions for Fig. 7/8/10.
+    #[must_use]
+    pub fn fraction_grid(self) -> &'static [f64] {
+        match self {
+            Fidelity::Fast => &[0.5, 0.74, 1.0],
+            Fidelity::Full => &[0.25, 0.5, 0.74, 1.0],
+        }
+    }
+
+    /// Tile sizes for the Fig. 9 EDAP sweep.
+    #[must_use]
+    pub fn tile_grid(self) -> &'static [usize] {
+        match self {
+            Fidelity::Fast => &[32, 64, 128],
+            Fidelity::Full => &[16, 32, 64, 128, 256],
+        }
+    }
+
+    /// Batch sizes for the Fig. 9 EDAP sweep.
+    #[must_use]
+    pub fn batch_grid(self) -> &'static [usize] {
+        match self {
+            Fidelity::Fast => &[1, 100, 10_000],
+            Fidelity::Full => &[1, 10, 100, 1000, 10_000],
+        }
+    }
+
+    /// Problem order for the Fig. 9 sweep (paper: K32768; fast mode uses
+    /// K8192 so the schedule replay stays sub-second per cell).
+    #[must_use]
+    pub fn fig9_order(self) -> usize {
+        match self {
+            Fidelity::Fast => 8192,
+            Fidelity::Full => 32_768,
+        }
+    }
+
+    /// Global-iteration budget for Fig. 9's schedule replay (paper: 500).
+    #[must_use]
+    pub fn fig9_rounds(self) -> usize {
+        match self {
+            Fidelity::Fast => 50,
+            Fidelity::Full => 500,
+        }
+    }
+
+    /// Effort for best-known reference computation.
+    #[must_use]
+    pub fn reference_effort(self) -> sophie_baselines::Effort {
+        match self {
+            Fidelity::Fast => sophie_baselines::Effort::Standard,
+            Fidelity::Full => sophie_baselines::Effort::Thorough,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_is_strictly_cheaper() {
+        assert!(Fidelity::Fast.runs() < Fidelity::Full.runs());
+        assert!(Fidelity::Fast.global_iters() < Fidelity::Full.global_iters());
+        assert!(Fidelity::Fast.phis().len() < Fidelity::Full.phis().len());
+        assert!(Fidelity::Fast.fig9_order() < Fidelity::Full.fig9_order());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        assert_eq!(Fidelity::from_fast_flag(true), Fidelity::Fast);
+        assert_eq!(Fidelity::from_fast_flag(false), Fidelity::Full);
+    }
+
+    #[test]
+    fn full_matches_paper_settings() {
+        assert_eq!(Fidelity::Full.global_iters(), 500);
+        assert_eq!(Fidelity::Full.total_local_iters(), 5000);
+        assert_eq!(Fidelity::Full.runs(), 10);
+        assert_eq!(Fidelity::Full.fig9_order(), 32_768);
+    }
+}

@@ -1,0 +1,161 @@
+//! Benchmark-instance cache.
+//!
+//! The expensive per-graph artifacts — the graph itself, the coupling
+//! matrix's eigendecomposition (≈1 min for G22), and the best-known
+//! reference cut — are computed once and shared across experiments
+//! through `Rc`s.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sophie_baselines::best_known_cut;
+use sophie_core::{SophieConfig, SophieSolver};
+use sophie_graph::generate::presets;
+use sophie_graph::Graph;
+use sophie_pris::{DeltaVariant, Preprocessor};
+
+use crate::fidelity::Fidelity;
+
+/// Named benchmark instances with cached preprocessing.
+#[derive(Default)]
+pub struct Instances {
+    graphs: HashMap<String, Rc<Graph>>,
+    preprocessors: HashMap<String, Rc<Preprocessor>>,
+    best_known: HashMap<String, f64>,
+}
+
+impl Instances {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Instances::default()
+    }
+
+    /// The graph named `name` (`"G1"`, `"G22"`, `"K100"`, or `"K<n>"` for
+    /// a complete ±1 graph of order `n`), generated deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name or a generator failure (fixed parameters
+    /// cannot fail).
+    pub fn graph(&mut self, name: &str) -> Rc<Graph> {
+        if let Some(g) = self.graphs.get(name) {
+            return Rc::clone(g);
+        }
+        let graph = match name {
+            "G1" => presets::g1_like(1).expect("G1 preset"),
+            "G22" => presets::g22_like(1).expect("G22 preset"),
+            "K100" => presets::k100(1).expect("K100 preset"),
+            other => {
+                let n: usize = other
+                    .strip_prefix('K')
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("unknown benchmark instance {other:?}"));
+                presets::k_graph(n, 1).expect("K-graph preset")
+            }
+        };
+        let rc = Rc::new(graph);
+        self.graphs.insert(name.to_string(), Rc::clone(&rc));
+        rc
+    }
+
+    /// The cached eigenvalue-dropout preprocessor for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if preprocessing fails (symmetric inputs by construction).
+    pub fn preprocessor(&mut self, name: &str) -> Rc<Preprocessor> {
+        if let Some(p) = self.preprocessors.get(name) {
+            return Rc::clone(p);
+        }
+        let graph = self.graph(name);
+        let k = sophie_graph::coupling::coupling_matrix(&graph);
+        let delta = sophie_graph::coupling::delta_diagonal(&graph);
+        eprintln!(
+            "[instances] eigendecomposition for {name} ({} nodes)…",
+            graph.num_nodes()
+        );
+        let pre =
+            Rc::new(Preprocessor::new(&k, delta, DeltaVariant::Gershgorin).expect("preprocess"));
+        self.preprocessors.insert(name.to_string(), Rc::clone(&pre));
+        pre
+    }
+
+    /// The best-known reference cut for `name` at the fidelity's effort.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown instance name.
+    pub fn best_known(&mut self, name: &str, fidelity: Fidelity) -> f64 {
+        if let Some(&v) = self.best_known.get(name) {
+            return v;
+        }
+        let graph = self.graph(name);
+        eprintln!("[instances] computing best-known reference for {name}…");
+        let v = best_known_cut(&graph, fidelity.reference_effort());
+        self.best_known.insert(name.to_string(), v);
+        v
+    }
+
+    /// Builds a solver for `name` under `config`, reusing the cached
+    /// eigendecomposition for the configured `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn solver(&mut self, name: &str, config: &SophieConfig) -> SophieSolver {
+        let pre = self.preprocessor(name);
+        let c = pre.transform(config.alpha).expect("alpha validated");
+        SophieSolver::from_transform(&c, config.clone()).expect("solver construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_are_cached_and_deterministic() {
+        let mut inst = Instances::new();
+        let a = inst.graph("K100");
+        let b = inst.graph("K100");
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(a.num_nodes(), 100);
+    }
+
+    #[test]
+    fn k_prefix_parses_order() {
+        let mut inst = Instances::new();
+        assert_eq!(inst.graph("K64").num_nodes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark instance")]
+    fn unknown_names_panic() {
+        let mut inst = Instances::new();
+        let _ = inst.graph("Q7");
+    }
+
+    #[test]
+    fn solver_uses_cached_preprocessing() {
+        let mut inst = Instances::new();
+        let cfg = SophieConfig {
+            tile_size: 32,
+            global_iters: 5,
+            ..SophieConfig::default()
+        };
+        let s1 = inst.solver("K100", &cfg);
+        let s2 = inst.solver("K100", &cfg);
+        assert_eq!(s1.num_pairs(), s2.num_pairs());
+        assert_eq!(inst.preprocessors.len(), 1);
+    }
+
+    #[test]
+    fn best_known_is_cached() {
+        let mut inst = Instances::new();
+        let a = inst.best_known("K100", Fidelity::Fast);
+        let b = inst.best_known("K100", Fidelity::Fast);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+}

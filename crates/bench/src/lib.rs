@@ -1,0 +1,33 @@
+//! Benchmark harness regenerating every table and figure of the SOPHIE
+//! paper's evaluation section (§IV).
+//!
+//! The `repro` binary drives one [`experiments`] module per table/figure:
+//!
+//! | command  | paper artifact | method |
+//! |----------|----------------|--------|
+//! | `table1` | Table I        | generated instances + stats |
+//! | `fig6`   | Fig. 6         | functional sim, φ×α sweep |
+//! | `fig7`   | Fig. 7         | functional sim, L×fraction sweep |
+//! | `fig8`   | Fig. 8         | functional sim, convergence grid |
+//! | `fig9`   | Fig. 9         | analytic schedule replay + PPA models |
+//! | `fig10`  | Fig. 10        | functional sim + capacity-limited timing |
+//! | `table2` | Table II       | measured iterations + timing model + published rows |
+//! | `table3` | Table III      | analytic replay + timing model + published rows |
+//! | `summary`| abstract       | headline-claim scorecard |
+//! | `ablations`| (extension)  | design-choice toggles: spin update, local depth, dropout, ADC bits, tile mapping |
+//! | `power`  | (extension)    | steady-state machine power budget |
+//!
+//! Every experiment honors [`fidelity::Fidelity`]: `--fast` shrinks grids
+//! and repetitions; the default reproduces the paper's settings.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod fidelity;
+pub mod instances;
+pub mod report;
+
+pub use fidelity::Fidelity;
+pub use instances::Instances;
+pub use report::Report;

@@ -1,0 +1,155 @@
+//! Result reporting: aligned console tables plus CSV files.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A simple experiment report that prints to stdout and mirrors every
+/// table into a CSV file under the output directory.
+pub struct Report {
+    out_dir: PathBuf,
+}
+
+impl Report {
+    /// Creates the report sink, ensuring the output directory exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from directory creation.
+    pub fn new(out_dir: &Path) -> std::io::Result<Self> {
+        fs::create_dir_all(out_dir)?;
+        Ok(Report {
+            out_dir: out_dir.to_path_buf(),
+        })
+    }
+
+    /// The output directory.
+    #[must_use]
+    pub fn out_dir(&self) -> &Path {
+        &self.out_dir
+    }
+
+    /// Prints a titled, aligned table and writes `<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the CSV write.
+    pub fn table(
+        &self,
+        name: &str,
+        title: &str,
+        header: &[&str],
+        rows: &[Vec<String>],
+    ) -> std::io::Result<()> {
+        println!("\n=== {title} ===");
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                s.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            s
+        };
+        println!(
+            "{}",
+            line(&header.iter().map(|h| (*h).to_string()).collect::<Vec<_>>())
+        );
+        for row in rows {
+            println!("{}", line(row));
+        }
+
+        let csv_path = self.out_dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&csv_path)?;
+        writeln!(f, "{}", header.join(","))?;
+        for row in rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        println!("[written {}]", csv_path.display());
+        Ok(())
+    }
+
+    /// Prints a free-form note (also appended to `notes.txt`).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the notes file.
+    pub fn note(&self, text: &str) -> std::io::Result<()> {
+        println!("{text}");
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.out_dir.join("notes.txt"))?;
+        writeln!(f, "{text}")?;
+        Ok(())
+    }
+}
+
+/// Formats a time in seconds with an adaptive unit.
+#[must_use]
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Formats an energy in joules with an adaptive unit.
+#[must_use]
+pub fn fmt_energy(joules: f64) -> String {
+    if joules < 1e-6 {
+        format!("{:.2} nJ", joules * 1e9)
+    } else if joules < 1e-3 {
+        format!("{:.2} µJ", joules * 1e6)
+    } else if joules < 1.0 {
+        format!("{:.2} mJ", joules * 1e3)
+    } else {
+        format!("{joules:.2} J")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_writes_csv() {
+        let dir = std::env::temp_dir().join(format!("sophie_report_{}", std::process::id()));
+        let report = Report::new(&dir).unwrap();
+        report
+            .table(
+                "demo",
+                "Demo",
+                &["a", "b"],
+                &[vec!["1".into(), "2".into()]],
+            )
+            .unwrap();
+        let csv = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(csv, "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn time_units_adapt() {
+        assert!(fmt_time(3e-9).ends_with("ns"));
+        assert!(fmt_time(3e-6).ends_with("µs"));
+        assert!(fmt_time(3e-3).ends_with("ms"));
+        assert!(fmt_time(3.0).ends_with('s'));
+    }
+
+    #[test]
+    fn energy_units_adapt() {
+        assert!(fmt_energy(3e-9).ends_with("nJ"));
+        assert!(fmt_energy(3e-6).ends_with("µJ"));
+        assert!(fmt_energy(3e-3).ends_with("mJ"));
+    }
+}

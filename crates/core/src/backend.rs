@@ -1,0 +1,177 @@
+//! MVM execution backends.
+//!
+//! The functional simulator runs the same algorithm over different compute
+//! substrates: an exact floating-point backend (algorithm studies, Fig. 6–8)
+//! and a hardware-accurate OPCM device model in `sophie-hw` (cell
+//! quantization, optical loss, ADC precision). Both implement [`MvmBackend`];
+//! each physical OPCM array in the machine corresponds to one [`MvmUnit`].
+
+use sophie_linalg::Tile;
+
+/// One physical bidirectional matrix-vector unit (an OPCM array plus its
+/// converters): stores a tile and multiplies by it or its transpose.
+pub trait MvmUnit {
+    /// Programs the unit with the contents of `tile` (an OPCM write).
+    fn program(&mut self, tile: &Tile);
+
+    /// `y = T·x` — light sent row-wise, read column-wise (paper Eq. 9
+    /// orientation for the stored tile).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the unit was never programmed or lengths
+    /// mismatch the tile size.
+    fn forward(&mut self, x: &[f32], y: &mut [f32]);
+
+    /// `y = Tᵀ·x` — the same array read in the other optical direction
+    /// (paper Eq. 8), which is what lets one array serve a symmetric tile
+    /// pair.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`MvmUnit::forward`].
+    fn transposed(&mut self, x: &[f32], y: &mut [f32]);
+
+    /// Applies the unit's 8-bit read path to an analog result in place
+    /// (dual-precision ADC, §III-C). The ideal backend leaves values
+    /// untouched.
+    fn quantize_8bit(&mut self, _y: &mut [f32]) {}
+}
+
+/// Factory for [`MvmUnit`]s: one machine/back-end configuration producing
+/// one unit per physical array.
+pub trait MvmBackend {
+    /// The unit type manufactured by this backend.
+    type Unit: MvmUnit;
+
+    /// Creates an unprogrammed unit for tiles of edge length `tile_size`.
+    fn unit(&self, tile_size: usize) -> Self::Unit;
+}
+
+/// Exact floating-point backend: units store the tile verbatim and multiply
+/// in `f32` with no device effects.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdealBackend;
+
+impl IdealBackend {
+    /// Creates the ideal backend.
+    #[must_use]
+    pub fn new() -> Self {
+        IdealBackend
+    }
+}
+
+/// Unit produced by [`IdealBackend`].
+#[derive(Debug, Clone)]
+pub struct IdealUnit {
+    tile_size: usize,
+    tile: Option<Tile>,
+}
+
+impl MvmUnit for IdealUnit {
+    fn program(&mut self, tile: &Tile) {
+        assert_eq!(tile.size(), self.tile_size, "tile size mismatch");
+        self.tile = Some(tile.clone());
+    }
+
+    fn forward(&mut self, x: &[f32], y: &mut [f32]) {
+        self.tile
+            .as_ref()
+            .expect("unit used before programming")
+            .mvm(x, y);
+    }
+
+    fn transposed(&mut self, x: &[f32], y: &mut [f32]) {
+        self.tile
+            .as_ref()
+            .expect("unit used before programming")
+            .mvm_transposed(x, y);
+    }
+}
+
+impl MvmBackend for IdealBackend {
+    type Unit = IdealUnit;
+
+    fn unit(&self, tile_size: usize) -> IdealUnit {
+        IdealUnit {
+            tile_size,
+            tile: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tile() -> Tile {
+        Tile::from_vec(2, vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn ideal_unit_multiplies_exactly() {
+        let backend = IdealBackend::new();
+        let mut unit = backend.unit(2);
+        unit.program(&sample_tile());
+        let mut y = [0.0_f32; 2];
+        unit.forward(&[1.0, 1.0], &mut y);
+        assert_eq!(y, [3.0, 7.0]);
+        unit.transposed(&[1.0, 1.0], &mut y);
+        assert_eq!(y, [4.0, 6.0]);
+    }
+
+    #[test]
+    fn forward_and_transposed_are_consistent() {
+        let backend = IdealBackend::new();
+        let mut unit = backend.unit(2);
+        unit.program(&sample_tile());
+        // (T x)·z == x·(Tᵀ z) for all x, z.
+        let x = [1.0_f32, -2.0];
+        let z = [0.5_f32, 3.0];
+        let mut tx = [0.0_f32; 2];
+        let mut ttz = [0.0_f32; 2];
+        unit.forward(&x, &mut tx);
+        unit.transposed(&z, &mut ttz);
+        let lhs: f32 = tx.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&ttz).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "before programming")]
+    fn unprogrammed_unit_panics() {
+        let backend = IdealBackend::new();
+        let mut unit = backend.unit(2);
+        let mut y = [0.0_f32; 2];
+        unit.forward(&[1.0, 1.0], &mut y);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_tile_size_panics() {
+        let backend = IdealBackend::new();
+        let mut unit = backend.unit(4);
+        unit.program(&sample_tile());
+    }
+
+    #[test]
+    fn default_quantize_is_identity() {
+        let backend = IdealBackend::new();
+        let mut unit = backend.unit(2);
+        unit.program(&sample_tile());
+        let mut y = [1.25_f32, -2.5];
+        unit.quantize_8bit(&mut y);
+        assert_eq!(y, [1.25, -2.5]);
+    }
+
+    #[test]
+    fn reprogramming_replaces_contents() {
+        let backend = IdealBackend::new();
+        let mut unit = backend.unit(2);
+        unit.program(&sample_tile());
+        unit.program(&Tile::from_vec(2, vec![0.0; 4]).unwrap());
+        let mut y = [9.0_f32; 2];
+        unit.forward(&[1.0, 1.0], &mut y);
+        assert_eq!(y, [0.0, 0.0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Batched job execution and aggregate statistics.
+//!
+//! The accelerator amortizes OPCM programming by running a *batch* of
+//! independent jobs (different initial states, same coupling matrix)
+//! between reprogramming passes (§III-E; Fig. 9 picks batch = 100). This
+//! module runs such a batch through the functional engine and aggregates
+//! the statistics the evaluation needs: mean/best quality and the
+//! `T90`-style percentile of iterations-to-target that Table II reports.
+
+use sophie_graph::Graph;
+
+use crate::backend::{IdealBackend, MvmBackend};
+use crate::engine::SophieSolver;
+use crate::error::Result;
+use crate::outcome::SophieOutcome;
+
+/// Aggregate result of one batch.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-job outcomes, in seed order.
+    pub jobs: Vec<SophieOutcome>,
+    /// Mean best cut across jobs.
+    pub mean_cut: f64,
+    /// Best cut across jobs.
+    pub best_cut: f64,
+    /// Jobs that reached the target (when one was set).
+    pub converged: usize,
+}
+
+impl BatchOutcome {
+    /// The `q`-quantile (0 ≤ q ≤ 1) of global-iterations-to-target, with
+    /// non-converged jobs counted at `budget`. `q = 0.9` gives the T90
+    /// statistic of Table II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn iters_to_target_quantile(&self, q: f64, budget: usize) -> usize {
+        assert!(!self.jobs.is_empty(), "batch must contain jobs");
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut iters: Vec<usize> = self
+            .jobs
+            .iter()
+            .map(|j| j.global_iters_to_target.unwrap_or(budget))
+            .collect();
+        iters.sort_unstable();
+        let idx = ((iters.len() as f64 * q).ceil() as usize)
+            .saturating_sub(1)
+            .min(iters.len() - 1);
+        iters[idx]
+    }
+
+    /// Fraction of jobs that reached the target.
+    #[must_use]
+    pub fn convergence_rate(&self) -> f64 {
+        self.converged as f64 / self.jobs.len().max(1) as f64
+    }
+}
+
+/// Runs `batch` jobs with seeds `0..batch` on the given backend,
+/// parallelized across worker threads.
+///
+/// # Errors
+///
+/// Propagates engine errors (none after successful construction).
+///
+/// # Panics
+///
+/// Panics if `batch == 0`.
+pub fn run_batch<B: MvmBackend + Sync>(
+    solver: &SophieSolver,
+    backend: &B,
+    graph: &Graph,
+    batch: usize,
+    target_cut: Option<f64>,
+) -> Result<BatchOutcome> {
+    assert!(batch > 0, "batch must contain at least one job");
+    let jobs: Vec<SophieOutcome> = sophie_linalg::par::parallel_map(batch, |seed| {
+        solver
+            .run_with_backend(backend, graph, seed as u64, target_cut)
+            .expect("engine runs are infallible after construction")
+    });
+    let mean_cut = jobs.iter().map(|j| j.best_cut).sum::<f64>() / batch as f64;
+    let best_cut = jobs
+        .iter()
+        .map(|j| j.best_cut)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let converged = jobs
+        .iter()
+        .filter(|j| j.global_iters_to_target.is_some())
+        .count();
+    Ok(BatchOutcome {
+        jobs,
+        mean_cut,
+        best_cut,
+        converged,
+    })
+}
+
+/// Convenience wrapper over [`run_batch`] with the exact floating-point
+/// backend.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run_batch_ideal(
+    solver: &SophieSolver,
+    graph: &Graph,
+    batch: usize,
+    target_cut: Option<f64>,
+) -> Result<BatchOutcome> {
+    run_batch(solver, &IdealBackend::new(), graph, batch, target_cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SophieConfig;
+    use sophie_graph::generate::{complete, WeightDist};
+
+    fn solver_and_graph() -> (SophieSolver, Graph) {
+        let g = complete(24, WeightDist::Unit, 3).unwrap();
+        let cfg = SophieConfig {
+            tile_size: 8,
+            global_iters: 60,
+            phi: 0.1,
+            ..SophieConfig::default()
+        };
+        (SophieSolver::from_graph(&g, cfg).unwrap(), g)
+    }
+
+    #[test]
+    fn batch_aggregates_are_consistent() {
+        let (solver, g) = solver_and_graph();
+        let out = run_batch_ideal(&solver, &g, 6, None).unwrap();
+        assert_eq!(out.jobs.len(), 6);
+        assert!(out.best_cut >= out.mean_cut);
+        let manual_mean = out.jobs.iter().map(|j| j.best_cut).sum::<f64>() / 6.0;
+        assert!((out.mean_cut - manual_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t90_counts_nonconverged_at_budget() {
+        let (solver, g) = solver_and_graph();
+        // Impossible target: nothing converges, quantile = budget.
+        let out = run_batch_ideal(&solver, &g, 5, Some(1e9)).unwrap();
+        assert_eq!(out.converged, 0);
+        assert_eq!(out.convergence_rate(), 0.0);
+        assert_eq!(out.iters_to_target_quantile(0.9, 60), 60);
+    }
+
+    #[test]
+    fn easy_target_converges_quickly() {
+        let (solver, g) = solver_and_graph();
+        // K24 optimum is 144; 100 is easy.
+        let out = run_batch_ideal(&solver, &g, 5, Some(100.0)).unwrap();
+        assert!(out.converged >= 4, "converged {}", out.converged);
+        assert!(out.iters_to_target_quantile(0.9, 60) < 60);
+        let t50 = out.iters_to_target_quantile(0.5, 60);
+        let t90 = out.iters_to_target_quantile(0.9, 60);
+        assert!(t50 <= t90);
+    }
+
+    #[test]
+    fn jobs_are_seed_deterministic() {
+        let (solver, g) = solver_and_graph();
+        let a = run_batch_ideal(&solver, &g, 3, None).unwrap();
+        let b = run_batch_ideal(&solver, &g, 3, None).unwrap();
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.best_cut, y.best_cut);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn rejects_bad_quantile() {
+        let (solver, g) = solver_and_graph();
+        let out = run_batch_ideal(&solver, &g, 2, None).unwrap();
+        let _ = out.iters_to_target_quantile(1.5, 10);
+    }
+}

@@ -1,0 +1,863 @@
+//! The tiled recurrent Ising engine (paper Algorithm 1).
+//!
+//! [`SophieSolver`] executes the modified PRIS algorithm:
+//!
+//! * the transformation matrix is tiled and each **symmetric pair** of
+//!   tiles is mapped to one bidirectional MVM unit (§III-A1, §III-D);
+//! * each selected pair runs `local_iters` **local iterations** against its
+//!   private spin copies and frozen offset vectors;
+//! * a **global synchronization** then exchanges partial sums and spin
+//!   states, with *stochastic tile computation* and *stochastic spin
+//!   update* shrinking both compute and traffic (§III-A2).
+//!
+//! The engine is generic over [`MvmBackend`] so the identical algorithm can
+//! run on the exact floating-point substrate or on the OPCM device model in
+//! `sophie-hw`, and it tallies an [`OpCounts`] as it goes — the interface to
+//! the power/performance models.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sophie_graph::cut::cut_value_binary;
+use sophie_graph::Graph;
+use sophie_linalg::{Matrix, Tile, TileGrid, TilePair};
+use sophie_pris::CutTracker;
+
+use crate::backend::{IdealBackend, MvmBackend, MvmUnit};
+use crate::config::SophieConfig;
+use crate::error::{Result, SophieError};
+use crate::gaussian::GaussianSource;
+use crate::opcount::OpCounts;
+use crate::outcome::SophieOutcome;
+use crate::schedule::Schedule;
+
+/// The SOPHIE solver: a tiled transformation matrix plus everything needed
+/// to run jobs against it.
+///
+/// ```
+/// use sophie_core::{SophieConfig, SophieSolver};
+/// use sophie_graph::generate::{complete, WeightDist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = complete(32, WeightDist::Unit, 0)?;
+/// let config = SophieConfig { tile_size: 8, global_iters: 60, ..SophieConfig::default() };
+/// let solver = SophieSolver::from_graph(&g, config)?;
+/// let out = solver.run(&g, 1, None)?;
+/// assert!(out.best_cut > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SophieSolver {
+    config: SophieConfig,
+    grid: TileGrid,
+    pairs: Vec<TilePair>,
+    /// Primary (upper-triangular or diagonal) tile of each pair.
+    tiles: Vec<Tile>,
+    /// Per-node thresholds `θ_i = ½ Σ_j C_ij`, zero on padding.
+    thresholds: Vec<f32>,
+    /// Per-node noise scales `ρ_i = ½ Σ_j |C_ij|`, zero on padding.
+    noise_scale: Vec<f32>,
+    /// True (unpadded) problem dimension.
+    n: usize,
+}
+
+impl SophieSolver {
+    /// Builds a solver from a max-cut instance: forms `K = -A`, applies
+    /// eigenvalue dropout with the configured `α`, and tiles the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, eigensolver, and preprocessing errors.
+    pub fn from_graph(graph: &Graph, config: SophieConfig) -> Result<Self> {
+        config.validate()?;
+        let k = sophie_graph::coupling::coupling_matrix(graph);
+        let delta = sophie_graph::coupling::delta_diagonal(graph);
+        let c = sophie_pris::dropout::transformation_matrix(
+            &k,
+            delta,
+            config.alpha,
+            sophie_pris::DeltaVariant::Gershgorin,
+        )?;
+        Self::from_transform(&c, config)
+    }
+
+    /// Builds a solver from an already-preprocessed transformation matrix
+    /// `C` (useful when sweeping `α` with a cached
+    /// [`sophie_pris::Preprocessor`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors or [`SophieError::Linalg`] if `c` is
+    /// rectangular.
+    pub fn from_transform(c: &Matrix, config: SophieConfig) -> Result<Self> {
+        config.validate()?;
+        if !c.is_square() {
+            return Err(SophieError::Linalg(sophie_linalg::LinalgError::NotSquare {
+                rows: c.rows(),
+                cols: c.cols(),
+            }));
+        }
+        let grid = TileGrid::new(c.rows(), config.tile_size)?;
+        let pairs = grid.symmetric_pairs();
+        let tiles: Vec<Tile> = pairs
+            .iter()
+            .map(|p| Tile::from_matrix(c, &grid, p.primary()))
+            .collect();
+        let padded = grid.padded_len();
+        let mut thresholds = vec![0.0_f32; padded];
+        let mut noise_scale = vec![0.0_f32; padded];
+        for r in 0..c.rows() {
+            let row = c.row(r);
+            thresholds[r] = (0.5 * row.iter().sum::<f64>()) as f32;
+            noise_scale[r] = (0.5 * row.iter().map(|x| x.abs()).sum::<f64>()) as f32;
+        }
+        Ok(SophieSolver {
+            config,
+            grid,
+            pairs,
+            tiles,
+            thresholds,
+            noise_scale,
+            n: c.rows(),
+        })
+    }
+
+    /// The validated configuration.
+    #[must_use]
+    pub fn config(&self) -> &SophieConfig {
+        &self.config
+    }
+
+    /// The tiling descriptor.
+    #[must_use]
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// Number of symmetric tile pairs (physical MVM units required).
+    #[must_use]
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Problem dimension (graph order).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Index of the pair covering tile `(r, c)` in the pair list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block indices are out of range.
+    #[must_use]
+    pub fn pair_index(&self, r: usize, c: usize) -> usize {
+        let b = self.grid.blocks();
+        assert!(r < b && c < b, "block index out of range");
+        let (lo, hi) = if r <= c { (r, c) } else { (c, r) };
+        // Pairs are emitted row-major: for row k, the diagonal then (k, k+1..B).
+        lo * b - lo * (lo + 1) / 2 + lo + (hi - lo)
+    }
+
+    /// Runs one job on the exact floating-point backend.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; kept fallible for parity
+    /// with backend-specific runs.
+    pub fn run(&self, graph: &Graph, seed: u64, target_cut: Option<f64>) -> Result<SophieOutcome> {
+        self.run_with_backend(&IdealBackend::new(), graph, seed, target_cut)
+    }
+
+    /// Runs one job on an arbitrary MVM backend, generating the static
+    /// schedule from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction.
+    pub fn run_with_backend<B: MvmBackend>(
+        &self,
+        backend: &B,
+        graph: &Graph,
+        seed: u64,
+        target_cut: Option<f64>,
+    ) -> Result<SophieOutcome> {
+        let schedule = Schedule::generate(
+            &self.grid,
+            self.config.global_iters,
+            self.config.tile_fraction,
+            self.config.stochastic_spin_update,
+            seed ^ 0x5c3a_11ed_0b57_aced,
+        );
+        self.run_scheduled(backend, graph, &schedule, seed, target_cut)
+    }
+
+    /// Runs one job against a pre-generated schedule (the hardware flow:
+    /// the host generates all scheduling decisions offline, §III-D).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph.num_nodes() != self.dim()` or the schedule was
+    /// generated for a different grid.
+    pub fn run_scheduled<B: MvmBackend>(
+        &self,
+        backend: &B,
+        graph: &Graph,
+        schedule: &Schedule,
+        seed: u64,
+        target_cut: Option<f64>,
+    ) -> Result<SophieOutcome> {
+        self.run_scheduled_from(backend, graph, schedule, seed, target_cut, None)
+    }
+
+    /// Like [`Self::run_scheduled`], but warm-started from `initial_bits`
+    /// instead of a random state — e.g. to continue annealing from the
+    /// best configuration of a previous batch, or to polish a baseline
+    /// solver's output on the Ising machine.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on graph/schedule mismatch or if `initial_bits` has the
+    /// wrong length.
+    pub fn run_scheduled_from<B: MvmBackend>(
+        &self,
+        backend: &B,
+        graph: &Graph,
+        schedule: &Schedule,
+        seed: u64,
+        target_cut: Option<f64>,
+        initial_bits: Option<&[bool]>,
+    ) -> Result<SophieOutcome> {
+        assert_eq!(graph.num_nodes(), self.n, "graph order mismatch");
+        assert_eq!(schedule.blocks(), self.grid.blocks(), "schedule grid mismatch");
+
+        let t = self.grid.tile();
+        let b = self.grid.blocks();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut gauss = GaussianSource::new();
+        let mut ops = OpCounts::new();
+
+        // Program every pair's primary tile into its physical array.
+        let mut units: Vec<B::Unit> = Vec::with_capacity(self.pairs.len());
+        for tile in &self.tiles {
+            let mut u = backend.unit(t);
+            u.program(tile);
+            units.push(u);
+        }
+        ops.tiles_programmed += self.pairs.len() as u64;
+
+        // Global spin state, padded; padding stays 0 and couples to nothing.
+        let mut global = vec![0.0_f32; self.grid.padded_len()];
+        match initial_bits {
+            Some(bits) => {
+                assert_eq!(bits.len(), self.n, "initial state length mismatch");
+                for (g, &b) in global.iter_mut().zip(bits) {
+                    *g = if b { 1.0 } else { 0.0 };
+                }
+            }
+            None => {
+                for g in global.iter_mut().take(self.n) {
+                    *g = if rng.gen_bool(0.5) { 1.0 } else { 0.0 };
+                }
+            }
+        }
+
+        // Per-logical-tile partial sums and offset vectors.
+        let mut partial = vec![0.0_f32; b * b * t];
+        let mut offsets = vec![0.0_f32; b * b * t];
+        let vec_at = |r: usize, c: usize| (r * b + c) * t..(r * b + c + 1) * t;
+
+        // Initial partial sums: every tile's contribution to its row.
+        let mut y = vec![0.0_f32; t];
+        for (pi, pair) in self.pairs.iter().enumerate() {
+            match *pair {
+                TilePair::Diagonal(d) => {
+                    units[pi].forward(&global[d * t..(d + 1) * t], &mut y);
+                    units[pi].quantize_8bit(&mut y);
+                    partial[vec_at(d, d)].copy_from_slice(&y);
+                    ops.tile_mvms_8bit += 1;
+                    ops.adc_8bit_samples += t as u64;
+                    ops.eo_input_bits += t as u64;
+                }
+                TilePair::OffDiagonal { row, col } => {
+                    units[pi].forward(&global[col * t..(col + 1) * t], &mut y);
+                    units[pi].quantize_8bit(&mut y);
+                    partial[vec_at(row, col)].copy_from_slice(&y);
+                    units[pi].transposed(&global[row * t..(row + 1) * t], &mut y);
+                    units[pi].quantize_8bit(&mut y);
+                    partial[vec_at(col, row)].copy_from_slice(&y);
+                    ops.tile_mvms_8bit += 2;
+                    ops.adc_8bit_samples += 2 * t as u64;
+                    ops.eo_input_bits += 2 * t as u64;
+                }
+            }
+        }
+        recompute_offsets(&partial, &mut offsets, b, t, &mut ops);
+
+        // Per-pair private spin copies.
+        let mut inputs: Vec<PairInputs> = self
+            .pairs
+            .iter()
+            .map(|p| PairInputs::from_global(*p, &global, t))
+            .collect();
+
+        let mut tracker = CutTracker::new(target_cut);
+        let mut bits = global_bits(&global, self.n);
+        let mut best_bits = bits.clone();
+        let mut trace = Vec::with_capacity(self.config.global_iters + 1);
+        let mut activity = Vec::with_capacity(self.config.global_iters);
+        let cut0 = cut_value_binary(graph, &bits);
+        tracker.observe(0, cut0);
+        trace.push(cut0);
+
+        let phi = self.config.phi as f32;
+        let local_iters = self.config.local_iters;
+
+        for (g, round) in schedule.rounds().iter().enumerate() {
+            // ---- Local iterations on the selected pairs. ----
+            for &pi in &round.pairs {
+                let pair = self.pairs[pi];
+                let unit = &mut units[pi];
+                let state = &mut inputs[pi];
+                for l in 0..local_iters {
+                    let last = l + 1 == local_iters;
+                    match pair {
+                        TilePair::Diagonal(d) => {
+                            unit.forward(&state.primary, &mut y);
+                            if last {
+                                unit.quantize_8bit(&mut y);
+                                partial[vec_at(d, d)].copy_from_slice(&y);
+                            }
+                            self.finish_half_step(
+                                &mut y,
+                                &offsets[vec_at(d, d)],
+                                d,
+                                phi,
+                                &mut gauss,
+                                &mut rng,
+                                &mut state.primary,
+                            );
+                            count_local_mvm(&mut ops, t, last, 1);
+                        }
+                        TilePair::OffDiagonal { row, col } => {
+                            // Tile (row, col): x_col → y_row.
+                            unit.forward(&state.primary, &mut y);
+                            if last {
+                                unit.quantize_8bit(&mut y);
+                                partial[vec_at(row, col)].copy_from_slice(&y);
+                            }
+                            self.finish_half_step(
+                                &mut y,
+                                &offsets[vec_at(row, col)],
+                                row,
+                                phi,
+                                &mut gauss,
+                                &mut rng,
+                                &mut state.partner,
+                            );
+                            // Tile (col, row) = transpose: x_row → y_col.
+                            unit.transposed(&state.partner, &mut y);
+                            if last {
+                                unit.quantize_8bit(&mut y);
+                                partial[vec_at(col, row)].copy_from_slice(&y);
+                            }
+                            self.finish_half_step(
+                                &mut y,
+                                &offsets[vec_at(col, row)],
+                                col,
+                                phi,
+                                &mut gauss,
+                                &mut rng,
+                                &mut state.primary,
+                            );
+                            count_local_mvm(&mut ops, t, last, 2);
+                        }
+                    }
+                }
+            }
+
+            // ---- Global synchronization. ----
+            let mut updated_cols = 0u64;
+            for cblock in 0..b {
+                if schedule.stochastic_spin() {
+                    if let Some(donor) = round.donors[cblock] {
+                        let copy = self.column_copy(&inputs, donor, cblock);
+                        global[cblock * t..(cblock + 1) * t].copy_from_slice(copy);
+                        updated_cols += 1;
+                    }
+                } else {
+                    let rows = schedule.eligible_rows(round, cblock);
+                    if !rows.is_empty() {
+                        self.majority_update(
+                            &inputs,
+                            &rows,
+                            cblock,
+                            &mut global[cblock * t..(cblock + 1) * t],
+                        );
+                        ops.glue_adds += (rows.len() * t) as u64;
+                        updated_cols += 1;
+                    }
+                }
+            }
+            // Broadcast the synchronized columns to every tile's copy.
+            for (pi, pair) in self.pairs.iter().enumerate() {
+                inputs[pi].reset_from_global(*pair, &global, t);
+            }
+            ops.spin_broadcast_bits += updated_cols * (b * t) as u64;
+            let selected_logical: u64 = round
+                .pairs
+                .iter()
+                .map(|&pi| self.pairs[pi].logical_tiles() as u64)
+                .sum();
+            ops.partial_sum_bits += selected_logical * (t * 8) as u64;
+            recompute_offsets(&partial, &mut offsets, b, t, &mut ops);
+            ops.global_syncs += 1;
+            ops.pairs_executed += round.pairs.len() as u64;
+
+            // ---- Quality tracking at the synchronized state. ----
+            let new_bits = global_bits(&global, self.n);
+            let flips = bits
+                .iter()
+                .zip(&new_bits)
+                .filter(|(a, b)| a != b)
+                .count();
+            activity.push(flips);
+            bits = new_bits;
+            let cut = cut_value_binary(graph, &bits);
+            let improved = cut > tracker.best_cut();
+            tracker.observe(g + 1, cut);
+            if improved {
+                best_bits.copy_from_slice(&bits);
+            }
+            trace.push(cut);
+        }
+
+        Ok(SophieOutcome {
+            best_cut: tracker.best_cut(),
+            best_bits,
+            global_iters_run: schedule.rounds().len(),
+            global_iters_to_target: tracker.first_hit(),
+            cut_trace: trace,
+            activity_trace: activity,
+            ops,
+        })
+    }
+
+    /// Adds offset + noise to the raw MVM result and thresholds it into a
+    /// fresh spin copy (one ADC pass).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_half_step(
+        &self,
+        y: &mut [f32],
+        offset: &[f32],
+        out_block: usize,
+        phi: f32,
+        gauss: &mut GaussianSource,
+        rng: &mut SmallRng,
+        out: &mut [f32],
+    ) {
+        let t = self.grid.tile();
+        let theta = &self.thresholds[out_block * t..(out_block + 1) * t];
+        let scale = &self.noise_scale[out_block * t..(out_block + 1) * t];
+        if phi > 0.0 {
+            for i in 0..t {
+                let noisy = y[i] + offset[i] + phi * scale[i] * gauss.sample(rng) as f32;
+                out[i] = if noisy >= theta[i] { 1.0 } else { 0.0 };
+            }
+        } else {
+            for i in 0..t {
+                out[i] = if y[i] + offset[i] >= theta[i] { 1.0 } else { 0.0 };
+            }
+        }
+    }
+
+    /// The spin copy of column `cblock` held at block row `donor`.
+    fn column_copy<'a>(
+        &self,
+        inputs: &'a [PairInputs],
+        donor: usize,
+        cblock: usize,
+    ) -> &'a [f32] {
+        let pi = self.pair_index(donor, cblock);
+        if donor <= cblock {
+            // Tile (donor, cblock) is the pair's primary: input is x_cblock.
+            &inputs[pi].primary
+        } else {
+            // Pair (cblock, donor): the partner tile (donor, cblock) reads
+            // x_cblock as its input copy.
+            &inputs[pi].partner
+        }
+    }
+
+    /// Majority vote over the fresh copies of column `cblock`.
+    fn majority_update(
+        &self,
+        inputs: &[PairInputs],
+        rows: &[usize],
+        cblock: usize,
+        out: &mut [f32],
+    ) {
+        let t = self.grid.tile();
+        let mut votes = vec![0.0_f32; t];
+        for &r in rows {
+            let copy = self.column_copy(inputs, r, cblock);
+            for (v, &x) in votes.iter_mut().zip(copy) {
+                *v += x;
+            }
+        }
+        let half = rows.len() as f32 / 2.0;
+        for (o, &v) in out.iter_mut().zip(&votes) {
+            *o = if v >= half { 1.0 } else { 0.0 };
+        }
+    }
+}
+
+/// Private spin copies of one symmetric pair.
+#[derive(Debug, Clone)]
+struct PairInputs {
+    /// Copy of `x_col` — input of the primary tile `(row, col)`.
+    primary: Vec<f32>,
+    /// Copy of `x_row` — input of the partner tile `(col, row)`; empty for
+    /// diagonal pairs.
+    partner: Vec<f32>,
+}
+
+impl PairInputs {
+    fn from_global(pair: TilePair, global: &[f32], t: usize) -> Self {
+        let seg = |b: usize| global[b * t..(b + 1) * t].to_vec();
+        match pair {
+            TilePair::Diagonal(d) => PairInputs {
+                primary: seg(d),
+                partner: Vec::new(),
+            },
+            TilePair::OffDiagonal { row, col } => PairInputs {
+                primary: seg(col),
+                partner: seg(row),
+            },
+        }
+    }
+
+    fn reset_from_global(&mut self, pair: TilePair, global: &[f32], t: usize) {
+        match pair {
+            TilePair::Diagonal(d) => {
+                self.primary.copy_from_slice(&global[d * t..(d + 1) * t]);
+            }
+            TilePair::OffDiagonal { row, col } => {
+                self.primary.copy_from_slice(&global[col * t..(col + 1) * t]);
+                self.partner.copy_from_slice(&global[row * t..(row + 1) * t]);
+            }
+        }
+    }
+}
+
+/// Offsets `o[r][c] = Σ_{c'≠c} p[r][c']` — the controller's glue
+/// computation.
+fn recompute_offsets(partial: &[f32], offsets: &mut [f32], b: usize, t: usize, ops: &mut OpCounts) {
+    let mut rowsum = vec![0.0_f32; t];
+    for r in 0..b {
+        rowsum.fill(0.0);
+        for c in 0..b {
+            let base = (r * b + c) * t;
+            for (s, &p) in rowsum.iter_mut().zip(&partial[base..base + t]) {
+                *s += p;
+            }
+        }
+        for c in 0..b {
+            let base = (r * b + c) * t;
+            for i in 0..t {
+                offsets[base + i] = rowsum[i] - partial[base + i];
+            }
+        }
+    }
+    ops.glue_adds += 2 * (b * b * t) as u64;
+}
+
+fn count_local_mvm(ops: &mut OpCounts, t: usize, last: bool, mvms: u64) {
+    let samples = mvms * t as u64;
+    if last {
+        ops.tile_mvms_8bit += mvms;
+        ops.adc_8bit_samples += samples;
+    } else {
+        ops.tile_mvms_1bit += mvms;
+        ops.adc_1bit_samples += samples;
+    }
+    ops.eo_input_bits += samples;
+    ops.noise_injections += samples;
+}
+
+fn global_bits(global: &[f32], n: usize) -> Vec<bool> {
+    global[..n].iter().map(|&x| x > 0.5).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sophie_graph::generate::{complete, gnm, WeightDist};
+
+    fn small_config(tile: usize, giters: usize) -> SophieConfig {
+        SophieConfig {
+            tile_size: tile,
+            local_iters: 5,
+            global_iters: giters,
+            tile_fraction: 1.0,
+            phi: 0.25,
+            alpha: 0.0,
+            stochastic_spin_update: true,
+        }
+    }
+
+    #[test]
+    fn pair_index_matches_enumeration() {
+        let g = complete(40, WeightDist::Unit, 0).unwrap();
+        let solver = SophieSolver::from_graph(&g, small_config(8, 1)).unwrap();
+        let b = solver.grid().blocks();
+        for r in 0..b {
+            for c in 0..b {
+                let pi = solver.pair_index(r, c);
+                let (lo, hi) = if r <= c { (r, c) } else { (c, r) };
+                let pair = solver.pairs[pi];
+                match pair {
+                    TilePair::Diagonal(d) => assert_eq!((lo, hi), (d, d)),
+                    TilePair::OffDiagonal { row, col } => assert_eq!((lo, hi), (row, col)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solves_k4_exactly() {
+        let g = complete(4, WeightDist::Unit, 0).unwrap();
+        let config = SophieConfig {
+            tile_size: 2,
+            local_iters: 3,
+            global_iters: 80,
+            phi: 0.3,
+            ..SophieConfig::default()
+        };
+        let solver = SophieSolver::from_graph(&g, config).unwrap();
+        let out = solver.run(&g, 3, Some(4.0)).unwrap();
+        assert_eq!(out.best_cut, 4.0);
+        assert!(out.global_iters_to_target.is_some());
+    }
+
+    #[test]
+    fn beats_random_on_sparse_graph() {
+        let g = gnm(96, 400, WeightDist::Unit, 7).unwrap();
+        let solver = SophieSolver::from_graph(&g, small_config(16, 120)).unwrap();
+        let out = solver.run(&g, 5, None).unwrap();
+        assert!(out.best_cut > 230.0, "best cut {} ≤ random baseline", out.best_cut);
+        // Reported bits must reproduce the reported cut.
+        assert_eq!(cut_value_binary(&g, &out.best_bits), out.best_cut);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gnm(48, 180, WeightDist::Unit, 2).unwrap();
+        let solver = SophieSolver::from_graph(&g, small_config(16, 30)).unwrap();
+        let a = solver.run(&g, 11, None).unwrap();
+        let b = solver.run(&g, 11, None).unwrap();
+        assert_eq!(a.best_cut, b.best_cut);
+        assert_eq!(a.cut_trace, b.cut_trace);
+        let c = solver.run(&g, 12, None).unwrap();
+        assert_ne!(a.cut_trace, c.cut_trace);
+    }
+
+    #[test]
+    fn trace_has_one_entry_per_sync_plus_initial() {
+        let g = gnm(40, 100, WeightDist::Unit, 1).unwrap();
+        let solver = SophieSolver::from_graph(&g, small_config(16, 25)).unwrap();
+        let out = solver.run(&g, 0, None).unwrap();
+        assert_eq!(out.cut_trace.len(), 26);
+        assert_eq!(out.global_iters_run, 25);
+        assert_eq!(out.ops.global_syncs, 25);
+    }
+
+    #[test]
+    fn op_counts_match_closed_form_at_full_selection() {
+        let g = gnm(64, 200, WeightDist::Unit, 4).unwrap();
+        let cfg = small_config(16, 10); // 4 blocks → 10 pairs (4 diag, 6 off)
+        let solver = SophieSolver::from_graph(&g, cfg.clone()).unwrap();
+        let out = solver.run(&g, 0, None).unwrap();
+        let (b, t, l, giters) = (4u64, 16u64, cfg.local_iters as u64, 10u64);
+        let pairs = b * (b + 1) / 2;
+        let off = pairs - b;
+        let mvms_per_local_pass = b + 2 * off; // logical tiles touched
+        // Init: every logical tile once (8-bit); per round: L passes, the
+        // last one 8-bit.
+        let expect_8bit = mvms_per_local_pass + giters * mvms_per_local_pass;
+        let expect_1bit = giters * (l - 1) * mvms_per_local_pass;
+        assert_eq!(out.ops.tile_mvms_8bit, expect_8bit);
+        assert_eq!(out.ops.tile_mvms_1bit, expect_1bit);
+        assert_eq!(out.ops.pairs_executed, giters * pairs);
+        assert_eq!(out.ops.tiles_programmed, pairs);
+        // All columns update each round at full selection.
+        assert_eq!(out.ops.spin_broadcast_bits, giters * b * b * t);
+        assert_eq!(out.ops.partial_sum_bits, giters * mvms_per_local_pass * t * 8);
+    }
+
+    #[test]
+    fn stochastic_selection_reduces_compute() {
+        let g = gnm(64, 200, WeightDist::Unit, 4).unwrap();
+        let full = SophieSolver::from_graph(&g, small_config(16, 20)).unwrap();
+        let half_cfg = SophieConfig {
+            tile_fraction: 0.5,
+            ..small_config(16, 20)
+        };
+        let half = SophieSolver::from_graph(&g, half_cfg).unwrap();
+        let fo = full.run(&g, 1, None).unwrap();
+        let ho = half.run(&g, 1, None).unwrap();
+        assert!(ho.ops.total_tile_mvms() < fo.ops.total_tile_mvms());
+        assert!(ho.ops.pairs_executed <= fo.ops.pairs_executed / 2 + 20);
+        assert!(ho.ops.sync_traffic_bits() < fo.ops.sync_traffic_bits());
+    }
+
+    #[test]
+    fn majority_vote_mode_runs() {
+        let g = gnm(40, 120, WeightDist::Unit, 3).unwrap();
+        let cfg = SophieConfig {
+            stochastic_spin_update: false,
+            ..small_config(8, 40)
+        };
+        let solver = SophieSolver::from_graph(&g, cfg).unwrap();
+        let out = solver.run(&g, 2, None).unwrap();
+        assert!(out.best_cut > 60.0, "cut {}", out.best_cut);
+    }
+
+    #[test]
+    fn tiled_engine_matches_pris_quality_on_small_graph() {
+        // With one tile covering the whole matrix and the paper's L=10, the
+        // engine should solve small instances as well as plain PRIS.
+        let g = complete(16, WeightDist::Unit, 5).unwrap();
+        let cfg = SophieConfig {
+            tile_size: 16,
+            local_iters: 10,
+            global_iters: 50,
+            phi: 0.3,
+            ..SophieConfig::default()
+        };
+        let solver = SophieSolver::from_graph(&g, cfg).unwrap();
+        let out = solver.run(&g, 7, None).unwrap();
+        // Optimum of K16 (unit weights) is 8·8 = 64.
+        assert!(out.best_cut >= 60.0, "cut {}", out.best_cut);
+    }
+
+    #[test]
+    fn rejects_mismatched_graph() {
+        let g = complete(20, WeightDist::Unit, 0).unwrap();
+        let other = complete(24, WeightDist::Unit, 0).unwrap();
+        let solver = SophieSolver::from_graph(&g, small_config(8, 2)).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = solver.run(&other, 0, None);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn zero_noise_still_produces_valid_runs() {
+        let g = gnm(32, 90, WeightDist::Unit, 9).unwrap();
+        let cfg = SophieConfig {
+            phi: 0.0,
+            ..small_config(8, 15)
+        };
+        let solver = SophieSolver::from_graph(&g, cfg).unwrap();
+        let out = solver.run(&g, 0, None).unwrap();
+        assert!(out.best_cut >= 0.0);
+        assert_eq!(
+            out.ops.noise_injections,
+            out.ops.adc_1bit_samples + out.ops.adc_8bit_samples - initial_samples(&solver)
+        );
+    }
+
+    fn initial_samples(solver: &SophieSolver) -> u64 {
+        // Initial partial-sum pass: one 8-bit sample set per logical tile,
+        // no noise applied there.
+        let b = solver.grid().blocks() as u64;
+        let t = solver.grid().tile() as u64;
+        let off = b * (b + 1) / 2 - b;
+        (b + 2 * off) * t
+    }
+}
+
+#[cfg(test)]
+mod warm_start_tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use sophie_graph::generate::{gnm, WeightDist};
+
+    #[test]
+    fn warm_start_begins_from_the_given_state() {
+        let g = gnm(40, 150, WeightDist::Unit, 23).unwrap();
+        let cfg = SophieConfig {
+            tile_size: 16,
+            global_iters: 10,
+            phi: 0.1,
+            ..SophieConfig::default()
+        };
+        let solver = SophieSolver::from_graph(&g, cfg.clone()).unwrap();
+        let schedule = Schedule::generate(solver.grid(), cfg.global_iters, 1.0, true, 3);
+        let initial = vec![true; 40]; // all-one-side: cut 0 at iteration 0
+        let out = solver
+            .run_scheduled_from(&IdealBackend::new(), &g, &schedule, 1, None, Some(&initial))
+            .unwrap();
+        assert_eq!(out.cut_trace[0], 0.0);
+        assert!(out.best_cut > 0.0, "annealing should escape the start");
+    }
+
+    #[test]
+    fn warm_start_from_good_state_does_not_regress_best() {
+        let g = gnm(48, 200, WeightDist::Unit, 29).unwrap();
+        let cfg = SophieConfig {
+            tile_size: 16,
+            global_iters: 30,
+            phi: 0.08,
+            ..SophieConfig::default()
+        };
+        let solver = SophieSolver::from_graph(&g, cfg.clone()).unwrap();
+        let cold = solver.run(&g, 5, None).unwrap();
+        let schedule = Schedule::generate(solver.grid(), cfg.global_iters, 1.0, true, 7);
+        let warm = solver
+            .run_scheduled_from(
+                &IdealBackend::new(),
+                &g,
+                &schedule,
+                6,
+                None,
+                Some(&cold.best_bits),
+            )
+            .unwrap();
+        // The warm run starts at the cold run's best, so its best can only
+        // match or improve it.
+        assert!(warm.best_cut >= cold.best_cut);
+        assert_eq!(warm.cut_trace[0], cold.best_cut);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state length")]
+    fn rejects_wrong_length_initial_state() {
+        let g = gnm(30, 90, WeightDist::Unit, 1).unwrap();
+        let cfg = SophieConfig {
+            tile_size: 16,
+            global_iters: 2,
+            ..SophieConfig::default()
+        };
+        let solver = SophieSolver::from_graph(&g, cfg.clone()).unwrap();
+        let schedule = Schedule::generate(solver.grid(), 2, 1.0, true, 0);
+        let _ = solver.run_scheduled_from(
+            &IdealBackend::new(),
+            &g,
+            &schedule,
+            0,
+            None,
+            Some(&vec![true; 10]),
+        );
+    }
+}

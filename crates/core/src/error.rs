@@ -1,0 +1,84 @@
+//! Error types for the SOPHIE engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by configuration validation and engine construction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SophieError {
+    /// A configuration field was out of range.
+    BadConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the constraint.
+        message: String,
+    },
+    /// An underlying linear-algebra failure.
+    Linalg(sophie_linalg::LinalgError),
+    /// A preprocessing (PRIS) failure.
+    Pris(sophie_pris::PrisError),
+}
+
+impl fmt::Display for SophieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SophieError::BadConfig { field, message } => {
+                write!(f, "invalid configuration field `{field}`: {message}")
+            }
+            SophieError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            SophieError::Pris(e) => write!(f, "preprocessing error: {e}"),
+        }
+    }
+}
+
+impl Error for SophieError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SophieError::Linalg(e) => Some(e),
+            SophieError::Pris(e) => Some(e),
+            SophieError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<sophie_linalg::LinalgError> for SophieError {
+    fn from(e: sophie_linalg::LinalgError) -> Self {
+        SophieError::Linalg(e)
+    }
+}
+
+impl From<sophie_pris::PrisError> for SophieError {
+    fn from(e: sophie_pris::PrisError) -> Self {
+        SophieError::Pris(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SophieError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_field() {
+        let e = SophieError::BadConfig {
+            field: "tile_size",
+            message: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("tile_size"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = SophieError::from(sophie_linalg::LinalgError::Empty);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SophieError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! SOPHIE's core contribution: the tiled, communication-avoiding
+//! modification of the PRIS recurrent Ising algorithm.
+//!
+//! The paper (MICRO 2024) scales a recurrent Ising machine past its
+//! hardware capacity with three coupled ideas, all implemented here:
+//!
+//! * **Symmetric local update** (§III-A1) — tile the transformation matrix,
+//!   map each symmetric tile pair onto one bidirectional MVM unit, and run
+//!   many recurrent iterations *inside* a pair against frozen offset
+//!   vectors, eliminating most global synchronization;
+//! * **Stochastic global iteration** (§III-A2) — execute only a random
+//!   fraction of the pairs each global iteration and broadcast a single
+//!   stochastically chosen spin copy per block column;
+//! * **Offline static scheduling** (§III-D) — pre-generate every random
+//!   decision ([`Schedule`]) so hardware control reduces to state machines.
+//!
+//! The engine ([`SophieSolver`]) is generic over [`backend::MvmBackend`]:
+//! the same algorithm runs on an exact floating-point substrate or on the
+//! OPCM device model from `sophie-hw`. Every run tallies [`OpCounts`], the
+//! interface to the power/performance/area models, and
+//! [`analytic::analytic_op_counts`] replays those counts schedule-only for
+//! problems too large to simulate functionally (K32768).
+//!
+//! # Example
+//!
+//! ```
+//! use sophie_core::{SophieConfig, SophieSolver};
+//! use sophie_graph::generate::{complete, WeightDist};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = complete(24, WeightDist::Unit, 0)?;
+//! let config = SophieConfig { tile_size: 8, global_iters: 60, ..SophieConfig::default() };
+//! let solver = SophieSolver::from_graph(&graph, config)?;
+//! let outcome = solver.run(&graph, 1, None)?;
+//! // K24 with unit weights has optimum 12·12 = 144.
+//! assert!(outcome.best_cut >= 120.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analytic;
+pub mod backend;
+pub mod batch;
+mod config;
+mod engine;
+mod error;
+mod gaussian;
+mod opcount;
+mod outcome;
+pub mod schedule;
+
+pub use config::SophieConfig;
+pub use engine::SophieSolver;
+pub use error::{Result, SophieError};
+pub use gaussian::GaussianSource;
+pub use opcount::OpCounts;
+pub use batch::{run_batch, run_batch_ideal, BatchOutcome};
+pub use outcome::SophieOutcome;
+pub use schedule::{Round, Schedule};

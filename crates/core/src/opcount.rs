@@ -1,0 +1,132 @@
+//! Operation counting.
+//!
+//! The paper derives all hardware numbers from a functional simulator that
+//! "counts the total number of each type of operation" (§IV-A); those counts
+//! feed the power/performance models in `sophie-hw`. [`OpCounts`] is that
+//! interface: the engine increments it as it executes, and the cost models
+//! multiply each field by per-operation energy/latency constants.
+
+/// Counts of every operation class executed by one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpCounts {
+    /// Tile-sized MVMs whose outputs were read in 1-bit (threshold) mode.
+    pub tile_mvms_1bit: u64,
+    /// Tile-sized MVMs whose outputs were additionally captured in 8-bit
+    /// mode (the last local iteration of each global iteration).
+    pub tile_mvms_8bit: u64,
+    /// 1-bit E-O conversions feeding MVM inputs (spins are 1-bit).
+    pub eo_input_bits: u64,
+    /// 1-bit ADC output samples (thresholding reads).
+    pub adc_1bit_samples: u64,
+    /// 8-bit ADC output samples (partial-sum reads).
+    pub adc_8bit_samples: u64,
+    /// Analog noise injections (one per thresholding sample).
+    pub noise_injections: u64,
+    /// Scalar additions performed by the controller's glue logic
+    /// (offset-vector recomputation and spin aggregation).
+    pub glue_adds: u64,
+    /// Bits of spin state broadcast during global synchronization.
+    pub spin_broadcast_bits: u64,
+    /// Bits of 8-bit partial sums shipped to the controller.
+    pub partial_sum_bits: u64,
+    /// Symmetric tile pairs executed (summed over all global iterations).
+    pub pairs_executed: u64,
+    /// Global synchronizations performed.
+    pub global_syncs: u64,
+    /// Physical OPCM arrays programmed at initialization (one per
+    /// symmetric tile pair).
+    pub tiles_programmed: u64,
+}
+
+impl OpCounts {
+    /// Starts from zero.
+    #[must_use]
+    pub fn new() -> Self {
+        OpCounts::default()
+    }
+
+    /// Total tile MVMs of either precision.
+    #[must_use]
+    pub fn total_tile_mvms(&self) -> u64 {
+        self.tile_mvms_1bit + self.tile_mvms_8bit
+    }
+
+    /// Total bits moved during synchronization (broadcasts + partial sums).
+    #[must_use]
+    pub fn sync_traffic_bits(&self) -> u64 {
+        self.spin_broadcast_bits + self.partial_sum_bits
+    }
+
+    /// Elementwise sum with another counter (e.g. across batch jobs).
+    #[must_use]
+    pub fn combined(&self, other: &OpCounts) -> OpCounts {
+        OpCounts {
+            tile_mvms_1bit: self.tile_mvms_1bit + other.tile_mvms_1bit,
+            tile_mvms_8bit: self.tile_mvms_8bit + other.tile_mvms_8bit,
+            eo_input_bits: self.eo_input_bits + other.eo_input_bits,
+            adc_1bit_samples: self.adc_1bit_samples + other.adc_1bit_samples,
+            adc_8bit_samples: self.adc_8bit_samples + other.adc_8bit_samples,
+            noise_injections: self.noise_injections + other.noise_injections,
+            glue_adds: self.glue_adds + other.glue_adds,
+            spin_broadcast_bits: self.spin_broadcast_bits + other.spin_broadcast_bits,
+            partial_sum_bits: self.partial_sum_bits + other.partial_sum_bits,
+            pairs_executed: self.pairs_executed + other.pairs_executed,
+            global_syncs: self.global_syncs + other.global_syncs,
+            tiles_programmed: self.tiles_programmed + other.tiles_programmed,
+        }
+    }
+}
+
+impl std::fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "operation counts:")?;
+        writeln!(f, "  tile MVMs (1-bit reads): {}", self.tile_mvms_1bit)?;
+        writeln!(f, "  tile MVMs (8-bit reads): {}", self.tile_mvms_8bit)?;
+        writeln!(f, "  E-O input bits:          {}", self.eo_input_bits)?;
+        writeln!(f, "  ADC samples 1-bit/8-bit: {}/{}", self.adc_1bit_samples, self.adc_8bit_samples)?;
+        writeln!(f, "  noise injections:        {}", self.noise_injections)?;
+        writeln!(f, "  glue adds:               {}", self.glue_adds)?;
+        writeln!(f, "  sync traffic bits:       {}", self.sync_traffic_bits())?;
+        writeln!(f, "  pairs executed:          {}", self.pairs_executed)?;
+        writeln!(f, "  global syncs:            {}", self.global_syncs)?;
+        write!(f, "  tiles programmed:        {}", self.tiles_programmed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let c = OpCounts::new();
+        assert_eq!(c.total_tile_mvms(), 0);
+        assert_eq!(c.sync_traffic_bits(), 0);
+    }
+
+    #[test]
+    fn combined_adds_fieldwise() {
+        let a = OpCounts {
+            tile_mvms_1bit: 3,
+            spin_broadcast_bits: 10,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            tile_mvms_1bit: 4,
+            partial_sum_bits: 5,
+            ..OpCounts::default()
+        };
+        let c = a.combined(&b);
+        assert_eq!(c.tile_mvms_1bit, 7);
+        assert_eq!(c.sync_traffic_bits(), 15);
+    }
+
+    #[test]
+    fn display_lists_every_class() {
+        let text = OpCounts::new().to_string();
+        for needle in ["MVMs", "ADC", "glue", "sync", "programmed"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Results of a SOPHIE run.
+
+use crate::opcount::OpCounts;
+
+/// Outcome of one job executed by the tiled engine.
+#[derive(Debug, Clone)]
+pub struct SophieOutcome {
+    /// Best cut value observed at any global synchronization point.
+    pub best_cut: f64,
+    /// Binary configuration attaining the best cut (unpadded, graph order).
+    pub best_bits: Vec<bool>,
+    /// Global iterations executed.
+    pub global_iters_run: usize,
+    /// First global iteration whose synchronized state reached the target
+    /// cut, if a target was set and reached. Iteration `0` is the initial
+    /// random state.
+    pub global_iters_to_target: Option<usize>,
+    /// Cut value after every global synchronization; `cut_trace[0]` is the
+    /// initial random state, `cut_trace[g]` the state after global
+    /// iteration `g`.
+    pub cut_trace: Vec<f64>,
+    /// Spins that changed at each global synchronization (Hamming distance
+    /// between consecutive synchronized states) — the annealing "activity":
+    /// high early, decaying as the system settles.
+    pub activity_trace: Vec<usize>,
+    /// Operation counts for the whole job (input to the PPA models).
+    pub ops: OpCounts,
+}
+
+impl SophieOutcome {
+    /// Total local iterations until the target was first met
+    /// (`global_iters_to_target × local_iters`), the unit of Fig. 8.
+    #[must_use]
+    pub fn local_iters_to_target(&self, local_iters: usize) -> Option<usize> {
+        self.global_iters_to_target.map(|g| g * local_iters)
+    }
+
+    /// Ratio of the best cut to a reference (best-known) cut.
+    #[must_use]
+    pub fn quality_vs(&self, best_known: f64) -> f64 {
+        if best_known == 0.0 {
+            0.0
+        } else {
+            self.best_cut / best_known
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SophieOutcome {
+        SophieOutcome {
+            best_cut: 95.0,
+            best_bits: vec![true, false],
+            global_iters_run: 10,
+            global_iters_to_target: Some(4),
+            cut_trace: vec![50.0, 80.0, 95.0],
+            activity_trace: vec![40, 12],
+            ops: OpCounts::default(),
+        }
+    }
+
+    #[test]
+    fn local_iterations_scale_with_l() {
+        let o = sample();
+        assert_eq!(o.local_iters_to_target(10), Some(40));
+    }
+
+    #[test]
+    fn no_target_no_local_iterations() {
+        let mut o = sample();
+        o.global_iters_to_target = None;
+        assert_eq!(o.local_iters_to_target(10), None);
+    }
+
+    #[test]
+    fn quality_ratio() {
+        let o = sample();
+        assert!((o.quality_vs(100.0) - 0.95).abs() < 1e-12);
+        assert_eq!(o.quality_vs(0.0), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ising coupling matrices derived from max-cut instances.
+//!
+//! Under the standard reduction (paper §II-B), a max-cut instance on graph
+//! `G` maps to the Ising Hamiltonian `H = -½ σᵀ K σ` with `K = -A` (the
+//! negated weighted adjacency matrix): minimizing `H` forces adjacent spins
+//! with positive edge weight apart, which maximizes the cut.
+
+use crate::graph::Graph;
+use sophie_linalg::Matrix;
+
+/// Builds the dense coupling matrix `K = -A` for `g`.
+///
+/// `K` is symmetric with a zero diagonal, sized `n × n`; at the functional
+/// simulation scales SOPHIE uses (`n ≤ ~4000`) this fits comfortably in
+/// memory.
+///
+/// ```
+/// use sophie_graph::{GraphBuilder, coupling::coupling_matrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new(2);
+/// b.add_edge(0, 1, 2.0)?;
+/// let k = coupling_matrix(&b.build()?);
+/// assert_eq!(k[(0, 1)], -2.0);
+/// assert_eq!(k[(1, 0)], -2.0);
+/// assert_eq!(k[(0, 0)], 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn coupling_matrix(g: &Graph) -> Matrix {
+    let n = g.num_nodes();
+    let mut k = Matrix::zeros(n, n);
+    for e in g.edges() {
+        k[(e.u, e.v)] = -e.w;
+        k[(e.v, e.u)] = -e.w;
+    }
+    k
+}
+
+/// The eigenvalue-dropout diagonal `Δ_ii = Σ_{j≠i} |K_ij|` (paper Eq. 4),
+/// computed directly from the graph without materializing `K`.
+#[must_use]
+pub fn delta_diagonal(g: &Graph) -> Vec<f64> {
+    (0..g.num_nodes()).map(|u| g.abs_weight_degree(u)).collect()
+}
+
+/// Evaluates the Ising Hamiltonian `H = -½ σᵀ K σ` for an arbitrary
+/// symmetric coupling matrix.
+///
+/// # Panics
+///
+/// Panics if `spins.len() != k.rows()`.
+#[must_use]
+pub fn hamiltonian(k: &Matrix, spins: &[i8]) -> f64 {
+    assert_eq!(spins.len(), k.rows(), "spin vector length mismatch");
+    let sf: Vec<f64> = spins.iter().map(|&s| f64::from(s)).collect();
+    let ks = k.matvec(&sf);
+    -0.5 * sf.iter().zip(&ks).map(|(a, b)| a * b).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::{cut_value, random_spins};
+    use crate::generate::{complete, WeightDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn coupling_is_symmetric_with_zero_diagonal() {
+        let g = complete(15, WeightDist::UniformInt { lo: -5, hi: 5 }, 6).unwrap();
+        let k = coupling_matrix(&g);
+        assert!(k.is_symmetric(0.0));
+        for i in 0..15 {
+            assert_eq!(k[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn hamiltonian_relates_to_cut() {
+        // H = -½σᵀKσ with K=-A equals ½σᵀAσ = energy/... verify via the
+        // identity cut = (W - σᵀAσ|edges)/2 ⇔ cut = (W - 2H')/2 where
+        // H' = Σ_edges w σσ = -(-½σᵀKσ)·... simplest: check numerically
+        // that cut == (W - 2·H)/2 … with H = -½σᵀKσ and K = -A we get
+        // H = ½σᵀAσ = Σ_edges w σuσv, so cut = (W − H)/… — the edge sum
+        // counts each edge once while σᵀAσ counts twice; assert the exact
+        // numeric relation instead.
+        let g = complete(12, WeightDist::PlusMinusOne, 9).unwrap();
+        let k = coupling_matrix(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let s = random_spins(12, &mut rng);
+            let h = hamiltonian(&k, &s);
+            // σᵀAσ = 2·Σ_edges wσσ; H = ½σᵀAσ = Σ_edges wσσ = energy.
+            let energy = crate::cut::ising_energy(&g, &s);
+            assert!((h - energy).abs() < 1e-9);
+            let cut = cut_value(&g, &s);
+            assert!((cut - (g.total_weight() - h) / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn minimizing_h_maximizes_cut_on_a_triangle() {
+        // Unit triangle: best cut = 2 (one node vs the other two).
+        let mut b = crate::graph::GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(0, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let k = coupling_matrix(&g);
+        let mut best_h = f64::INFINITY;
+        let mut best_cut = 0.0;
+        for bits in 0..8u8 {
+            let s: Vec<i8> = (0..3).map(|i| if bits >> i & 1 == 1 { 1 } else { -1 }).collect();
+            let h = hamiltonian(&k, &s);
+            if h < best_h {
+                best_h = h;
+                best_cut = cut_value(&g, &s);
+            }
+        }
+        assert_eq!(best_cut, 2.0);
+    }
+
+    #[test]
+    fn delta_diagonal_matches_row_abs_sums() {
+        let g = complete(10, WeightDist::UniformInt { lo: -3, hi: 3 }, 12).unwrap();
+        let k = coupling_matrix(&g);
+        let delta = delta_diagonal(&g);
+        for i in 0..10 {
+            let row_abs: f64 = (0..10).filter(|&j| j != i).map(|j| k[(i, j)].abs()).sum();
+            assert!((delta[i] - row_abs).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Max-cut evaluation and spin-configuration helpers.
+//!
+//! Spins are `i8` values in `{-1, +1}`; the recurrent algorithms also use a
+//! binary `{0, 1}` encoding (PRIS works on `S ∈ {0,1}^N`), so converters are
+//! provided. The cut/energy identities used throughout:
+//!
+//! * `energy(σ) = Σ_{(u,v)∈E} w_uv σ_u σ_v` (the Ising Hamiltonian under the
+//!   max-cut coupling `K = -A`),
+//! * `cut(σ) = (W_total − energy(σ)) / 2`.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Validates that `spins` is a ±1 assignment of the right length.
+///
+/// # Panics
+///
+/// Panics (with a descriptive message) on length mismatch or non-±1 entries.
+fn validate_spins(g: &Graph, spins: &[i8]) {
+    assert_eq!(
+        spins.len(),
+        g.num_nodes(),
+        "spin vector length {} does not match node count {}",
+        spins.len(),
+        g.num_nodes()
+    );
+    debug_assert!(
+        spins.iter().all(|&s| s == 1 || s == -1),
+        "spins must be +1 or -1"
+    );
+}
+
+/// Total weight of edges crossing the partition induced by `spins`.
+///
+/// # Panics
+///
+/// Panics if `spins.len() != g.num_nodes()` (and, in debug builds, if any
+/// entry is not ±1).
+///
+/// ```
+/// use sophie_graph::{GraphBuilder, cut::cut_value};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new(2);
+/// b.add_edge(0, 1, 3.0)?;
+/// let g = b.build()?;
+/// assert_eq!(cut_value(&g, &[1, -1]), 3.0);
+/// assert_eq!(cut_value(&g, &[1, 1]), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn cut_value(g: &Graph, spins: &[i8]) -> f64 {
+    validate_spins(g, spins);
+    g.edges()
+        .filter(|e| spins[e.u] != spins[e.v])
+        .map(|e| e.w)
+        .sum()
+}
+
+/// The Ising energy `Σ_{(u,v)∈E} w_uv σ_u σ_v` under the max-cut mapping.
+///
+/// # Panics
+///
+/// Panics if `spins.len() != g.num_nodes()`.
+#[must_use]
+pub fn ising_energy(g: &Graph, spins: &[i8]) -> f64 {
+    validate_spins(g, spins);
+    g.edges()
+        .map(|e| e.w * f64::from(spins[e.u]) * f64::from(spins[e.v]))
+        .sum()
+}
+
+/// Cut value for a binary `{0,1}` configuration (PRIS's native encoding).
+///
+/// # Panics
+///
+/// Panics if `bits.len() != g.num_nodes()`.
+#[must_use]
+pub fn cut_value_binary(g: &Graph, bits: &[bool]) -> f64 {
+    assert_eq!(bits.len(), g.num_nodes(), "bit vector length mismatch");
+    g.edges()
+        .filter(|e| bits[e.u] != bits[e.v])
+        .map(|e| e.w)
+        .sum()
+}
+
+/// Change in cut value if node `u` flips sides.
+///
+/// Used by the local-search and annealing baselines; `O(degree(u))`.
+///
+/// # Panics
+///
+/// Panics if `spins.len() != g.num_nodes()` or `u` is out of bounds.
+#[must_use]
+pub fn flip_gain(g: &Graph, spins: &[i8], u: usize) -> f64 {
+    validate_spins(g, spins);
+    let su = f64::from(spins[u]);
+    // Edges that currently cross contribute -w after the flip; edges that
+    // currently don't cross contribute +w.
+    g.neighbors(u)
+        .iter()
+        .map(|&(v, w)| w * su * f64::from(spins[v]))
+        .sum()
+}
+
+/// Converts a binary configuration to ±1 spins (`true → +1`).
+#[must_use]
+pub fn binary_to_spins(bits: &[bool]) -> Vec<i8> {
+    bits.iter().map(|&b| if b { 1 } else { -1 }).collect()
+}
+
+/// Converts ±1 spins to a binary configuration (`+1 → true`).
+#[must_use]
+pub fn spins_to_binary(spins: &[i8]) -> Vec<bool> {
+    spins.iter().map(|&s| s > 0).collect()
+}
+
+/// Draws a uniformly random ±1 spin configuration.
+pub fn random_spins<R: Rng>(n: usize, rng: &mut R) -> Vec<i8> {
+    (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{complete, WeightDist};
+    use crate::graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 2.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cut_counts_crossing_edges_only() {
+        let g = path3();
+        assert_eq!(cut_value(&g, &[1, -1, 1]), 3.0);
+        assert_eq!(cut_value(&g, &[1, 1, 1]), 0.0);
+        assert_eq!(cut_value(&g, &[1, 1, -1]), 2.0);
+    }
+
+    #[test]
+    fn cut_is_invariant_under_global_flip() {
+        let g = complete(12, WeightDist::PlusMinusOne, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = random_spins(12, &mut rng);
+        let flipped: Vec<i8> = s.iter().map(|&x| -x).collect();
+        assert_eq!(cut_value(&g, &s), cut_value(&g, &flipped));
+    }
+
+    #[test]
+    fn energy_cut_identity_holds() {
+        let g = complete(10, WeightDist::UniformInt { lo: -4, hi: 4 }, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let s = random_spins(10, &mut rng);
+            let lhs = cut_value(&g, &s);
+            let rhs = (g.total_weight() - ising_energy(&g, &s)) / 2.0;
+            assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flip_gain_matches_recomputation() {
+        let g = complete(9, WeightDist::PlusMinusOne, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = random_spins(9, &mut rng);
+        for u in 0..9 {
+            let before = cut_value(&g, &s);
+            let gain = flip_gain(&g, &s, u);
+            s[u] = -s[u];
+            let after = cut_value(&g, &s);
+            assert!((after - before - gain).abs() < 1e-9, "node {u}");
+            s[u] = -s[u];
+        }
+    }
+
+    #[test]
+    fn binary_and_spin_encodings_agree() {
+        let g = path3();
+        let bits = vec![true, false, true];
+        assert_eq!(cut_value_binary(&g, &bits), cut_value(&g, &binary_to_spins(&bits)));
+        assert_eq!(spins_to_binary(&binary_to_spins(&bits)), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn wrong_length_panics() {
+        let g = path3();
+        let _ = cut_value(&g, &[1, -1]);
+    }
+
+    #[test]
+    fn random_spins_are_plus_minus_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = random_spins(100, &mut rng);
+        assert!(s.iter().all(|&x| x == 1 || x == -1));
+        assert!(s.contains(&1));
+        assert!(s.contains(&-1));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction, generation, and I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a node outside `0..nodes`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// A self-loop was supplied; Ising couplings have no diagonal terms.
+    SelfLoop {
+        /// The node that was connected to itself.
+        node: usize,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// First endpoint (smaller id).
+        u: usize,
+        /// Second endpoint (larger id).
+        v: usize,
+    },
+    /// A generator was asked for more edges than the graph can hold.
+    TooManyEdges {
+        /// Requested edge count.
+        requested: usize,
+        /// Maximum simple-graph capacity `n(n-1)/2`.
+        capacity: usize,
+    },
+    /// A graph with zero nodes was requested.
+    Empty,
+    /// A GSET-format document failed to parse.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error while reading or writing a graph file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, nodes } => {
+                write!(f, "node {node} out of bounds for graph with {nodes} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::TooManyEdges { requested, capacity } => {
+                write!(f, "requested {requested} edges but a simple graph holds at most {capacity}")
+            }
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = GraphError::NodeOutOfBounds { node: 9, nodes: 5 };
+        assert!(e.to_string().contains('9'));
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+        let e = GraphError::TooManyEdges { requested: 100, capacity: 10 };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

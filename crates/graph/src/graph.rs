@@ -1,0 +1,338 @@
+//! Weighted undirected graphs.
+
+use crate::error::{GraphError, Result};
+
+/// One weighted undirected edge. Endpoints are stored with `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: usize,
+    /// Larger endpoint.
+    pub v: usize,
+    /// Edge weight (nonzero).
+    pub w: f64,
+}
+
+/// A simple weighted undirected graph.
+///
+/// This is the workload representation for every benchmark in the SOPHIE
+/// evaluation: max-cut instances from the GSET family and complete
+/// random-weight K-graphs. Construction goes through [`GraphBuilder`], which
+/// enforces simple-graph invariants (no self-loops, no duplicate edges).
+///
+/// ```
+/// use sophie_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 1.0)?;
+/// b.add_edge(1, 2, -2.0)?;
+/// let g = b.build()?;
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.degree(1), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    nodes: usize,
+    edges: Vec<Edge>,
+    /// CSR-style adjacency: `adj[offsets[u]..offsets[u+1]]` lists `(v, w)`.
+    offsets: Vec<usize>,
+    adj: Vec<(usize, f64)>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over the edges in insertion-normalized order.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter()
+    }
+
+    /// Neighbors of `u` with the connecting edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_nodes()`.
+    #[must_use]
+    pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
+        assert!(u < self.nodes, "node {u} out of bounds");
+        &self.adj[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_nodes()`.
+    #[must_use]
+    pub fn degree(&self, u: usize) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Sum of all edge weights.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.w).sum()
+    }
+
+    /// Sum of `|w|` over edges incident to `u` — the `Δ_ii = Σ_{j≠i} |K_ij|`
+    /// quantity of the eigenvalue-dropout step (paper Eq. 4), since
+    /// `|K_ij| = |w_ij|` under the max-cut mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_nodes()`.
+    #[must_use]
+    pub fn abs_weight_degree(&self, u: usize) -> f64 {
+        self.neighbors(u).iter().map(|(_, w)| w.abs()).sum()
+    }
+
+    /// Edge density relative to the complete graph on the same nodes.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let cap = self.nodes * self.nodes.saturating_sub(1) / 2;
+        if cap == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / cap as f64
+        }
+    }
+
+    /// True if every possible edge is present.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.num_edges() == self.nodes * self.nodes.saturating_sub(1) / 2
+    }
+}
+
+/// Incremental builder enforcing the simple-graph invariants.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    nodes: usize,
+    edges: Vec<Edge>,
+    seen: std::collections::HashSet<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `nodes` nodes.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        GraphBuilder {
+            nodes,
+            edges: Vec::new(),
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Pre-allocates capacity for `edges` edges.
+    #[must_use]
+    pub fn with_edge_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            nodes,
+            edges: Vec::with_capacity(edges),
+            seen: std::collections::HashSet::with_capacity(edges),
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`.
+    ///
+    /// Edges of weight zero are accepted and stored (GSET files contain
+    /// them in principle) but contribute nothing to cuts or couplings.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if an endpoint is out of range.
+    /// * [`GraphError::SelfLoop`] if `u == v`.
+    /// * [`GraphError::DuplicateEdge`] if `{u, v}` was already added.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) -> Result<&mut Self> {
+        if u >= self.nodes {
+            return Err(GraphError::NodeOutOfBounds { node: u, nodes: self.nodes });
+        }
+        if v >= self.nodes {
+            return Err(GraphError::NodeOutOfBounds { node: v, nodes: self.nodes });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        if !self.seen.insert((a, b)) {
+            return Err(GraphError::DuplicateEdge { u: a, v: b });
+        }
+        self.edges.push(Edge { u: a, v: b, w });
+        Ok(self)
+    }
+
+    /// Number of edges added so far.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finishes construction, building the adjacency structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] if the graph has zero nodes.
+    pub fn build(self) -> Result<Graph> {
+        if self.nodes == 0 {
+            return Err(GraphError::Empty);
+        }
+        let n = self.nodes;
+        let mut counts = vec![0usize; n + 1];
+        for e in &self.edges {
+            counts[e.u + 1] += 1;
+            counts[e.v + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut adj = vec![(0usize, 0.0f64); 2 * self.edges.len()];
+        for e in &self.edges {
+            adj[cursor[e.u]] = (e.v, e.w);
+            cursor[e.u] += 1;
+            adj[cursor[e.v]] = (e.u, e.w);
+            cursor[e.v] += 1;
+        }
+        Ok(Graph {
+            nodes: n,
+            edges: self.edges,
+            offsets,
+            adj,
+        })
+    }
+}
+
+impl std::fmt::Display for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Graph({} nodes, {} edges, density {:.4})",
+            self.nodes,
+            self.edges.len(),
+            self.density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 2.0).unwrap();
+        b.add_edge(2, 0, 3.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_normalizes_endpoint_order() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(3, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let e = g.edges().next().unwrap();
+        assert_eq!((e.u, e.v), (1, 3));
+    }
+
+    #[test]
+    fn builder_rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(b.add_edge(1, 1, 1.0), Err(GraphError::SelfLoop { node: 1 })));
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_in_either_order() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        assert!(matches!(b.add_edge(1, 0, 2.0), Err(GraphError::DuplicateEdge { u: 0, v: 1 })));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_bounds() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 5, 1.0),
+            Err(GraphError::NodeOutOfBounds { node: 5, nodes: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        assert!(matches!(GraphBuilder::new(0).build(), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn adjacency_matches_edges() {
+        let g = triangle();
+        let mut n0: Vec<usize> = g.neighbors(0).iter().map(|&(v, _)| v).collect();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(g.degree(1), 2);
+        let w01 = g
+            .neighbors(0)
+            .iter()
+            .find(|&&(v, _)| v == 1)
+            .map(|&(_, w)| w)
+            .unwrap();
+        assert_eq!(w01, 1.0);
+    }
+
+    #[test]
+    fn totals_and_density() {
+        let g = triangle();
+        assert_eq!(g.total_weight(), 6.0);
+        assert!(g.is_complete());
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abs_weight_degree_sums_magnitudes() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, -2.0).unwrap();
+        b.add_edge(0, 2, 3.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.abs_weight_degree(0), 5.0);
+        assert_eq!(g.abs_weight_degree(1), 2.0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_neighbor_lists() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.neighbors(4).is_empty());
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn display_mentions_size() {
+        let s = format!("{}", triangle());
+        assert!(s.contains("3 nodes"));
+    }
+
+    #[test]
+    fn single_node_graph_is_fine() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.density(), 0.0);
+        assert!(g.is_complete());
+    }
+}

@@ -1,0 +1,195 @@
+//! GSET text-format I/O.
+//!
+//! GSET files start with a header line `<nodes> <edges>` followed by one
+//! `<u> <v> <w>` line per edge with **1-based** node ids and integer
+//! weights. Real GSET instances parsed with [`read_graph`] can replace the
+//! regenerated presets anywhere in the benchmark harness.
+
+use crate::error::{GraphError, Result};
+use crate::graph::{Graph, GraphBuilder};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parses a graph in GSET format from a reader.
+///
+/// A `&[u8]`/`File` can be passed directly; pass `&mut reader` to keep
+/// ownership.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed content, [`GraphError::Io`]
+/// for read failures, and graph-construction errors (duplicate edges,
+/// out-of-range endpoints) verbatim.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "3 2\n1 2 1\n2 3 -1\n";
+/// let g = sophie_graph::io::read_graph(text.as_bytes())?;
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_graph<R: Read>(reader: R) -> Result<Graph> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = loop {
+        match lines.next() {
+            None => {
+                return Err(GraphError::Parse {
+                    line: 1,
+                    message: "missing header line".into(),
+                })
+            }
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let nodes: usize = parse_field(&mut parts, 1, "node count")?;
+    let edges: usize = parse_field(&mut parts, 1, "edge count")?;
+
+    let mut b = GraphBuilder::with_edge_capacity(nodes, edges);
+    let mut line_no = 1usize;
+    let mut seen_edges = 0usize;
+    for line in lines {
+        line_no += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: usize = parse_field(&mut parts, line_no, "endpoint u")?;
+        let v: usize = parse_field(&mut parts, line_no, "endpoint v")?;
+        let w: f64 = parse_field(&mut parts, line_no, "weight")?;
+        if u == 0 || v == 0 {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "gset node ids are 1-based; found 0".into(),
+            });
+        }
+        b.add_edge(u - 1, v - 1, w)?;
+        seen_edges += 1;
+    }
+    if seen_edges != edges {
+        return Err(GraphError::Parse {
+            line: line_no,
+            message: format!("header promised {edges} edges but file contains {seen_edges}"),
+        });
+    }
+    b.build()
+}
+
+/// Parses a graph from an in-memory GSET document.
+///
+/// # Errors
+///
+/// Same as [`read_graph`].
+pub fn parse_graph(text: &str) -> Result<Graph> {
+    read_graph(text.as_bytes())
+}
+
+/// Writes a graph in GSET format (1-based ids, `%g`-style weights).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure.
+pub fn write_graph<W: Write>(g: &Graph, mut writer: W) -> Result<()> {
+    writeln!(writer, "{} {}", g.num_nodes(), g.num_edges())?;
+    for e in g.edges() {
+        if e.w.fract() == 0.0 {
+            writeln!(writer, "{} {} {}", e.u + 1, e.v + 1, e.w as i64)?;
+        } else {
+            writeln!(writer, "{} {} {}", e.u + 1, e.v + 1, e.w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a graph to a GSET-format string.
+#[must_use]
+pub fn format_graph(g: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_graph(g, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("gset output is ascii")
+}
+
+fn parse_field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<T> {
+    let tok = parts.next().ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what}: {tok:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{gnm, WeightDist};
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = gnm(20, 40, WeightDist::PlusMinusOne, 5).unwrap();
+        let text = format_graph(&g);
+        let back = parse_graph(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "\n3 1\n# comment\n\n1 3 2\n";
+        let g = parse_graph(text).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges().next().unwrap().w, 2.0);
+    }
+
+    #[test]
+    fn rejects_zero_based_ids() {
+        let err = parse_graph("2 1\n0 1 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+        assert!(err.to_string().contains("1-based"));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse_graph("").is_err());
+        assert!(parse_graph("   \n\n").is_err());
+    }
+
+    #[test]
+    fn rejects_edge_count_mismatch() {
+        let err = parse_graph("3 2\n1 2 1\n").unwrap_err();
+        assert!(err.to_string().contains("promised 2"));
+    }
+
+    #[test]
+    fn rejects_garbage_weight() {
+        let err = parse_graph("2 1\n1 2 banana\n").unwrap_err();
+        assert!(err.to_string().contains("invalid weight"));
+    }
+
+    #[test]
+    fn propagates_duplicate_edges() {
+        let err = parse_graph("3 2\n1 2 1\n2 1 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { u: 0, v: 1 }));
+    }
+
+    #[test]
+    fn negative_and_fractional_weights_roundtrip() {
+        let text = "2 1\n1 2 -2.5\n";
+        let g = parse_graph(text).unwrap();
+        assert_eq!(g.edges().next().unwrap().w, -2.5);
+        let back = parse_graph(&format_graph(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use sophie_graph::coupling::{coupling_matrix, delta_diagonal, hamiltonian};
+use sophie_graph::cut::{cut_value, flip_gain, ising_energy};
+use sophie_graph::generate::{complete, gnm};
+use sophie_graph::io::{format_graph, parse_graph};
+use sophie_graph::WeightDist;
+
+fn spins(n: usize) -> impl Strategy<Value = Vec<i8>> {
+    proptest::collection::vec(prop_oneof![Just(1i8), Just(-1i8)], n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cut_bounded_by_total_positive_weight(
+        n in 2_usize..20,
+        seed in 0u64..1000,
+        s_seed in 0u64..1000,
+    ) {
+        let g = complete(n, WeightDist::UniformInt { lo: -5, hi: 5 }, seed).unwrap();
+        let s: Vec<i8> = {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(s_seed);
+            (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect()
+        };
+        let cut = cut_value(&g, &s);
+        let pos: f64 = g.edges().map(|e| e.w.max(0.0)).sum();
+        let neg: f64 = g.edges().map(|e| e.w.min(0.0)).sum();
+        prop_assert!(cut <= pos + 1e-9);
+        prop_assert!(cut >= neg - 1e-9);
+    }
+
+    #[test]
+    fn energy_cut_identity(n in 2_usize..16, seed in 0u64..500, s in spins(16)) {
+        let g = complete(n, WeightDist::PlusMinusOne, seed).unwrap();
+        let s = &s[..n];
+        let lhs = cut_value(&g, s);
+        let rhs = (g.total_weight() - ising_energy(&g, s)) / 2.0;
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hamiltonian_equals_edge_energy(n in 2_usize..14, seed in 0u64..500, s in spins(14)) {
+        let g = complete(n, WeightDist::UniformInt { lo: -3, hi: 3 }, seed).unwrap();
+        let s = &s[..n];
+        let k = coupling_matrix(&g);
+        prop_assert!((hamiltonian(&k, s) - ising_energy(&g, s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flip_gain_is_exact(n in 3_usize..14, seed in 0u64..500, s in spins(14), u in 0_usize..14) {
+        let g = complete(n, WeightDist::PlusMinusOne, seed).unwrap();
+        let mut s = s[..n].to_vec();
+        let u = u % n;
+        let before = cut_value(&g, &s);
+        let gain = flip_gain(&g, &s, u);
+        s[u] = -s[u];
+        prop_assert!((cut_value(&g, &s) - before - gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gset_roundtrip(n in 2_usize..30, extra in 0_usize..60, seed in 0u64..1000) {
+        let cap = n * (n - 1) / 2;
+        let m = extra.min(cap);
+        let g = gnm(n, m, WeightDist::UniformInt { lo: -9, hi: 9 }, seed).unwrap();
+        let back = parse_graph(&format_graph(&g)).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn delta_dominates_spectrum_bound(n in 2_usize..12, seed in 0u64..200) {
+        // Gershgorin: every eigenvalue of K lies within [−Δ_ii, Δ_ii] around
+        // the zero diagonal, so max|λ| ≤ max Δ.
+        let g = complete(n, WeightDist::UniformInt { lo: -4, hi: 4 }, seed).unwrap();
+        let k = coupling_matrix(&g);
+        let delta = delta_diagonal(&g);
+        let eig = sophie_linalg::eigen::symmetric_eigen(&k).unwrap();
+        let max_abs_lambda = eig
+            .values
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v.abs()));
+        let max_delta = delta.iter().fold(0.0_f64, |m, &v| m.max(v));
+        prop_assert!(max_abs_lambda <= max_delta + 1e-9);
+    }
+}

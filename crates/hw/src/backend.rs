@@ -1,0 +1,261 @@
+//! Hardware-accurate MVM backend for the SOPHIE engine.
+//!
+//! [`OpcmBackend`] plugs the device models into
+//! [`sophie_core::backend::MvmBackend`], so the *same* tiled algorithm that
+//! runs on the exact floating-point substrate executes through:
+//!
+//! * GST cell quantization (64 levels by default) at programming time;
+//! * multiplicative analog read noise at the photodetector;
+//! * 8-bit ADC quantization on partial-sum reads.
+//!
+//! Comparing solution quality across the two backends is how we validate
+//! that SOPHIE's algorithm tolerates its own hardware (tests at the bottom
+//! and `tests/hw_vs_ideal.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sophie_core::backend::{MvmBackend, MvmUnit};
+use sophie_linalg::Tile;
+
+use crate::device::adc::DualPrecisionAdc;
+use crate::device::opcm::{OpcmArray, OpcmCellSpec};
+use crate::device::variability::VariabilityModel;
+
+/// Configuration of the hardware backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpcmBackendConfig {
+    /// GST cell characteristics.
+    pub cell: OpcmCellSpec,
+    /// Relative standard deviation of multiplicative analog read noise
+    /// (shot/thermal noise at the photodetector). The paper's noise
+    /// generator *adds* noise up to the algorithmic φ; intrinsic device
+    /// noise therefore only helps, as long as it stays below φ.
+    pub read_noise: f32,
+    /// Multi-bit ADC resolution (paper: 8).
+    pub adc_bits: u32,
+    /// GST variability and fault model applied at programming time.
+    pub variability: VariabilityModel,
+    /// Base seed for per-unit noise streams.
+    pub seed: u64,
+}
+
+impl Default for OpcmBackendConfig {
+    fn default() -> Self {
+        OpcmBackendConfig {
+            cell: OpcmCellSpec::default(),
+            read_noise: 0.01,
+            adc_bits: 8,
+            variability: VariabilityModel::ideal(),
+            seed: 0,
+        }
+    }
+}
+
+/// Factory producing one [`OpcmUnit`] per physical array.
+#[derive(Debug)]
+pub struct OpcmBackend {
+    config: OpcmBackendConfig,
+    counter: AtomicU64,
+}
+
+impl OpcmBackend {
+    /// Creates a backend; unit noise streams derive from `config.seed`.
+    #[must_use]
+    pub fn new(config: OpcmBackendConfig) -> Self {
+        OpcmBackend {
+            config,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The backend configuration.
+    #[must_use]
+    pub fn config(&self) -> &OpcmBackendConfig {
+        &self.config
+    }
+}
+
+impl Default for OpcmBackend {
+    fn default() -> Self {
+        OpcmBackend::new(OpcmBackendConfig::default())
+    }
+}
+
+/// One OPCM array plus its converters, as seen by the engine.
+#[derive(Debug)]
+pub struct OpcmUnit {
+    array: OpcmArray,
+    adc: Option<DualPrecisionAdc>,
+    adc_bits: u32,
+    read_noise: f32,
+    variability: VariabilityModel,
+    unit_id: u64,
+    rng: SmallRng,
+}
+
+impl OpcmUnit {
+    /// Access to the underlying array model (e.g. for inspecting stored
+    /// weights in tests).
+    #[must_use]
+    pub fn array(&self) -> &OpcmArray {
+        &self.array
+    }
+
+    fn apply_read_noise(&mut self, y: &mut [f32]) {
+        if self.read_noise > 0.0 {
+            for v in y.iter_mut() {
+                // Cheap Gaussian-ish noise: sum of three uniforms has the
+                // right first two moments and is plenty for device noise.
+                let g: f32 = (self.rng.gen::<f32>() + self.rng.gen::<f32>() + self.rng.gen::<f32>()
+                    - 1.5)
+                    * 2.0;
+                *v *= 1.0 + self.read_noise * g;
+            }
+        }
+    }
+}
+
+impl MvmUnit for OpcmUnit {
+    fn program(&mut self, tile: &Tile) {
+        let degraded = self.variability.degrade(tile, self.unit_id);
+        self.array.program(&degraded);
+        // Full-scale range: the largest possible |partial sum| is
+        // max|w| · t (all inputs high on the strongest row).
+        let t = tile.size() as f32;
+        let max_abs = tile
+            .as_slice()
+            .iter()
+            .fold(0.0_f32, |m, &x| m.max(x.abs()));
+        let range = (max_abs * t).max(f32::MIN_POSITIVE);
+        self.adc = Some(
+            DualPrecisionAdc::new(self.adc_bits, range)
+                .expect("validated adc configuration"),
+        );
+    }
+
+    fn forward(&mut self, x: &[f32], y: &mut [f32]) {
+        self.array.forward(x, y);
+        self.apply_read_noise(y);
+    }
+
+    fn transposed(&mut self, x: &[f32], y: &mut [f32]) {
+        self.array.transposed(x, y);
+        self.apply_read_noise(y);
+    }
+
+    fn quantize_8bit(&mut self, y: &mut [f32]) {
+        self.adc
+            .as_ref()
+            .expect("unit used before programming")
+            .quantize_slice(y);
+    }
+}
+
+impl MvmBackend for OpcmBackend {
+    type Unit = OpcmUnit;
+
+    fn unit(&self, tile_size: usize) -> OpcmUnit {
+        let id = self.counter.fetch_add(1, Ordering::Relaxed);
+        OpcmUnit {
+            array: OpcmArray::new(self.config.cell, tile_size)
+                .expect("validated cell specification"),
+            adc: None,
+            adc_bits: self.config.adc_bits,
+            read_noise: self.config.read_noise,
+            variability: self.config.variability,
+            unit_id: id,
+            rng: SmallRng::seed_from_u64(self.config.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tile() -> Tile {
+        Tile::from_vec(4, (0..16).map(|i| i as f32 / 4.0 - 2.0).collect()).unwrap()
+    }
+
+    #[test]
+    fn unit_approximates_exact_mvm() {
+        let backend = OpcmBackend::new(OpcmBackendConfig {
+            read_noise: 0.0,
+            ..OpcmBackendConfig::default()
+        });
+        let mut unit = backend.unit(4);
+        let tile = sample_tile();
+        unit.program(&tile);
+        let x = [1.0_f32, 0.0, 1.0, 1.0];
+        let mut exact = [0.0_f32; 4];
+        tile.mvm(&x, &mut exact);
+        let mut dev = [0.0_f32; 4];
+        unit.forward(&x, &mut dev);
+        for (a, b) in dev.iter().zip(&exact) {
+            assert!((a - b).abs() < 0.15, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn read_noise_perturbs_but_preserves_scale() {
+        let backend = OpcmBackend::new(OpcmBackendConfig {
+            read_noise: 0.05,
+            ..OpcmBackendConfig::default()
+        });
+        let mut unit = backend.unit(4);
+        unit.program(&sample_tile());
+        let x = [1.0_f32; 4];
+        let mut a = [0.0_f32; 4];
+        let mut b = [0.0_f32; 4];
+        unit.forward(&x, &mut a);
+        unit.forward(&x, &mut b);
+        assert_ne!(a, b, "noise should vary between reads");
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 0.3 * (p.abs() + 1.0));
+        }
+    }
+
+    #[test]
+    fn quantize_8bit_bounds_error() {
+        let backend = OpcmBackend::default();
+        let mut unit = backend.unit(4);
+        unit.program(&sample_tile());
+        // Full scale = 2.0 · 4 = 8 ⇒ step ≈ 0.0627.
+        let mut y = [1.234_f32, -5.0, 0.0, 7.9];
+        let orig = y;
+        unit.quantize_8bit(&mut y);
+        for (q, o) in y.iter().zip(&orig) {
+            assert!((q - o).abs() <= 0.04, "{o} → {q}");
+        }
+    }
+
+    #[test]
+    fn units_get_distinct_noise_streams() {
+        let backend = OpcmBackend::new(OpcmBackendConfig {
+            read_noise: 0.05,
+            ..OpcmBackendConfig::default()
+        });
+        let mut u1 = backend.unit(4);
+        let mut u2 = backend.unit(4);
+        u1.program(&sample_tile());
+        u2.program(&sample_tile());
+        let x = [1.0_f32; 4];
+        let mut a = [0.0_f32; 4];
+        let mut b = [0.0_f32; 4];
+        u1.forward(&x, &mut a);
+        u2.forward(&x, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "before programming")]
+    fn quantize_before_program_panics() {
+        let backend = OpcmBackend::default();
+        let mut unit = backend.unit(2);
+        let mut y = [0.0_f32; 2];
+        unit.quantize_8bit(&mut y);
+    }
+}

@@ -1,0 +1,17 @@
+//! Power, performance, and area models (paper §IV-A).
+//!
+//! The flow mirrors the paper's methodology: the functional simulator (or
+//! the analytic schedule replay) produces exact per-job operation counts;
+//! [`workload::WorkloadSummary`] reduces them to per-round averages; and
+//! the [`timing`], [`energy`], and [`area`] models combine them with the
+//! constants in [`params::CostParams`] and the machine shape in
+//! [`crate::arch`]. [`edap`] assembles the combined metric the paper uses
+//! to pick its configuration (Fig. 9).
+
+pub mod area;
+pub mod edap;
+pub mod energy;
+pub mod params;
+pub mod power;
+pub mod timing;
+pub mod workload;

@@ -1,0 +1,7 @@
+//! Device-level models: OPCM arrays, converters, and the dual-precision ADC.
+
+pub mod adc;
+pub mod convert;
+pub mod laser;
+pub mod opcm;
+pub mod variability;

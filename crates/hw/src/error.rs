@@ -1,0 +1,68 @@
+//! Error types for the hardware-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by device/architecture model construction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A model parameter was out of its physical range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint.
+        message: String,
+    },
+    /// A workload does not fit the machine under the requested policy.
+    CapacityExceeded {
+        /// Physical MVM units available.
+        available: usize,
+        /// Units the workload would need for residency.
+        required: usize,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::BadParameter { name, message } => {
+                write!(f, "invalid hardware parameter `{name}`: {message}")
+            }
+            HwError::CapacityExceeded { available, required } => write!(
+                f,
+                "workload needs {required} arrays but the machine has {available}"
+            ),
+        }
+    }
+}
+
+impl Error for HwError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HwError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = HwError::BadParameter {
+            name: "levels",
+            message: "must be at least 2".into(),
+        };
+        assert!(e.to_string().contains("levels"));
+        let e = HwError::CapacityExceeded {
+            available: 256,
+            required: 528,
+        };
+        assert!(e.to_string().contains("528"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HwError>();
+    }
+}

@@ -1,0 +1,44 @@
+//! Hardware models for the SOPHIE accelerator.
+//!
+//! The paper evaluates SOPHIE with a functional simulator plus in-house
+//! power/performance/area tools — there is no silicon. This crate
+//! reproduces that methodology end to end:
+//!
+//! * [`device`] — OPCM crossbar arrays (quantized GST cells, bidirectional
+//!   reads, the optical loss chain), dual-precision ADCs, and E-O/O-E
+//!   converter specs;
+//! * [`backend`] — [`backend::OpcmBackend`], a drop-in
+//!   [`sophie_core::backend::MvmBackend`] that runs the tiled algorithm
+//!   through the device models (quantization + read noise + 8-bit ADC);
+//! * [`arch`] — the 2.5D accelerator hierarchy (PE → chiplet → accelerator
+//!   → multi-accelerator machine);
+//! * [`cost`] — timing, energy, area, and EDAP models built from the
+//!   §IV-A constants, consuming exact operation counts from the engine or
+//!   the analytic schedule replay.
+//!
+//! # Example
+//!
+//! ```
+//! use sophie_hw::arch::MachineConfig;
+//! use sophie_hw::cost::{params::CostParams, timing::batch_time, workload::WorkloadSummary};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = sophie_core::SophieConfig { global_iters: 50, ..Default::default() };
+//! let workload = WorkloadSummary::analytic(16_384, &config, 100, 0)?;
+//! let timing = batch_time(&MachineConfig::sophie_default(1), &CostParams::default(), &workload, 8)?;
+//! assert!(!timing.resident); // K16384 exceeds one accelerator's OPCM
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arch;
+pub mod backend;
+pub mod cost;
+pub mod device;
+mod error;
+
+pub use backend::{OpcmBackend, OpcmBackendConfig};
+pub use error::{HwError, Result};

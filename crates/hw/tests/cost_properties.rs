@@ -1,0 +1,107 @@
+//! Property-based tests of the PPA models' monotonicity and sanity.
+
+use proptest::prelude::*;
+use sophie_core::SophieConfig;
+use sophie_hw::arch::MachineConfig;
+use sophie_hw::cost::{
+    area::machine_area, edap, params::CostParams, timing::batch_time, workload::WorkloadSummary,
+};
+use sophie_hw::device::opcm::OpcmCellSpec;
+
+fn workload(n: usize, frac: f64, rounds: usize, batch: usize) -> WorkloadSummary {
+    let cfg = SophieConfig {
+        tile_size: 64,
+        local_iters: 10,
+        global_iters: rounds,
+        tile_fraction: frac,
+        ..SophieConfig::default()
+    };
+    WorkloadSummary::analytic(n, &cfg, batch, 7).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// More rounds never make the job faster.
+    #[test]
+    fn time_monotone_in_rounds(r1 in 5usize..30, extra in 1usize..30) {
+        let p = CostParams::default();
+        let m = MachineConfig::sophie_default(1);
+        let t1 = batch_time(&m, &p, &workload(4096, 0.74, r1, 100), 8).unwrap();
+        let t2 = batch_time(&m, &p, &workload(4096, 0.74, r1 + extra, 100), 8).unwrap();
+        prop_assert!(t2.per_job_s >= t1.per_job_s);
+    }
+
+    /// Adding accelerators never slows the machine down.
+    #[test]
+    fn time_monotone_in_accelerators(n_shift in 0usize..2, rounds in 5usize..40) {
+        let n = 8192 << n_shift;
+        let p = CostParams::default();
+        let w = workload(n, 0.74, rounds, 100);
+        let t1 = batch_time(&MachineConfig::sophie_default(1), &p, &w, 8).unwrap();
+        let t2 = batch_time(&MachineConfig::sophie_default(2), &p, &w, 8).unwrap();
+        let t4 = batch_time(&MachineConfig::sophie_default(4), &p, &w, 8).unwrap();
+        prop_assert!(t2.per_job_s <= t1.per_job_s * 1.001);
+        prop_assert!(t4.per_job_s <= t2.per_job_s * 1.001);
+    }
+
+    /// A bigger problem takes longer on the same machine.
+    #[test]
+    fn time_monotone_in_problem_size(rounds in 5usize..30) {
+        let p = CostParams::default();
+        let m = MachineConfig::sophie_default(1);
+        let small = batch_time(&m, &p, &workload(8192, 0.74, rounds, 100), 8).unwrap();
+        let large = batch_time(&m, &p, &workload(16_384, 0.74, rounds, 100), 8).unwrap();
+        prop_assert!(large.per_job_s > small.per_job_s);
+    }
+
+    /// Area grows with batch (SRAM) and with accelerator count, and every
+    /// breakdown component stays non-negative.
+    #[test]
+    fn area_monotonicity(batch in 1usize..5000, accels in 1usize..4) {
+        let p = CostParams::default();
+        let c = OpcmCellSpec::default();
+        let base = machine_area(&MachineConfig::sophie_default(accels), &p, &c, batch);
+        let bigger_batch =
+            machine_area(&MachineConfig::sophie_default(accels), &p, &c, batch * 2);
+        let more_accels =
+            machine_area(&MachineConfig::sophie_default(accels + 1), &p, &c, batch);
+        prop_assert!(bigger_batch.total_mm2() >= base.total_mm2());
+        prop_assert!(more_accels.total_mm2() > base.total_mm2());
+        prop_assert!(base.opcm_mm2 >= 0.0 && base.sram_mm2 >= 0.0);
+        prop_assert!(base.control_mm2 >= 0.0 && base.support_mm2 >= 0.0);
+    }
+
+    /// Full PPA evaluation yields finite positive metrics everywhere on
+    /// the sweep domain.
+    #[test]
+    fn ppa_is_finite_and_positive(
+        frac in 0.25f64..=1.0,
+        rounds in 2usize..30,
+        batch in 1usize..2000,
+        accels in 1usize..4,
+    ) {
+        let cfg = SophieConfig {
+            tile_size: 64,
+            local_iters: 10,
+            global_iters: rounds,
+            tile_fraction: frac,
+            ..SophieConfig::default()
+        };
+        let ops = sophie_core::analytic::analytic_op_counts(4096, &cfg, 3).unwrap();
+        let w = WorkloadSummary::from_ops(4096, &cfg, &ops, batch);
+        let r = edap::evaluate(
+            &MachineConfig::sophie_default(accels),
+            &CostParams::default(),
+            &OpcmCellSpec::default(),
+            &w,
+            &ops,
+            8,
+        )
+        .unwrap();
+        prop_assert!(r.timing.per_job_s > 0.0 && r.timing.per_job_s.is_finite());
+        prop_assert!(r.energy.total_j() > 0.0 && r.energy.total_j().is_finite());
+        prop_assert!(r.area.total_mm2() > 0.0 && r.area.total_mm2().is_finite());
+        prop_assert!(r.edap() > 0.0 && r.edap().is_finite());
+    }
+}

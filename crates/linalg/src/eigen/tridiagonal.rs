@@ -1,0 +1,271 @@
+//! Householder reduction of a real symmetric matrix to tridiagonal form.
+//!
+//! This is the classic `tred2` routine (EISPACK / Numerical Recipes
+//! lineage): a sequence of Householder reflections zeroes out everything
+//! below the first subdiagonal while the product of the reflections is
+//! accumulated so the caller can recover eigenvectors of the original
+//! matrix.
+//!
+//! The implementation reorganizes the textbook inner loops for cache
+//! friendliness: the `A·w` product over the shrinking symmetric submatrix
+//! (the dominant O(n³) term) walks the packed lower triangle row-wise in
+//! two unit-stride passes instead of the strided column traversal of the
+//! original, and the rank-2 update runs on parallel row chunks.
+
+use crate::par;
+
+/// Reduces the symmetric matrix stored row-major in `z` (size `n × n`) to
+/// tridiagonal form.
+///
+/// On return, `z` holds the accumulated orthogonal transformation `Q`
+/// (`A = Q T Qᵀ`), and the returned `(d, e)` hold the diagonal and
+/// subdiagonal of `T` (`e[0]` is unused and set to zero, `e[i]` couples
+/// `d[i-1]` and `d[i]`).
+///
+/// The caller guarantees `z.len() == n * n` and symmetry of the input; this
+/// is enforced by [`crate::eigen::symmetric_eigen`].
+pub(crate) fn tridiagonalize(z: &mut [f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+    debug_assert_eq!(z.len(), n * n);
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    if n == 0 {
+        return (d, e);
+    }
+    if n == 1 {
+        d[0] = z[0];
+        z[0] = 1.0;
+        return (d, e);
+    }
+
+    let mut g_vec = vec![0.0; n];
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += z[i * n + k].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[i * n + l];
+            } else {
+                for k in 0..=l {
+                    z[i * n + k] /= scale;
+                    h += z[i * n + k] * z[i * n + k];
+                }
+                let mut f = z[i * n + l];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[i * n + l] = f - g;
+
+                // ---- g_vec = A · w over the (l+1)×(l+1) symmetric
+                // submatrix stored in the lower triangle, row-wise. ----
+                g_vec[..=l].fill(0.0);
+                {
+                    let (lower, wrow) = z.split_at_mut(i * n);
+                    let w = &wrow[..=l];
+                    for k in 0..=l {
+                        let row = &lower[k * n..k * n + k];
+                        let wk = w[k];
+                        let gk = &mut g_vec[..=l];
+                        // Diagonal element.
+                        let mut acc = lower[k * n + k] * wk;
+                        // Row part: A[k][0..k] · w[0..k] …
+                        for (j, &a) in row.iter().enumerate() {
+                            acc += a * w[j];
+                            // … and its mirrored column contribution.
+                            gk[j] += a * wk;
+                        }
+                        gk[k] += acc;
+                    }
+                }
+
+                f = 0.0;
+                for j in 0..=l {
+                    z[j * n + i] = z[i * n + j] / h;
+                    e[j] = g_vec[j] / h;
+                    f += e[j] * z[i * n + j];
+                }
+                let hh = f / (h + h);
+                // New e holds g_j = e_j − hh·w_j (finalize before the
+                // rank-2 update so rows become independent).
+                for j in 0..=l {
+                    e[j] -= hh * z[i * n + j];
+                }
+                // ---- Rank-2 update of the lower triangle:
+                // A[j][k] -= w_j·e_k + g_j·w_k, rows in parallel. ----
+                let (lower, wrow) = z.split_at_mut(i * n);
+                let w = &wrow[..=l];
+                let ev = &e[..=l];
+                let rows = l + 1;
+                let workers = par::worker_count(rows.div_ceil(64));
+                par::for_each_row_chunk_mut(
+                    &mut lower[..rows * n],
+                    n,
+                    workers,
+                    |row0, chunk| {
+                        for (local_j, row) in chunk.chunks_mut(n).enumerate() {
+                            let j = row0 + local_j;
+                            let fj = w[j];
+                            let gj = ev[j];
+                            for (k, a) in row[..=j].iter_mut().enumerate() {
+                                *a -= fj * ev[k] + gj * w[k];
+                            }
+                        }
+                    },
+                );
+            }
+        } else {
+            e[i] = z[i * n + l];
+        }
+        d[i] = h;
+    }
+
+    d[0] = 0.0;
+    e[0] = 0.0;
+    // Accumulate the transformation. Reorganized row-wise: with
+    // w = z[i][0..i] (the scaled Householder vector) and v = z[0..i][i]
+    // (w/h), the textbook column loops are g = Zᵀw followed by the rank-1
+    // update Z -= v gᵀ — both expressible as unit-stride row operations.
+    let mut v = vec![0.0; n];
+    for i in 0..n {
+        if d[i] != 0.0 {
+            g_vec[..i].fill(0.0);
+            for k in 0..i {
+                v[k] = z[k * n + i];
+            }
+            {
+                let (lower, wrow) = z.split_at(i * n);
+                let w = &wrow[..i];
+                for k in 0..i {
+                    let wk = w[k];
+                    if wk != 0.0 {
+                        let row = &lower[k * n..k * n + i];
+                        for (gj, &a) in g_vec[..i].iter_mut().zip(row) {
+                            *gj += wk * a;
+                        }
+                    }
+                }
+            }
+            let gv = &g_vec[..i];
+            let vv = &v[..i];
+            let workers = par::worker_count(i.div_ceil(128));
+            par::for_each_row_chunk_mut(&mut z[..i * n], n, workers, |row0, chunk| {
+                for (local_k, row) in chunk.chunks_mut(n).enumerate() {
+                    let vk = vv[row0 + local_k];
+                    if vk != 0.0 {
+                        for (a, &g) in row[..i].iter_mut().zip(gv) {
+                            *a -= vk * g;
+                        }
+                    }
+                }
+            });
+        }
+        d[i] = z[i * n + i];
+        z[i * n + i] = 1.0;
+        for j in 0..i {
+            z[j * n + i] = 0.0;
+            z[i * n + j] = 0.0;
+        }
+    }
+    (d, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    /// Rebuilds `Q T Qᵀ` from the tridiagonalization output.
+    fn reconstruct(q: &[f64], d: &[f64], e: &[f64], n: usize) -> Matrix {
+        let qm = Matrix::from_vec(n, n, q.to_vec()).unwrap();
+        let mut t = Matrix::zeros(n, n);
+        for i in 0..n {
+            t[(i, i)] = d[i];
+            if i > 0 {
+                t[(i, i - 1)] = e[i];
+                t[(i - 1, i)] = e[i];
+            }
+        }
+        qm.matmul(&t).unwrap().matmul(&qm.transposed()).unwrap()
+    }
+
+    fn check_roundtrip(a: &Matrix) {
+        let n = a.rows();
+        let mut z = a.as_slice().to_vec();
+        let (d, e) = tridiagonalize(&mut z, n);
+        let back = reconstruct(&z, &d, &e, n);
+        assert!(
+            back.max_abs_diff(a) < 1e-9 * (1.0 + a.max_abs()),
+            "reconstruction error {:e}",
+            back.max_abs_diff(a)
+        );
+        // Q must be orthogonal.
+        let qm = Matrix::from_vec(n, n, z).unwrap();
+        let qtq = qm.transposed().matmul(&qm).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(n)) < 1e-10);
+    }
+
+    #[test]
+    fn roundtrip_small_dense() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0, 2.0],
+            &[1.0, 2.0, 0.0, 1.0],
+            &[-2.0, 0.0, 3.0, -2.0],
+            &[2.0, 1.0, -2.0, -1.0],
+        ])
+        .unwrap();
+        check_roundtrip(&a);
+    }
+
+    #[test]
+    fn roundtrip_pseudorandom_symmetric() {
+        let n = 24;
+        let raw = Matrix::from_fn(n, n, |r, c| (((r * 37 + c * 17) % 29) as f64) / 7.0 - 2.0);
+        let a = Matrix::from_fn(n, n, |r, c| 0.5 * (raw[(r, c)] + raw[(c, r)]));
+        check_roundtrip(&a);
+    }
+
+    #[test]
+    fn roundtrip_large_enough_for_parallel_chunks() {
+        let n = 150;
+        let raw = Matrix::from_fn(n, n, |r, c| (((r * 13 + c * 41) % 53) as f64) / 9.0 - 2.5);
+        let a = Matrix::from_fn(n, n, |r, c| 0.5 * (raw[(r, c)] + raw[(c, r)]));
+        check_roundtrip(&a);
+    }
+
+    #[test]
+    fn handles_one_by_one() {
+        let mut z = vec![5.0];
+        let (d, e) = tridiagonalize(&mut z, 1);
+        assert_eq!(d, vec![5.0]);
+        assert_eq!(e, vec![0.0]);
+        assert_eq!(z, vec![1.0]);
+    }
+
+    #[test]
+    fn handles_two_by_two() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        check_roundtrip(&a);
+    }
+
+    #[test]
+    fn already_tridiagonal_input_stays_faithful() {
+        let mut a = Matrix::zeros(6, 6);
+        for i in 0..6 {
+            a[(i, i)] = i as f64 + 1.0;
+            if i > 0 {
+                a[(i, i - 1)] = 0.5;
+                a[(i - 1, i)] = 0.5;
+            }
+        }
+        check_roundtrip(&a);
+    }
+
+    #[test]
+    fn zero_matrix_roundtrips() {
+        check_roundtrip(&Matrix::zeros(5, 5));
+    }
+}

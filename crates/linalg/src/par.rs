@@ -1,0 +1,224 @@
+//! Minimal data-parallel helpers built on scoped threads.
+//!
+//! The heavy kernels in this crate (matrix products, spectral
+//! reconstruction) are embarrassingly parallel over output rows. Rather than
+//! pulling in a work-stealing runtime, we split the output into contiguous
+//! row chunks and hand each chunk to a scoped thread; this is enough to
+//! saturate memory bandwidth for the sizes SOPHIE works with (N ≤ ~4k for
+//! functional simulation).
+
+use std::num::NonZeroUsize;
+
+/// Returns the number of worker threads to use for a job with `items`
+/// independent units of work.
+///
+/// Capped by available hardware parallelism and by `items` itself, and at
+/// least 1. Honors the `SOPHIE_THREADS` environment variable when set, which
+/// keeps experiment runs reproducible on shared machines.
+#[must_use]
+pub fn worker_count(items: usize) -> usize {
+    let hw = std::env::var("SOPHIE_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    hw.min(items).max(1)
+}
+
+/// Runs `f(chunk_index, chunk)` over mutable chunks of `out`, where `out`
+/// is split into `chunks` nearly-equal contiguous pieces, each processed on
+/// its own scoped thread. `chunk_rows` is the number of items per chunk
+/// except possibly the last.
+///
+/// Returns the chunk size used so callers can map chunk indices back to
+/// global offsets.
+///
+/// # Panics
+///
+/// Panics if `chunks == 0`.
+pub fn for_each_chunk_mut<T, F>(out: &mut [T], chunks: usize, f: F) -> usize
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunks > 0, "for_each_chunk_mut: chunks must be positive");
+    if out.is_empty() {
+        return 0;
+    }
+    let chunk_len = out.len().div_ceil(chunks);
+    std::thread::scope(|scope| {
+        for (idx, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(idx, chunk));
+        }
+    });
+    chunk_len
+}
+
+/// Like [`for_each_chunk_mut`], but for a matrix buffer of `row_len`-wide
+/// rows: chunks are always whole numbers of rows, so `f(first_row, rows)`
+/// can safely reinterpret its chunk with `chunks_mut(row_len)`.
+///
+/// # Panics
+///
+/// Panics if `chunks == 0`, `row_len == 0`, or `out.len()` is not a
+/// multiple of `row_len`.
+pub fn for_each_row_chunk_mut<T, F>(out: &mut [T], row_len: usize, chunks: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunks > 0, "for_each_row_chunk_mut: chunks must be positive");
+    assert!(row_len > 0, "for_each_row_chunk_mut: row_len must be positive");
+    assert_eq!(
+        out.len() % row_len,
+        0,
+        "for_each_row_chunk_mut: buffer is not whole rows"
+    );
+    let rows = out.len() / row_len;
+    if rows == 0 {
+        return;
+    }
+    let rows_per_chunk = rows.div_ceil(chunks).max(1);
+    std::thread::scope(|scope| {
+        for (idx, chunk) in out.chunks_mut(rows_per_chunk * row_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(idx * rows_per_chunk, chunk));
+        }
+    });
+}
+
+/// Maps `f` over `0..jobs` in parallel and collects results in order.
+///
+/// Used by the experiment harness to fan independent simulation runs across
+/// cores. Each job index is executed exactly once.
+pub fn parallel_map<R, F>(jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = worker_count(jobs);
+    if workers <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+    for_each_chunk_mut(&mut slots, workers, |chunk_idx, chunk| {
+        let chunk_len = jobs.div_ceil(workers);
+        let base = chunk_idx * chunk_len;
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(base + i));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("parallel_map: job not executed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_is_at_least_one_and_at_most_items() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1000) >= 1);
+        assert!(worker_count(3) <= 3);
+    }
+
+    #[test]
+    fn chunks_cover_all_elements() {
+        let mut data = vec![0u32; 101];
+        for_each_chunk_mut(&mut data, 7, |_, chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn chunk_indices_map_to_offsets() {
+        let mut data = vec![0usize; 100];
+        let chunk_len = for_each_chunk_mut(&mut data, 4, |idx, chunk| {
+            for x in chunk.iter_mut() {
+                *x = idx;
+            }
+        });
+        assert_eq!(chunk_len, 25);
+        assert_eq!(data[0], 0);
+        assert_eq!(data[99], 3);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let squares = parallel_map(50, |i| i * i);
+        assert_eq!(squares.len(), 50);
+        for (i, &s) in squares.iter().enumerate() {
+            assert_eq!(s, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_zero_jobs_is_empty() {
+        let out: Vec<u8> = parallel_map(0, |_| 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_slice_is_a_noop() {
+        let mut data: Vec<u8> = Vec::new();
+        let n = for_each_chunk_mut(&mut data, 3, |_, _| panic!("should not run"));
+        assert_eq!(n, 0);
+    }
+}
+
+#[cfg(test)]
+mod row_chunk_tests {
+    use super::*;
+
+    #[test]
+    fn row_chunks_are_always_whole_rows() {
+        // 97 rows of width 61, split into 16 chunks: the naive
+        // element-count split would break mid-row; this must not.
+        let rows = 97;
+        let width = 61;
+        let mut data = vec![0usize; rows * width];
+        for_each_row_chunk_mut(&mut data, width, 16, |first_row, chunk| {
+            assert_eq!(chunk.len() % width, 0, "chunk splits a row");
+            for (local, row) in chunk.chunks_mut(width).enumerate() {
+                for x in row {
+                    *x = first_row + local;
+                }
+            }
+        });
+        for r in 0..rows {
+            for c in 0..width {
+                assert_eq!(data[r * width + c], r, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_chunks_than_rows_is_fine() {
+        let mut data = vec![0u8; 3 * 5];
+        for_each_row_chunk_mut(&mut data, 5, 10, |_, chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn partial_rows_are_rejected() {
+        let mut data = vec![0u8; 7];
+        for_each_row_chunk_mut(&mut data, 5, 2, |_, _| {});
+    }
+}

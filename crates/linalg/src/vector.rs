@@ -1,0 +1,155 @@
+//! Small dense-vector helpers shared by the solvers and simulators.
+//!
+//! These are free functions over slices rather than a vector newtype: the
+//! callers in `sophie-core` and `sophie-hw` own their buffers (SRAM models,
+//! spin copies) and only need the arithmetic.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// assert_eq!(sophie_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Dot product in `f32`, used on the tiled fast path.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_f32: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (the BLAS `axpy` kernel).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+///
+/// ```
+/// assert_eq!(sophie_linalg::vector::norm2(&[3.0, 4.0]), 5.0);
+/// ```
+#[must_use]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Largest absolute entry; `0.0` for an empty slice.
+#[must_use]
+pub fn max_abs(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// Sum of all entries.
+#[must_use]
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Largest absolute difference between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Scales every entry in place.
+pub fn scale(a: &mut [f64], alpha: f64) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn norm2_matches_pythagoras() {
+        assert!((norm2(&[1.0, 2.0, 2.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_handles_negatives_and_empty() {
+        assert_eq!(max_abs(&[-7.0, 3.0]), 7.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_is_symmetric() {
+        let a = [1.0, 5.0, -2.0];
+        let b = [0.5, 7.0, -2.0];
+        assert_eq!(max_abs_diff(&a, &b), max_abs_diff(&b, &a));
+        assert_eq!(max_abs_diff(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn scale_by_zero_clears() {
+        let mut a = vec![3.0, -4.0];
+        scale(&mut a, 0.0);
+        assert_eq!(a, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_adds_entries() {
+        assert_eq!(sum(&[1.0, 2.0, 3.5]), 6.5);
+    }
+
+    #[test]
+    fn dot_f32_matches_f64_for_small_inputs() {
+        let a = [0.5_f32, 1.5, -2.0];
+        let b = [2.0_f32, 4.0, 1.0];
+        let want = dot(
+            &a.iter().map(|&x| f64::from(x)).collect::<Vec<_>>(),
+            &b.iter().map(|&x| f64::from(x)).collect::<Vec<_>>(),
+        );
+        assert!((f64::from(dot_f32(&a, &b)) - want).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for the PRIS algorithm crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by PRIS preprocessing and sampling.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PrisError {
+    /// `α` outside `[0, 1]` (or NaN).
+    BadAlpha {
+        /// The rejected value.
+        alpha: f64,
+    },
+    /// Noise level `φ` negative or NaN.
+    BadNoise {
+        /// The rejected value.
+        phi: f64,
+    },
+    /// The dropout diagonal has the wrong length.
+    BadDelta {
+        /// Expected length (matrix dimension).
+        expected: usize,
+        /// Supplied length.
+        found: usize,
+    },
+    /// An underlying linear-algebra failure.
+    Linalg(sophie_linalg::LinalgError),
+}
+
+impl fmt::Display for PrisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrisError::BadAlpha { alpha } => {
+                write!(f, "eigenvalue dropout factor must be in [0, 1], got {alpha}")
+            }
+            PrisError::BadNoise { phi } => {
+                write!(f, "noise level must be non-negative, got {phi}")
+            }
+            PrisError::BadDelta { expected, found } => {
+                write!(f, "dropout diagonal has length {found}, expected {expected}")
+            }
+            PrisError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl Error for PrisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PrisError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sophie_linalg::LinalgError> for PrisError {
+    fn from(e: sophie_linalg::LinalgError) -> Self {
+        PrisError::Linalg(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PrisError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(PrisError::BadAlpha { alpha: 2.0 }.to_string().contains("[0, 1]"));
+        assert!(PrisError::BadNoise { phi: -1.0 }.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn linalg_errors_chain_source() {
+        let e = PrisError::from(sophie_linalg::LinalgError::Empty);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PrisError>();
+    }
+}

@@ -1,0 +1,186 @@
+//! The recurrent PRIS sampling step (paper Eq. 5–7).
+//!
+//! State is a binary vector `S ∈ {0,1}^N`. One iteration computes
+//! `X = C·S + η` with Gaussian `η`, then thresholds per component against
+//! `θ_i = ½ Σ_j C_ij`. Run long enough, the induced Markov chain
+//! concentrates on low-energy (high-cut) configurations.
+
+use rand::Rng;
+use sophie_linalg::Matrix;
+
+use crate::error::{PrisError, Result};
+use crate::noise::NoiseModel;
+
+/// An immutable PRIS model: the transformation matrix and its thresholds.
+#[derive(Debug, Clone)]
+pub struct PrisModel {
+    c: Matrix,
+    thresholds: Vec<f64>,
+    noise_scales: Vec<f64>,
+}
+
+impl PrisModel {
+    /// Wraps a transformation matrix produced by eigenvalue dropout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrisError::Linalg`] if `c` is empty, rectangular, or
+    /// non-symmetric.
+    pub fn new(c: Matrix) -> Result<Self> {
+        if c.rows() == 0 {
+            return Err(PrisError::Linalg(sophie_linalg::LinalgError::Empty));
+        }
+        if !c.is_square() {
+            return Err(PrisError::Linalg(sophie_linalg::LinalgError::NotSquare {
+                rows: c.rows(),
+                cols: c.cols(),
+            }));
+        }
+        let asym = c.max_asymmetry();
+        if asym > 1e-6 * (1.0 + c.max_abs()) {
+            return Err(PrisError::Linalg(sophie_linalg::LinalgError::NotSymmetric {
+                max_asymmetry: asym,
+            }));
+        }
+        let thresholds: Vec<f64> = c.row_sums().iter().map(|s| 0.5 * s).collect();
+        let noise_scales = crate::noise::row_scales(&c);
+        Ok(PrisModel {
+            c,
+            thresholds,
+            noise_scales,
+        })
+    }
+
+    /// Problem dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// The transformation matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// Per-component thresholds `θ_i = ½ Σ_j C_ij`.
+    #[must_use]
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Builds the noise model for a given φ under this matrix's row scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrisError::BadNoise`] for negative/NaN φ.
+    pub fn noise(&self, phi: f64) -> Result<NoiseModel> {
+        NoiseModel::new(phi, self.noise_scales.clone())
+    }
+
+    /// The noiseless field `C·S` for a binary state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.dim()`.
+    #[must_use]
+    pub fn field(&self, bits: &[bool]) -> Vec<f64> {
+        assert_eq!(bits.len(), self.dim(), "state length mismatch");
+        let s: Vec<f64> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        self.c.matvec(&s)
+    }
+
+    /// Executes one recurrent iteration in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths are inconsistent with the model dimension.
+    pub fn step<R: Rng + ?Sized>(&self, bits: &mut [bool], noise: &NoiseModel, rng: &mut R) {
+        let mut x = self.field(bits);
+        noise.perturb(&mut x, rng);
+        for (bit, (xi, th)) in bits.iter_mut().zip(x.iter().zip(&self.thresholds)) {
+            *bit = xi >= th;
+        }
+    }
+
+    /// Draws a uniformly random initial state.
+    pub fn random_state<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<bool> {
+        (0..self.dim()).map(|_| rng.gen_bool(0.5)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> PrisModel {
+        // A PSD matrix: C = vvᵀ with v = (1, 1).
+        let c = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        PrisModel::new(c).unwrap()
+    }
+
+    #[test]
+    fn thresholds_are_half_row_sums() {
+        let m = tiny_model();
+        assert_eq!(m.thresholds(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_nonsymmetric_matrix() {
+        let c = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(PrisModel::new(c).is_err());
+    }
+
+    #[test]
+    fn rejects_rectangular_and_empty() {
+        assert!(PrisModel::new(Matrix::zeros(2, 3)).is_err());
+        assert!(PrisModel::new(Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn field_matches_matvec() {
+        let m = tiny_model();
+        assert_eq!(m.field(&[true, false]), vec![1.0, 1.0]);
+        assert_eq!(m.field(&[true, true]), vec![2.0, 2.0]);
+        assert_eq!(m.field(&[false, false]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn noiseless_step_is_deterministic_threshold() {
+        let m = tiny_model();
+        let noise = m.noise(0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        // field([1,0]) = (1,1) = θ → both bits become 1 (x >= θ).
+        let mut bits = vec![true, false];
+        m.step(&mut bits, &noise, &mut rng);
+        assert_eq!(bits, vec![true, true]);
+        // field([0,0]) = (0,0) < θ → both stay 0.
+        let mut bits = vec![false, false];
+        m.step(&mut bits, &noise, &mut rng);
+        assert_eq!(bits, vec![false, false]);
+    }
+
+    #[test]
+    fn noisy_step_is_reproducible_per_seed() {
+        let m = tiny_model();
+        let noise = m.noise(0.5).unwrap();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut bits = vec![true, false];
+            for _ in 0..50 {
+                m.step(&mut bits, &noise, &mut rng);
+            }
+            bits
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn random_state_has_model_dimension() {
+        let m = tiny_model();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(m.random_state(&mut rng).len(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Hardware-in-the-loop functional simulation.
+//!
+//! Runs the identical tiled algorithm on (a) the exact floating-point
+//! backend and (b) the OPCM device model — quantized GST cells, analog
+//! read noise, 8-bit partial-sum ADC — and shows how solution quality
+//! holds up as the cells get coarser. This is the experiment that
+//! justifies trusting an analog optical substrate with the algorithm.
+//!
+//! Run with: `cargo run --release --example hardware_sim`
+
+use sophie::core::backend::IdealBackend;
+use sophie::core::{SophieConfig, SophieSolver};
+use sophie::graph::generate::{gnm, WeightDist};
+use sophie::hw::device::opcm::OpcmCellSpec;
+use sophie::hw::{OpcmBackend, OpcmBackendConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = gnm(512, 4096, WeightDist::Unit, 3)?;
+    let config = SophieConfig {
+        tile_size: 64,
+        global_iters: 150,
+        phi: 0.1,
+        ..SophieConfig::default()
+    };
+    let solver = SophieSolver::from_graph(&graph, config)?;
+    let runs = 3u64;
+
+    let best = |mk: &dyn Fn(u64) -> f64| (0..runs).map(mk).fold(f64::NEG_INFINITY, f64::max);
+
+    let ideal = best(&|seed| {
+        solver
+            .run_with_backend(&IdealBackend::new(), &graph, seed, None)
+            .expect("engine run")
+            .best_cut
+    });
+    println!("{:<34} {:>9.1}", "ideal floating-point backend", ideal);
+
+    for levels in [64u32, 16, 8, 4, 2] {
+        let cut = best(&|seed| {
+            let backend = OpcmBackend::new(OpcmBackendConfig {
+                cell: OpcmCellSpec {
+                    levels,
+                    ..OpcmCellSpec::default()
+                },
+                read_noise: 0.01,
+                adc_bits: 8,
+                seed: seed * 17 + 1,
+                ..OpcmBackendConfig::default()
+            });
+            solver
+                .run_with_backend(&backend, &graph, seed, None)
+                .expect("engine run")
+                .best_cut
+        });
+        println!(
+            "OPCM backend, {levels:>2}-level cells      {cut:>9.1}  ({:.1} % of ideal)",
+            100.0 * cut / ideal
+        );
+    }
+    println!("\n(64-level ≈ 6-bit GST cells are the demonstrated state of the art [21];");
+    println!(" the paper's design point loses almost nothing against exact arithmetic.)");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Parameter tuning: build the paper's (order, density) → (φ, α) lookup
+//! table (§IV-B) and use it on unseen instances.
+//!
+//! The optimal noise φ and dropout α drift with graph order and density;
+//! the paper proposes calibrating a lookup table offline. This example
+//! calibrates three workload classes, prints the table, and shows the
+//! tuned parameters transferring to fresh instances of each class.
+//!
+//! Run with: `cargo run --release --example tuning_table`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sophie::graph::generate::{gnm, WeightDist};
+use sophie::pris::tuning::{calibrate, validate_on, CalibrationConfig, TuningTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let classes: &[(usize, f64, &str)] = &[
+        (100, 0.9, "small dense (K100-like)"),
+        (200, 0.1, "medium sparse"),
+        (400, 0.02, "large sparse (GSET-like)"),
+    ];
+
+    let mut table = TuningTable::new();
+    let config = CalibrationConfig::default();
+    println!("calibrating {} workload classes…\n", classes.len());
+    for &(order, density, label) in classes {
+        let entry = calibrate(order, density, &config)?;
+        println!(
+            "{label:<28} order {order:>4} density {density:<5} → φ = {:<6} α = {:<4} (cut {:.0})",
+            entry.phi, entry.alpha, entry.calibration_cut
+        );
+        table.insert(entry);
+    }
+
+    println!("\napplying tuned parameters to unseen instances:");
+    let mut rng = StdRng::seed_from_u64(2024);
+    for &(order, density, label) in classes {
+        let capacity = order * (order - 1) / 2;
+        let m = ((density * capacity as f64) as usize).max(1);
+        let fresh = gnm(order, m, WeightDist::Unit, 777)?;
+        let entry = table
+            .lookup_graph(&fresh)
+            .expect("table has entries");
+        let cut = validate_on(entry, &fresh, 400, 3, &mut rng)?;
+        println!(
+            "{label:<28} lookup → φ = {:<6} best cut on fresh instance: {cut:.0}",
+            entry.phi
+        );
+    }
+    Ok(())
+}
