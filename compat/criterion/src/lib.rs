@@ -1,0 +1,349 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build container has no registry access, so this crate provides the
+//! API subset the workspace's benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a real
+//! measurement loop: each benchmark is warmed up, then timed over a number
+//! of samples, and the **median ns/iteration** is reported on stdout.
+//!
+//! Two extensions over upstream support the `repro bench-summary` tool:
+//!
+//! * quick mode — setting `SOPHIE_BENCH_QUICK=1` shrinks warm-up and
+//!   sample counts so a full sweep finishes in seconds;
+//! * programmatic results — [`Criterion::results`] returns the
+//!   [`BenchResult`]s collected so far, so a binary can run benchmark
+//!   functions in-process and serialize the numbers itself.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement outcome for one benchmark id.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id, `group/function` or `group/function/param`.
+    pub id: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Iterations executed per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Identifies a parameterized benchmark, as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter.
+    pub fn new<F: ToString, P: ToString>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id carrying only a parameter (function name comes from the group).
+    pub fn from_parameter<P: ToString>(parameter: P) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function as &str, &self.parameter) {
+            ("", Some(p)) => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing loop driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// Median ns/iter recorded by the most recent `iter` call.
+    recorded: Option<(f64, usize, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, keeping its return value alive via [`black_box`].
+    ///
+    /// Warm-up calibrates how many iterations fit the per-sample budget,
+    /// then `samples` batches are timed and the median per-iteration cost
+    /// is recorded.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: run until the warm-up budget elapses to both warm
+        // caches and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.settings.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let budget_ns = self.settings.sample_time.as_nanos() as f64;
+        let iters = ((budget_ns / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.settings.samples);
+        for _ in 0..self.settings.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = if samples.len() % 2 == 1 {
+            samples[samples.len() / 2]
+        } else {
+            let hi = samples.len() / 2;
+            (samples[hi - 1] + samples[hi]) / 2.0
+        };
+        self.recorded = Some((median, samples.len(), iters));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    warm_up: Duration,
+    sample_time: Duration,
+    samples: usize,
+}
+
+impl Settings {
+    fn new() -> Self {
+        if quick_mode() {
+            Settings {
+                warm_up: Duration::from_millis(20),
+                sample_time: Duration::from_millis(10),
+                samples: 7,
+            }
+        } else {
+            Settings {
+                warm_up: Duration::from_millis(300),
+                sample_time: Duration::from_millis(100),
+                samples: 15,
+            }
+        }
+    }
+}
+
+/// Whether quick mode (`SOPHIE_BENCH_QUICK=1`) is active.
+pub fn quick_mode() -> bool {
+    std::env::var("SOPHIE_BENCH_QUICK").is_ok_and(|v| v == "1" || v == "true")
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes how many samples each benchmark takes; here it caps
+    /// the sample count of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.samples = self.settings.samples.min(n.max(3));
+        self
+    }
+
+    /// Sets the per-sample measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        if !quick_mode() {
+            self.settings.sample_time = t / self.settings.samples as u32;
+        }
+        self
+    }
+
+    /// Runs and records one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(id.render(), f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        self.run(id.render(), |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, rendered: String, mut f: F) {
+        let full = format!("{}/{}", self.name, rendered);
+        let mut bencher = Bencher {
+            settings: &self.settings,
+            recorded: None,
+        };
+        f(&mut bencher);
+        let (median_ns, samples, iters) = bencher
+            .recorded
+            .expect("benchmark closure never called Bencher::iter");
+        println!(
+            "{full:<56} {:>14} ns/iter  (n={samples}x{iters})",
+            format_ns(median_ns)
+        );
+        self.criterion.results.push(BenchResult {
+            id: full,
+            median_ns,
+            samples,
+            iters_per_sample: iters,
+        });
+    }
+
+    /// Ends the group (kept for API parity; all work is already done).
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: ToString>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("-- group: {name}");
+        BenchmarkGroup {
+            name,
+            settings: Settings::new(),
+            criterion: self,
+        }
+    }
+
+    /// Runs and records an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let settings = Settings::new();
+        let mut bencher = Bencher {
+            settings: &settings,
+            recorded: None,
+        };
+        let mut f = f;
+        f(&mut bencher);
+        if let Some((median_ns, samples, iters)) = bencher.recorded {
+            println!(
+                "{name:<56} {:>14} ns/iter  (n={samples}x{iters})",
+                format_ns(median_ns)
+            );
+            self.results.push(BenchResult {
+                id: name.to_string(),
+                median_ns,
+                samples,
+                iters_per_sample: iters,
+            });
+        }
+        self
+    }
+
+    /// All measurements collected by this harness so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// Declares a benchmark suite function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs one or more suites.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records_medians() {
+        std::env::set_var("SOPHIE_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("compat");
+            g.sample_size(5);
+            g.bench_function("sum", |b| {
+                b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+            });
+            g.bench_with_input(BenchmarkId::new("scaled", 4usize), &4usize, |b, &n| {
+                b.iter(|| (0..n as u64 * 100).sum::<u64>())
+            });
+            g.finish();
+        }
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "compat/sum");
+        assert_eq!(results[1].id, "compat/scaled/4");
+        assert!(results.iter().all(|r| r.median_ns > 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 32).render(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(9).render(), "9");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline placeholder for `serde`.
+//!
+//! Every `serde` dependency in this workspace is **optional** and gated
+//! behind per-crate `serde` features that are never enabled in this
+//! environment (the `cfg_attr` derives therefore never expand). Cargo
+//! still has to *resolve* the optional dependency, and the build container
+//! has no registry access, so this empty crate satisfies the resolver.
+//!
+//! If a crate's `serde` feature is ever enabled against this placeholder,
+//! compilation fails loudly (no `Serialize`/`Deserialize` items exist)
+//! rather than silently producing non-functional serialization.

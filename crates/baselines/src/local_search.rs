@@ -49,11 +49,7 @@ fn descend(graph: &Graph, spins: &mut [i8], mut cut: f64) -> (f64, u64) {
     let n = graph.num_nodes();
     let mut gains: Vec<f64> = (0..n).map(|u| flip_gain(graph, spins, u)).collect();
     let mut moves = 0u64;
-    while let Some((u, &g)) = gains
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-    {
+    while let Some((u, &g)) = gains.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)) {
         if g <= 1e-12 {
             break;
         }
@@ -128,17 +124,38 @@ mod tests {
     #[test]
     fn local_optimum_has_no_improving_flip() {
         let g = gnm(60, 240, WeightDist::Unit, 3).unwrap();
-        let out = search(&g, &BlsConfig { rounds: 1, ..BlsConfig::default() });
+        let out = search(
+            &g,
+            &BlsConfig {
+                rounds: 1,
+                ..BlsConfig::default()
+            },
+        );
         for u in 0..60 {
-            assert!(flip_gain(&g, &out.best_spins, u) <= 1e-9, "node {u} improvable");
+            assert!(
+                flip_gain(&g, &out.best_spins, u) <= 1e-9,
+                "node {u} improvable"
+            );
         }
     }
 
     #[test]
     fn breakouts_improve_over_single_descent() {
         let g = gnm(120, 700, WeightDist::PlusMinusOne, 11).unwrap();
-        let single = search(&g, &BlsConfig { rounds: 1, ..BlsConfig::default() });
-        let multi = search(&g, &BlsConfig { rounds: 30, ..BlsConfig::default() });
+        let single = search(
+            &g,
+            &BlsConfig {
+                rounds: 1,
+                ..BlsConfig::default()
+            },
+        );
+        let multi = search(
+            &g,
+            &BlsConfig {
+                rounds: 30,
+                ..BlsConfig::default()
+            },
+        );
         assert!(multi.best_cut >= single.best_cut);
     }
 

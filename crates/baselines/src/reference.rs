@@ -58,38 +58,190 @@ pub struct ReferencePoint {
 
 /// Table II reference rows (small graphs).
 pub const TABLE2: &[ReferencePoint] = &[
-    ReferencePoint { architecture: "INPRIS", substrate: Substrate::Photonic, graph: "K100", time_s: 1e-6, time_hi_s: 10e-6, quality: QualityNote::T90, instances: None },
-    ReferencePoint { architecture: "PRIS", substrate: Substrate::Fpga, graph: "K100", time_s: 50e-6, time_hi_s: 1e-3, quality: QualityNote::T90, instances: None },
-    ReferencePoint { architecture: "CIM", substrate: Substrate::Photonic, graph: "K100", time_s: 2.3e-3, time_hi_s: 2.3e-3, quality: QualityNote::T90, instances: None },
-    ReferencePoint { architecture: "CIM", substrate: Substrate::Photonic, graph: "G22", time_s: 5e-3, time_hi_s: 5e-3, quality: QualityNote::BestError(0.008), instances: None },
-    ReferencePoint { architecture: "BRIM", substrate: Substrate::Electronic, graph: "G22", time_s: 0.25e-6, time_hi_s: 0.25e-6, quality: QualityNote::BestError(0.003), instances: None },
-    ReferencePoint { architecture: "BLS", substrate: Substrate::Cpu, graph: "G1", time_s: 13.0, time_hi_s: 13.0, quality: QualityNote::AvgError(0.001), instances: None },
-    ReferencePoint { architecture: "BLS", substrate: Substrate::Cpu, graph: "G22", time_s: 560.0, time_hi_s: 560.0, quality: QualityNote::AvgError(0.001), instances: None },
-    ReferencePoint { architecture: "D-Wave", substrate: Substrate::Quantum, graph: "K100", time_s: 5e18, time_hi_s: 5e18, quality: QualityNote::T90, instances: None },
+    ReferencePoint {
+        architecture: "INPRIS",
+        substrate: Substrate::Photonic,
+        graph: "K100",
+        time_s: 1e-6,
+        time_hi_s: 10e-6,
+        quality: QualityNote::T90,
+        instances: None,
+    },
+    ReferencePoint {
+        architecture: "PRIS",
+        substrate: Substrate::Fpga,
+        graph: "K100",
+        time_s: 50e-6,
+        time_hi_s: 1e-3,
+        quality: QualityNote::T90,
+        instances: None,
+    },
+    ReferencePoint {
+        architecture: "CIM",
+        substrate: Substrate::Photonic,
+        graph: "K100",
+        time_s: 2.3e-3,
+        time_hi_s: 2.3e-3,
+        quality: QualityNote::T90,
+        instances: None,
+    },
+    ReferencePoint {
+        architecture: "CIM",
+        substrate: Substrate::Photonic,
+        graph: "G22",
+        time_s: 5e-3,
+        time_hi_s: 5e-3,
+        quality: QualityNote::BestError(0.008),
+        instances: None,
+    },
+    ReferencePoint {
+        architecture: "BRIM",
+        substrate: Substrate::Electronic,
+        graph: "G22",
+        time_s: 0.25e-6,
+        time_hi_s: 0.25e-6,
+        quality: QualityNote::BestError(0.003),
+        instances: None,
+    },
+    ReferencePoint {
+        architecture: "BLS",
+        substrate: Substrate::Cpu,
+        graph: "G1",
+        time_s: 13.0,
+        time_hi_s: 13.0,
+        quality: QualityNote::AvgError(0.001),
+        instances: None,
+    },
+    ReferencePoint {
+        architecture: "BLS",
+        substrate: Substrate::Cpu,
+        graph: "G22",
+        time_s: 560.0,
+        time_hi_s: 560.0,
+        quality: QualityNote::AvgError(0.001),
+        instances: None,
+    },
+    ReferencePoint {
+        architecture: "D-Wave",
+        substrate: Substrate::Quantum,
+        graph: "K100",
+        time_s: 5e18,
+        time_hi_s: 5e18,
+        quality: QualityNote::T90,
+        instances: None,
+    },
 ];
 
 /// Table II rows reported for SOPHIE itself (for cross-checking our model
 /// output against the paper's).
 pub const TABLE2_SOPHIE: &[ReferencePoint] = &[
-    ReferencePoint { architecture: "SOPHIE (paper)", substrate: Substrate::Photonic, graph: "K100", time_s: 0.31e-6, time_hi_s: 0.31e-6, quality: QualityNote::T90, instances: Some(4) },
-    ReferencePoint { architecture: "SOPHIE (paper)", substrate: Substrate::Photonic, graph: "G1", time_s: 0.096e-6, time_hi_s: 0.096e-6, quality: QualityNote::AvgError(0.041), instances: Some(4) },
-    ReferencePoint { architecture: "SOPHIE (paper)", substrate: Substrate::Photonic, graph: "G22", time_s: 0.2e-6, time_hi_s: 0.2e-6, quality: QualityNote::AvgError(0.039), instances: Some(4) },
+    ReferencePoint {
+        architecture: "SOPHIE (paper)",
+        substrate: Substrate::Photonic,
+        graph: "K100",
+        time_s: 0.31e-6,
+        time_hi_s: 0.31e-6,
+        quality: QualityNote::T90,
+        instances: Some(4),
+    },
+    ReferencePoint {
+        architecture: "SOPHIE (paper)",
+        substrate: Substrate::Photonic,
+        graph: "G1",
+        time_s: 0.096e-6,
+        time_hi_s: 0.096e-6,
+        quality: QualityNote::AvgError(0.041),
+        instances: Some(4),
+    },
+    ReferencePoint {
+        architecture: "SOPHIE (paper)",
+        substrate: Substrate::Photonic,
+        graph: "G22",
+        time_s: 0.2e-6,
+        time_hi_s: 0.2e-6,
+        quality: QualityNote::AvgError(0.039),
+        instances: Some(4),
+    },
 ];
 
 /// Table III reference rows (large graphs).
 pub const TABLE3: &[ReferencePoint] = &[
-    ReferencePoint { architecture: "SB", substrate: Substrate::Fpga, graph: "K16384", time_s: 1.21e-3, time_hi_s: 1.21e-3, quality: QualityNote::Unreported, instances: Some(8) },
-    ReferencePoint { architecture: "mBRIM3D", substrate: Substrate::Electronic, graph: "K16384", time_s: 1.1e-6, time_hi_s: 1.1e-6, quality: QualityNote::Unreported, instances: Some(4) },
+    ReferencePoint {
+        architecture: "SB",
+        substrate: Substrate::Fpga,
+        graph: "K16384",
+        time_s: 1.21e-3,
+        time_hi_s: 1.21e-3,
+        quality: QualityNote::Unreported,
+        instances: Some(8),
+    },
+    ReferencePoint {
+        architecture: "mBRIM3D",
+        substrate: Substrate::Electronic,
+        graph: "K16384",
+        time_s: 1.1e-6,
+        time_hi_s: 1.1e-6,
+        quality: QualityNote::Unreported,
+        instances: Some(4),
+    },
 ];
 
 /// Table III rows reported for SOPHIE itself.
 pub const TABLE3_SOPHIE: &[ReferencePoint] = &[
-    ReferencePoint { architecture: "SOPHIE (paper)", substrate: Substrate::Photonic, graph: "K16384", time_s: 38.25e-6, time_hi_s: 38.25e-6, quality: QualityNote::Unreported, instances: Some(1) },
-    ReferencePoint { architecture: "SOPHIE (paper)", substrate: Substrate::Photonic, graph: "K16384", time_s: 20.40e-6, time_hi_s: 20.40e-6, quality: QualityNote::Unreported, instances: Some(2) },
-    ReferencePoint { architecture: "SOPHIE (paper)", substrate: Substrate::Photonic, graph: "K16384", time_s: 9.69e-6, time_hi_s: 9.69e-6, quality: QualityNote::Unreported, instances: Some(4) },
-    ReferencePoint { architecture: "SOPHIE (paper)", substrate: Substrate::Photonic, graph: "K32768", time_s: 129.0e-6, time_hi_s: 129.0e-6, quality: QualityNote::Unreported, instances: Some(1) },
-    ReferencePoint { architecture: "SOPHIE (paper)", substrate: Substrate::Photonic, graph: "K32768", time_s: 68.80e-6, time_hi_s: 68.80e-6, quality: QualityNote::Unreported, instances: Some(2) },
-    ReferencePoint { architecture: "SOPHIE (paper)", substrate: Substrate::Photonic, graph: "K32768", time_s: 32.34e-6, time_hi_s: 32.34e-6, quality: QualityNote::Unreported, instances: Some(4) },
+    ReferencePoint {
+        architecture: "SOPHIE (paper)",
+        substrate: Substrate::Photonic,
+        graph: "K16384",
+        time_s: 38.25e-6,
+        time_hi_s: 38.25e-6,
+        quality: QualityNote::Unreported,
+        instances: Some(1),
+    },
+    ReferencePoint {
+        architecture: "SOPHIE (paper)",
+        substrate: Substrate::Photonic,
+        graph: "K16384",
+        time_s: 20.40e-6,
+        time_hi_s: 20.40e-6,
+        quality: QualityNote::Unreported,
+        instances: Some(2),
+    },
+    ReferencePoint {
+        architecture: "SOPHIE (paper)",
+        substrate: Substrate::Photonic,
+        graph: "K16384",
+        time_s: 9.69e-6,
+        time_hi_s: 9.69e-6,
+        quality: QualityNote::Unreported,
+        instances: Some(4),
+    },
+    ReferencePoint {
+        architecture: "SOPHIE (paper)",
+        substrate: Substrate::Photonic,
+        graph: "K32768",
+        time_s: 129.0e-6,
+        time_hi_s: 129.0e-6,
+        quality: QualityNote::Unreported,
+        instances: Some(1),
+    },
+    ReferencePoint {
+        architecture: "SOPHIE (paper)",
+        substrate: Substrate::Photonic,
+        graph: "K32768",
+        time_s: 68.80e-6,
+        time_hi_s: 68.80e-6,
+        quality: QualityNote::Unreported,
+        instances: Some(2),
+    },
+    ReferencePoint {
+        architecture: "SOPHIE (paper)",
+        substrate: Substrate::Photonic,
+        graph: "K32768",
+        time_s: 32.34e-6,
+        time_hi_s: 32.34e-6,
+        quality: QualityNote::Unreported,
+        instances: Some(4),
+    },
 ];
 
 /// All reference points for a given graph name.

@@ -200,7 +200,13 @@ mod tests {
         let mut b = sophie_graph::GraphBuilder::new(3);
         b.add_edge(0, 1, 0.0).unwrap();
         let g = b.build().unwrap();
-        let out = bifurcate(&g, &SbConfig { steps: 10, ..SbConfig::default() });
+        let out = bifurcate(
+            &g,
+            &SbConfig {
+                steps: 10,
+                ..SbConfig::default()
+            },
+        );
         assert_eq!(out.best_cut, 0.0);
     }
 }

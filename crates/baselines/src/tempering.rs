@@ -174,7 +174,12 @@ mod tests {
             },
         );
         // Same sweep budget: PT should match or beat SA.
-        assert!(pt.best_cut >= sa.best_cut - 2.0, "pt {} sa {}", pt.best_cut, sa.best_cut);
+        assert!(
+            pt.best_cut >= sa.best_cut - 2.0,
+            "pt {} sa {}",
+            pt.best_cut,
+            sa.best_cut
+        );
     }
 
     #[test]

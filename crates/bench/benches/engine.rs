@@ -1,64 +1,16 @@
-//! Microbenchmarks of the tiled engine: full jobs, schedule generation,
-//! and the analytic op-count replay used for K32768-scale studies.
+//! Microbenchmarks of the tiled engine: full jobs, intra-round thread
+//! scaling, schedule generation, and the analytic op-count replay. Suites
+//! live in [`sophie_bench::micro`] so `repro bench-summary` can run the
+//! same code in-process.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sophie_core::{Schedule, SophieConfig, SophieSolver};
-use sophie_graph::generate::{gnm, WeightDist};
-use sophie_linalg::TileGrid;
-use std::hint::black_box;
-
-fn config(giters: usize) -> SophieConfig {
-    SophieConfig {
-        tile_size: 64,
-        local_iters: 10,
-        global_iters: giters,
-        tile_fraction: 0.74,
-        phi: 0.05,
-        alpha: 0.0,
-        stochastic_spin_update: true,
-    }
-}
-
-fn bench_engine_job(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_job");
-    group.sample_size(10);
-    for &n in &[256usize, 512] {
-        let g = gnm(n, 5 * n, WeightDist::Unit, 5).unwrap();
-        let solver = SophieSolver::from_graph(&g, config(10)).unwrap();
-        group.bench_with_input(BenchmarkId::new("10_global_iters", n), &n, |b, _| {
-            b.iter(|| solver.run(black_box(&g), 1, None).unwrap());
-        });
-    }
-    group.finish();
-}
-
-fn bench_schedule_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedule_generate");
-    for &n in &[2048usize, 8192] {
-        let grid = TileGrid::new(n, 64).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| Schedule::generate(black_box(&grid), 10, 0.74, true, 1));
-        });
-    }
-    group.finish();
-}
-
-fn bench_analytic_counts(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analytic_op_counts");
-    group.sample_size(10);
-    for &n in &[8192usize, 16_384] {
-        let cfg = config(10);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| sophie_core::analytic::analytic_op_counts(black_box(n), &cfg, 1).unwrap());
-        });
-    }
-    group.finish();
-}
+use criterion::{criterion_group, criterion_main};
+use sophie_bench::micro;
 
 criterion_group!(
     benches,
-    bench_engine_job,
-    bench_schedule_generation,
-    bench_analytic_counts
+    micro::engine_job,
+    micro::engine_scaling,
+    micro::schedule_generation,
+    micro::analytic_counts
 );
 criterion_main!(benches);

@@ -1,71 +1,14 @@
 //! Microbenchmarks of the MVM substrate: exact tiles, OPCM device arrays,
-//! and dense matrix-vector products.
+//! and dense matrix-vector products. Suites live in [`sophie_bench::micro`]
+//! so `repro bench-summary` can run the same code in-process.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sophie_core::backend::{IdealBackend, MvmBackend, MvmUnit};
-use sophie_hw::{OpcmBackend, OpcmBackendConfig};
-use sophie_linalg::{Matrix, Tile};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main};
+use sophie_bench::micro;
 
-fn tile_of(size: usize) -> Tile {
-    Tile::from_vec(
-        size,
-        (0..size * size)
-            .map(|i| ((i * 37 + 11) % 23) as f32 / 11.0 - 1.0)
-            .collect(),
-    )
-    .unwrap()
-}
-
-fn bench_tile_mvm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tile_mvm");
-    for &size in &[16usize, 64, 128] {
-        let tile = tile_of(size);
-        let x: Vec<f32> = (0..size).map(|i| (i % 2) as f32).collect();
-        let mut y = vec![0.0_f32; size];
-        group.bench_with_input(BenchmarkId::new("forward", size), &size, |b, _| {
-            b.iter(|| tile.mvm(black_box(&x), &mut y));
-        });
-        group.bench_with_input(BenchmarkId::new("transposed", size), &size, |b, _| {
-            b.iter(|| tile.mvm_transposed(black_box(&x), &mut y));
-        });
-    }
-    group.finish();
-}
-
-fn bench_backends(c: &mut Criterion) {
-    let mut group = c.benchmark_group("backend_mvm_64");
-    let tile = tile_of(64);
-    let x: Vec<f32> = (0..64).map(|i| (i % 2) as f32).collect();
-    let mut y = vec![0.0_f32; 64];
-
-    let ideal = IdealBackend::new();
-    let mut ideal_unit = ideal.unit(64);
-    ideal_unit.program(&tile);
-    group.bench_function("ideal", |b| {
-        b.iter(|| ideal_unit.forward(black_box(&x), &mut y));
-    });
-
-    let opcm = OpcmBackend::new(OpcmBackendConfig::default());
-    let mut opcm_unit = opcm.unit(64);
-    opcm_unit.program(&tile);
-    group.bench_function("opcm_device", |b| {
-        b.iter(|| opcm_unit.forward(black_box(&x), &mut y));
-    });
-    group.finish();
-}
-
-fn bench_dense_matvec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dense_matvec");
-    for &n in &[256usize, 1024] {
-        let m = Matrix::from_fn(n, n, |r, cc| ((r * 3 + cc * 7) % 17) as f64 / 8.0 - 1.0);
-        let x: Vec<f64> = (0..n).map(|i| (i % 3) as f64 - 1.0).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| m.matvec(black_box(&x)));
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_tile_mvm, bench_backends, bench_dense_matvec);
+criterion_group!(
+    benches,
+    micro::tile_mvm,
+    micro::backend_mvm,
+    micro::dense_matvec
+);
 criterion_main!(benches);

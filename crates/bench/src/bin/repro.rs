@@ -16,19 +16,19 @@ use std::process::ExitCode;
 use sophie_bench::experiments;
 use sophie_bench::{Fidelity, Instances, Report};
 
-const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|all> [--fast] [--out DIR]";
+const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|all|bench-summary> [--fast] [--out DIR]";
 
 fn main() -> ExitCode {
     let mut command: Option<String> = None;
     let mut fast = false;
-    let mut out_dir = PathBuf::from("results");
+    let mut out_dir: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => fast = true,
             "--out" => match args.next() {
-                Some(dir) => out_dir = PathBuf::from(dir),
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--out requires a directory\n{USAGE}");
                     return ExitCode::FAILURE;
@@ -52,6 +52,28 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    if command == "bench-summary" {
+        // Microbench sweep, not a paper experiment: medians land next to
+        // the repo (or in --out DIR) as BENCH_sophie.json for PR-over-PR
+        // tracking.
+        let path = out_dir
+            .map(|d| d.join("BENCH_sophie.json"))
+            .unwrap_or_else(|| PathBuf::from("BENCH_sophie.json"));
+        eprintln!("\n### running bench-summary (quick mode) ###");
+        let start = std::time::Instant::now();
+        if let Err(e) = sophie_bench::micro::write_bench_summary(&path) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "### bench-summary done in {:.1?}, wrote {} ###",
+            start.elapsed(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("results"));
     let fidelity = Fidelity::from_fast_flag(fast);
     let report = match Report::new(&out_dir) {
         Ok(r) => r,

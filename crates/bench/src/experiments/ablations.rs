@@ -78,7 +78,10 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
     ]);
 
     // 2. Symmetric local update depth.
-    for (label, l, g_scale) in [("L=1 (sync every iteration)", 1usize, 10usize), ("L=10 (paper)", 10, 1)] {
+    for (label, l, g_scale) in [
+        ("L=1 (sync every iteration)", 1usize, 10usize),
+        ("L=10 (paper)", 10, 1),
+    ] {
         let cfg = SophieConfig {
             local_iters: l,
             global_iters: base(fidelity).global_iters * g_scale,
@@ -144,7 +147,10 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
     rows.push(vec![
         "tile mapping: naive (one array per logical tile)".into(),
         "-".into(),
-        format!("{logical} physical arrays ({:.2}× more)", logical as f64 / physical as f64),
+        format!(
+            "{logical} physical arrays ({:.2}× more)",
+            logical as f64 / physical as f64
+        ),
     ]);
 
     report.table(

@@ -76,13 +76,8 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
                     global_iters: avg_rounds.round() as usize,
                     ..config.clone()
                 };
-                let w = WorkloadSummary::analytic(
-                    graph.num_nodes(),
-                    &timed_config,
-                    batch,
-                    0,
-                )
-                .expect("validated configuration");
+                let w = WorkloadSummary::analytic(graph.num_nodes(), &timed_config, batch, 0)
+                    .expect("validated configuration");
                 let t = batch_time(&machine, &params, &w, 8).expect("validated machine");
                 (fmt_time(t.per_job_s), format!("{avg_rounds:.0}"))
             } else {
@@ -94,7 +89,11 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
                 cell_rounds,
                 cell_time.clone(),
             ]);
-            eprintln!("[fig10] L={local} frac={frac}: {}/{} converged, {cell_time}", hits.len(), runs);
+            eprintln!(
+                "[fig10] L={local} frac={frac}: {}/{} converged, {cell_time}",
+                hits.len(),
+                runs
+            );
         }
     }
     report.table(

@@ -53,8 +53,8 @@ pub fn run(_inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::i
         };
         for &batch in fidelity.batch_grid() {
             let w = WorkloadSummary::from_ops(n, &config, &ops, batch);
-            let ppa = edap::evaluate(&machine, &params, &cell, &w, &ops, 8)
-                .expect("validated machine");
+            let ppa =
+                edap::evaluate(&machine, &params, &cell, &w, &ops, 8).expect("validated machine");
             let e = ppa.edap();
             if best.is_none_or(|(b, _, _)| e < b) {
                 best = Some((e, tile, batch));
@@ -72,7 +72,14 @@ pub fn run(_inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::i
     report.table(
         "fig9",
         &format!("Fig. 9: EDAP per job, K{n}, one accelerator ({rounds} global iterations)"),
-        &["tile_size", "batch_size", "edap_J_s_mm2", "time_per_job_s", "energy_per_job_J", "area_mm2"],
+        &[
+            "tile_size",
+            "batch_size",
+            "edap_J_s_mm2",
+            "time_per_job_s",
+            "energy_per_job_J",
+            "area_mm2",
+        ],
         &rows,
     )?;
     if let Some((e, t, b)) = best {

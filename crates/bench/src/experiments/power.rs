@@ -34,7 +34,15 @@ pub fn run(_inst: &mut Instances, _fidelity: Fidelity, report: &Report) -> std::
     report.table(
         "power",
         "Steady-state power budget (W), batch 100 — vs D-Wave's 16 kW cryogenics",
-        &["accelerators", "laser", "adc", "sram", "control", "dram", "total"],
+        &[
+            "accelerators",
+            "laser",
+            "adc",
+            "sram",
+            "control",
+            "dram",
+            "total",
+        ],
         &rows,
     )
 }

@@ -125,7 +125,10 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
     rows.push(vec![
         "INPRIS time range on K100 (for the 3× small-graph claim)".into(),
         "1–10 µs".into(),
-        format!("{:.2e}–{:.2e} s (see table2 for our measured K100 row)", inpris.time_s, inpris.time_hi_s),
+        format!(
+            "{:.2e}–{:.2e} s (see table2 for our measured K100 row)",
+            inpris.time_s, inpris.time_hi_s
+        ),
     ]);
 
     report.table(

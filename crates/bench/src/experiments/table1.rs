@@ -17,8 +17,14 @@ use sophie_graph::GraphStats;
 pub fn run(inst: &mut Instances, _fidelity: Fidelity, report: &Report) -> std::io::Result<()> {
     let mut rows = Vec::new();
     for (name, desc) in [
-        ("G1", "from GSET family (regenerated, 800 nodes / 19176 unit edges)"),
-        ("G22", "from GSET family (regenerated, 2000 nodes / 19990 unit edges)"),
+        (
+            "G1",
+            "from GSET family (regenerated, 800 nodes / 19176 unit edges)",
+        ),
+        (
+            "G22",
+            "from GSET family (regenerated, 2000 nodes / 19990 unit edges)",
+        ),
         ("K100", "randomly generated complete graph (±1 weights)"),
     ] {
         let g = inst.graph(name);

@@ -26,6 +26,7 @@
 pub mod experiments;
 pub mod fidelity;
 pub mod instances;
+pub mod micro;
 pub mod report;
 
 pub use fidelity::Fidelity;

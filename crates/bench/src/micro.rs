@@ -1,0 +1,266 @@
+//! Shared microbenchmark suites.
+//!
+//! The criterion bench targets (`benches/mvm.rs`, `benches/engine.rs`) and
+//! the `repro bench-summary` command run the same suites: each suite is a
+//! plain `fn(&mut Criterion)` so `cargo bench` executes it under the
+//! harness while `bench-summary` drives it in-process (quick mode) and
+//! serializes the collected medians into `BENCH_sophie.json`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use criterion::{black_box, BenchResult, BenchmarkId, Criterion};
+use sophie_core::backend::{IdealBackend, MvmBackend, MvmUnit};
+use sophie_core::{Schedule, SophieConfig, SophieSolver};
+use sophie_graph::generate::{gnm, WeightDist};
+use sophie_hw::{OpcmBackend, OpcmBackendConfig};
+use sophie_linalg::{Matrix, Tile, TileGrid};
+
+fn tile_of(size: usize) -> Tile {
+    Tile::from_vec(
+        size,
+        (0..size * size)
+            .map(|i| ((i * 37 + 11) % 23) as f32 / 11.0 - 1.0)
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn engine_config(giters: usize) -> SophieConfig {
+    SophieConfig {
+        tile_size: 64,
+        local_iters: 10,
+        global_iters: giters,
+        tile_fraction: 0.74,
+        phi: 0.05,
+        alpha: 0.0,
+        stochastic_spin_update: true,
+    }
+}
+
+/// Tile-level MVM kernels: forward and bidirectional (transposed) reads.
+pub fn tile_mvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_mvm");
+    for &size in &[16usize, 64, 128] {
+        let tile = tile_of(size);
+        let x: Vec<f32> = (0..size).map(|i| (i % 2) as f32).collect();
+        let mut y = vec![0.0_f32; size];
+        group.bench_with_input(BenchmarkId::new("forward", size), &size, |b, _| {
+            b.iter(|| tile.mvm(black_box(&x), &mut y));
+        });
+        group.bench_with_input(BenchmarkId::new("transposed", size), &size, |b, _| {
+            b.iter(|| tile.mvm_transposed(black_box(&x), &mut y));
+        });
+    }
+    group.finish();
+}
+
+/// The same 64×64 MVM through the ideal backend and the OPCM device model.
+pub fn backend_mvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_mvm_64");
+    let tile = tile_of(64);
+    let x: Vec<f32> = (0..64).map(|i| (i % 2) as f32).collect();
+    let mut y = vec![0.0_f32; 64];
+
+    let ideal = IdealBackend::new();
+    let mut ideal_unit = ideal.unit(64);
+    ideal_unit.program(&tile);
+    group.bench_function("ideal", |b| {
+        b.iter(|| ideal_unit.forward(black_box(&x), &mut y));
+    });
+
+    let opcm = OpcmBackend::new(OpcmBackendConfig::default());
+    let mut opcm_unit = opcm.unit(64);
+    opcm_unit.program(&tile);
+    group.bench_function("opcm_device", |b| {
+        b.iter(|| opcm_unit.forward(black_box(&x), &mut y));
+    });
+    group.finish();
+}
+
+/// Dense f64 matrix-vector products (preprocessing path).
+pub fn dense_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_matvec");
+    for &n in &[256usize, 1024] {
+        let m = Matrix::from_fn(n, n, |r, cc| ((r * 3 + cc * 7) % 17) as f64 / 8.0 - 1.0);
+        let x: Vec<f64> = (0..n).map(|i| (i % 3) as f64 - 1.0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| m.matvec(black_box(&x)));
+        });
+    }
+    group.finish();
+}
+
+/// Full engine jobs on random G(n, m) instances.
+pub fn engine_job(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_job");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let g = gnm(n, 5 * n, WeightDist::Unit, 5).unwrap();
+        let solver = SophieSolver::from_graph(&g, engine_config(10)).unwrap();
+        group.bench_with_input(BenchmarkId::new("10_global_iters", n), &n, |b, _| {
+            b.iter(|| solver.run(black_box(&g), 1, None).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Static schedule generation at machine scale.
+pub fn schedule_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_generate");
+    for &n in &[2048usize, 8192] {
+        let grid = TileGrid::new(n, 64).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| Schedule::generate(black_box(&grid), 10, 0.74, true, 1));
+        });
+    }
+    group.finish();
+}
+
+/// The closed-form op-count replay used for K32768-scale studies.
+pub fn analytic_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic_op_counts");
+    group.sample_size(10);
+    for &n in &[8192usize, 16_384] {
+        let cfg = engine_config(10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sophie_core::analytic::analytic_op_counts(black_box(n), &cfg, 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Thread counts compared by the scaling suite: serial baseline plus the
+/// pool widths whose speedups `bench-summary` reports.
+pub const SCALING_THREADS: [usize; 2] = [1, 4];
+
+/// Intra-round parallel scaling on a G22-sized job at 100% tiles.
+///
+/// A 2000-spin instance with 64-wide tiles gives 32 blocks = 528 symmetric
+/// pairs per round — the workload shape of the paper's Fig. 10 sweep. Each
+/// thread count runs the *same* job (traces are thread-count-independent),
+/// so the medians isolate pool overhead vs. intra-round parallelism.
+pub fn engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling_g22");
+    group.sample_size(10);
+    // Build the solver from a synthetic symmetric transform directly: the
+    // eigensolve in `from_graph` costs minutes at n=2000 and is not what
+    // this suite measures.
+    let n = 2000;
+    let cfg = SophieConfig {
+        tile_fraction: 1.0,
+        global_iters: 2,
+        ..engine_config(2)
+    };
+    let m = Matrix::from_fn(n, n, |r, cc| {
+        let v = ((r * 31 + cc * 17) % 13) as f64 / 6.0 - 1.0;
+        if r <= cc {
+            v
+        } else {
+            ((cc * 31 + r * 17) % 13) as f64 / 6.0 - 1.0
+        }
+    });
+    let solver = SophieSolver::from_transform(&m, cfg).unwrap();
+    let g = gnm(n, 10 * n, WeightDist::Unit, 7).unwrap();
+    let prev = std::env::var("SOPHIE_THREADS").ok();
+    for threads in SCALING_THREADS {
+        std::env::set_var("SOPHIE_THREADS", threads.to_string());
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| solver.run(black_box(&g), 1, None).unwrap());
+        });
+    }
+    match prev {
+        Some(v) => std::env::set_var("SOPHIE_THREADS", v),
+        None => std::env::remove_var("SOPHIE_THREADS"),
+    }
+    group.finish();
+}
+
+/// Runs every suite of the `mvm` and `engine` bench targets into `c`.
+pub fn all_suites(c: &mut Criterion) {
+    tile_mvm(c);
+    backend_mvm(c);
+    dense_matvec(c);
+    engine_job(c);
+    engine_scaling(c);
+    schedule_generation(c);
+    analytic_counts(c);
+}
+
+/// Serializes bench results as the `BENCH_sophie.json` document tracked
+/// across PRs: one record per kernel plus the intra-round scaling block
+/// derived from the [`engine_scaling`] suite.
+#[must_use]
+pub fn summary_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"sophie-bench-v1\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if criterion::quick_mode() {
+            "quick"
+        } else {
+            "full"
+        }
+    );
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let _ = writeln!(out, "  \"host_cores\": {cores},");
+
+    let scaling_ns = |threads: usize| {
+        let id = format!("engine_scaling_g22/threads/{threads}");
+        results.iter().find(|r| r.id == id).map(|r| r.median_ns)
+    };
+    if let (Some(serial), Some(parallel)) = (
+        scaling_ns(SCALING_THREADS[0]),
+        scaling_ns(SCALING_THREADS[1]),
+    ) {
+        let _ = writeln!(out, "  \"engine_scaling\": {{");
+        let _ = writeln!(out, "    \"job\": \"g22_sized_n2000_tile64_full_round\",");
+        let _ = writeln!(out, "    \"threads_1_ns\": {serial:.1},");
+        let _ = writeln!(
+            out,
+            "    \"threads_{}_ns\": {parallel:.1},",
+            SCALING_THREADS[1]
+        );
+        let _ = writeln!(out, "    \"speedup\": {:.3},", serial / parallel);
+        let _ = writeln!(
+            out,
+            "    \"note\": \"{}\"",
+            if cores < SCALING_THREADS[1] {
+                "host has fewer cores than the pool width; speedup bounded by host_cores"
+            } else {
+                "wall-clock speedup of one job from intra-round pair parallelism"
+            }
+        );
+        let _ = writeln!(out, "  }},");
+    }
+
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{comma}",
+            r.id, r.median_ns, r.samples, r.iters_per_sample
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs all suites in quick mode and writes `BENCH_sophie.json` at `path`.
+///
+/// Unless the caller already configured `SOPHIE_BENCH_QUICK`, quick mode is
+/// forced so the whole sweep finishes in seconds.
+///
+/// # Errors
+///
+/// Propagates the I/O error if `path` cannot be written.
+pub fn write_bench_summary(path: &Path) -> std::io::Result<()> {
+    if std::env::var("SOPHIE_BENCH_QUICK").is_err() {
+        std::env::set_var("SOPHIE_BENCH_QUICK", "1");
+    }
+    let mut c = Criterion::default();
+    all_suites(&mut c);
+    std::fs::write(path, summary_json(c.results()))
+}

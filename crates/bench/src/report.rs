@@ -126,12 +126,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("sophie_report_{}", std::process::id()));
         let report = Report::new(&dir).unwrap();
         report
-            .table(
-                "demo",
-                "Demo",
-                &["a", "b"],
-                &[vec!["1".into(), "2".into()]],
-            )
+            .table("demo", "Demo", &["a", "b"], &[vec!["1".into(), "2".into()]])
             .unwrap();
         let csv = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
         assert_eq!(csv, "a,b\n1,2\n");

@@ -10,7 +10,11 @@ use sophie_linalg::Tile;
 
 /// One physical bidirectional matrix-vector unit (an OPCM array plus its
 /// converters): stores a tile and multiplies by it or its transpose.
-pub trait MvmUnit {
+///
+/// Units must be [`Send`]: the engine executes the selected tile pairs of a
+/// round concurrently, moving each pair's unit borrow onto a worker thread.
+/// A unit is only ever driven by one thread at a time (no `Sync` needed).
+pub trait MvmUnit: Send {
     /// Programs the unit with the contents of `tile` (an OPCM write).
     fn program(&mut self, tile: &Tile);
 

@@ -117,7 +117,10 @@ mod tests {
         };
         assert!(matches!(
             c.validate(),
-            Err(SophieError::BadConfig { field: "tile_size", .. })
+            Err(SophieError::BadConfig {
+                field: "tile_size",
+                ..
+            })
         ));
     }
 

@@ -14,12 +14,24 @@
 //! run on the exact floating-point substrate or on the OPCM device model in
 //! `sophie-hw`, and it tallies an [`OpCounts`] as it goes — the interface to
 //! the power/performance models.
+//!
+//! # Threading model
+//!
+//! Within a round, the selected tile pairs are independent by construction:
+//! each owns a private spin copy and partial-sum segment, and reads only
+//! offset vectors frozen at the last synchronization. The engine exploits
+//! this by fanning the pairs of every round across the persistent worker
+//! pool in [`sophie_linalg::par`] (bounded by `SOPHIE_THREADS`). Noise is
+//! drawn from counter-derived per-`(round, pair)` RNG streams rather than
+//! one shared generator, and per-pair [`OpCounts`] tallies are folded in a
+//! fixed order after the run — so outcomes (traces, bits, op counts) are
+//! bit-identical regardless of the thread count.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sophie_graph::cut::cut_value_binary;
 use sophie_graph::Graph;
-use sophie_linalg::{Matrix, Tile, TileGrid, TilePair};
+use sophie_linalg::{par, Matrix, Tile, TileGrid, TilePair};
 use sophie_pris::CutTracker;
 
 use crate::backend::{IdealBackend, MvmBackend, MvmUnit};
@@ -238,21 +250,30 @@ impl SophieSolver {
         initial_bits: Option<&[bool]>,
     ) -> Result<SophieOutcome> {
         assert_eq!(graph.num_nodes(), self.n, "graph order mismatch");
-        assert_eq!(schedule.blocks(), self.grid.blocks(), "schedule grid mismatch");
+        assert_eq!(
+            schedule.blocks(),
+            self.grid.blocks(),
+            "schedule grid mismatch"
+        );
 
         let t = self.grid.tile();
         let b = self.grid.blocks();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut gauss = GaussianSource::new();
         let mut ops = OpCounts::new();
 
-        // Program every pair's primary tile into its physical array.
-        let mut units: Vec<B::Unit> = Vec::with_capacity(self.pairs.len());
-        for tile in &self.tiles {
-            let mut u = backend.unit(t);
-            u.program(tile);
-            units.push(u);
-        }
+        // Program every pair's primary tile into its physical array. This
+        // stays serial: backends may hand out unit ids from a shared
+        // counter, and the id ↔ pair mapping must not depend on timing.
+        let mut states: Vec<PairState<B::Unit>> = self
+            .pairs
+            .iter()
+            .enumerate()
+            .map(|(pi, &pair)| {
+                let mut unit = backend.unit(t);
+                unit.program(&self.tiles[pi]);
+                PairState::new(pair, pi, unit, t)
+            })
+            .collect();
         ops.tiles_programmed += self.pairs.len() as u64;
 
         // Global spin state, padded; padding stays 0 and couples to nothing.
@@ -260,8 +281,8 @@ impl SophieSolver {
         match initial_bits {
             Some(bits) => {
                 assert_eq!(bits.len(), self.n, "initial state length mismatch");
-                for (g, &b) in global.iter_mut().zip(bits) {
-                    *g = if b { 1.0 } else { 0.0 };
+                for (g, &bit) in global.iter_mut().zip(bits) {
+                    *g = if bit { 1.0 } else { 0.0 };
                 }
             }
             None => {
@@ -271,44 +292,22 @@ impl SophieSolver {
             }
         }
 
-        // Per-logical-tile partial sums and offset vectors.
-        let mut partial = vec![0.0_f32; b * b * t];
-        let mut offsets = vec![0.0_f32; b * b * t];
-        let vec_at = |r: usize, c: usize| (r * b + c) * t..(r * b + c + 1) * t;
-
-        // Initial partial sums: every tile's contribution to its row.
-        let mut y = vec![0.0_f32; t];
-        for (pi, pair) in self.pairs.iter().enumerate() {
-            match *pair {
-                TilePair::Diagonal(d) => {
-                    units[pi].forward(&global[d * t..(d + 1) * t], &mut y);
-                    units[pi].quantize_8bit(&mut y);
-                    partial[vec_at(d, d)].copy_from_slice(&y);
-                    ops.tile_mvms_8bit += 1;
-                    ops.adc_8bit_samples += t as u64;
-                    ops.eo_input_bits += t as u64;
+        // Initial partial sums — every tile's contribution to its block
+        // row — and private spin copies: one independent task per pair.
+        {
+            let global_ref: &[f32] = &global;
+            par::for_each_chunk_mut(&mut states, self.pairs.len(), |_, chunk| {
+                for st in chunk {
+                    st.initial_partials(global_ref, t);
+                    st.reset_from_global(global_ref, t);
                 }
-                TilePair::OffDiagonal { row, col } => {
-                    units[pi].forward(&global[col * t..(col + 1) * t], &mut y);
-                    units[pi].quantize_8bit(&mut y);
-                    partial[vec_at(row, col)].copy_from_slice(&y);
-                    units[pi].transposed(&global[row * t..(row + 1) * t], &mut y);
-                    units[pi].quantize_8bit(&mut y);
-                    partial[vec_at(col, row)].copy_from_slice(&y);
-                    ops.tile_mvms_8bit += 2;
-                    ops.adc_8bit_samples += 2 * t as u64;
-                    ops.eo_input_bits += 2 * t as u64;
-                }
-            }
+            });
         }
-        recompute_offsets(&partial, &mut offsets, b, t, &mut ops);
 
-        // Per-pair private spin copies.
-        let mut inputs: Vec<PairInputs> = self
-            .pairs
-            .iter()
-            .map(|p| PairInputs::from_global(*p, &global, t))
-            .collect();
+        // Per-logical-tile offset vectors: frozen (read-only) during local
+        // iterations, regathered from the pair states at every sync.
+        let mut offsets = vec![0.0_f32; b * b * t];
+        self.recompute_offsets(&states, &mut offsets, &mut ops);
 
         let mut tracker = CutTracker::new(target_cut);
         let mut bits = global_bits(&global, self.n);
@@ -323,74 +322,29 @@ impl SophieSolver {
         let local_iters = self.config.local_iters;
 
         for (g, round) in schedule.rounds().iter().enumerate() {
-            // ---- Local iterations on the selected pairs. ----
-            for &pi in &round.pairs {
-                let pair = self.pairs[pi];
-                let unit = &mut units[pi];
-                let state = &mut inputs[pi];
-                for l in 0..local_iters {
-                    let last = l + 1 == local_iters;
-                    match pair {
-                        TilePair::Diagonal(d) => {
-                            unit.forward(&state.primary, &mut y);
-                            if last {
-                                unit.quantize_8bit(&mut y);
-                                partial[vec_at(d, d)].copy_from_slice(&y);
-                            }
-                            self.finish_half_step(
-                                &mut y,
-                                &offsets[vec_at(d, d)],
-                                d,
-                                phi,
-                                &mut gauss,
-                                &mut rng,
-                                &mut state.primary,
-                            );
-                            count_local_mvm(&mut ops, t, last, 1);
-                        }
-                        TilePair::OffDiagonal { row, col } => {
-                            // Tile (row, col): x_col → y_row.
-                            unit.forward(&state.primary, &mut y);
-                            if last {
-                                unit.quantize_8bit(&mut y);
-                                partial[vec_at(row, col)].copy_from_slice(&y);
-                            }
-                            self.finish_half_step(
-                                &mut y,
-                                &offsets[vec_at(row, col)],
-                                row,
-                                phi,
-                                &mut gauss,
-                                &mut rng,
-                                &mut state.partner,
-                            );
-                            // Tile (col, row) = transpose: x_row → y_col.
-                            unit.transposed(&state.partner, &mut y);
-                            if last {
-                                unit.quantize_8bit(&mut y);
-                                partial[vec_at(col, row)].copy_from_slice(&y);
-                            }
-                            self.finish_half_step(
-                                &mut y,
-                                &offsets[vec_at(col, row)],
-                                col,
-                                phi,
-                                &mut gauss,
-                                &mut rng,
-                                &mut state.primary,
-                            );
-                            count_local_mvm(&mut ops, t, last, 2);
-                        }
+            // ---- Local iterations: all selected pairs run concurrently.
+            // Each pair owns its unit, spin copies, partial-sum segments and
+            // op tally; shared state (offsets, thresholds) is read-only; and
+            // noise comes from a counter-derived per-(round, pair) RNG
+            // stream — so traces are bit-identical for every SOPHIE_THREADS
+            // value, including 1.
+            {
+                let mut selected = collect_selected(&mut states, &round.pairs);
+                let offsets_ref: &[f32] = &offsets;
+                let round_index = (g + 1) as u64;
+                par::for_each_chunk_mut(&mut selected, round.pairs.len().max(1), |_, chunk| {
+                    for st in chunk.iter_mut() {
+                        self.run_local_iters(st, offsets_ref, round_index, seed, local_iters, phi);
                     }
-                }
+                });
             }
 
-            // ---- Global synchronization. ----
+            // ---- Global synchronization (serial: cheap copies/votes). ----
             let mut updated_cols = 0u64;
             for cblock in 0..b {
                 if schedule.stochastic_spin() {
                     if let Some(donor) = round.donors[cblock] {
-                        let copy = self.column_copy(&inputs, donor, cblock);
+                        let copy = self.column_copy(&states, donor, cblock);
                         global[cblock * t..(cblock + 1) * t].copy_from_slice(copy);
                         updated_cols += 1;
                     }
@@ -398,7 +352,7 @@ impl SophieSolver {
                     let rows = schedule.eligible_rows(round, cblock);
                     if !rows.is_empty() {
                         self.majority_update(
-                            &inputs,
+                            &states,
                             &rows,
                             cblock,
                             &mut global[cblock * t..(cblock + 1) * t],
@@ -409,8 +363,8 @@ impl SophieSolver {
                 }
             }
             // Broadcast the synchronized columns to every tile's copy.
-            for (pi, pair) in self.pairs.iter().enumerate() {
-                inputs[pi].reset_from_global(*pair, &global, t);
+            for st in &mut states {
+                st.reset_from_global(&global, t);
             }
             ops.spin_broadcast_bits += updated_cols * (b * t) as u64;
             let selected_logical: u64 = round
@@ -419,17 +373,13 @@ impl SophieSolver {
                 .map(|&pi| self.pairs[pi].logical_tiles() as u64)
                 .sum();
             ops.partial_sum_bits += selected_logical * (t * 8) as u64;
-            recompute_offsets(&partial, &mut offsets, b, t, &mut ops);
+            self.recompute_offsets(&states, &mut offsets, &mut ops);
             ops.global_syncs += 1;
             ops.pairs_executed += round.pairs.len() as u64;
 
             // ---- Quality tracking at the synchronized state. ----
             let new_bits = global_bits(&global, self.n);
-            let flips = bits
-                .iter()
-                .zip(&new_bits)
-                .filter(|(a, b)| a != b)
-                .count();
+            let flips = bits.iter().zip(&new_bits).filter(|(a, b)| a != b).count();
             activity.push(flips);
             bits = new_bits;
             let cut = cut_value_binary(graph, &bits);
@@ -441,6 +391,13 @@ impl SophieSolver {
             trace.push(cut);
         }
 
+        // Fold the per-pair tallies into the run total. Iteration order is
+        // fixed and u64 addition is commutative, so the totals cannot
+        // depend on how pairs were scheduled across threads.
+        for st in &states {
+            ops = ops.combined(&st.ops);
+        }
+
         Ok(SophieOutcome {
             best_cut: tracker.best_cut(),
             best_bits,
@@ -450,6 +407,123 @@ impl SophieSolver {
             activity_trace: activity,
             ops,
         })
+    }
+
+    /// Executes the local iterations of one selected pair for one round.
+    ///
+    /// Called concurrently for distinct pairs: everything mutated lives in
+    /// `st`, the shared inputs (`offsets`, thresholds, noise scales) are
+    /// read-only, and noise is drawn from the pair's private stream (see
+    /// [`noise_stream_seed`]) — never from a shared RNG.
+    fn run_local_iters<U: MvmUnit>(
+        &self,
+        st: &mut PairState<U>,
+        offsets: &[f32],
+        round_index: u64,
+        seed: u64,
+        local_iters: usize,
+        phi: f32,
+    ) {
+        let t = self.grid.tile();
+        let b = self.grid.blocks();
+        let mut rng =
+            SmallRng::seed_from_u64(noise_stream_seed(seed, round_index, st.index as u64));
+        let mut gauss = GaussianSource::new();
+        for l in 0..local_iters {
+            let last = l + 1 == local_iters;
+            match st.pair {
+                TilePair::Diagonal(d) => {
+                    st.unit.forward(&st.primary, &mut st.y);
+                    if last {
+                        st.unit.quantize_8bit(&mut st.y);
+                        st.partial_primary.copy_from_slice(&st.y);
+                    }
+                    self.finish_half_step(
+                        &mut st.y,
+                        &offsets[vec_at(b, t, d, d)],
+                        d,
+                        phi,
+                        &mut gauss,
+                        &mut rng,
+                        &mut st.primary,
+                    );
+                    count_local_mvm(&mut st.ops, t, last, 1);
+                }
+                TilePair::OffDiagonal { row, col } => {
+                    // Tile (row, col): x_col → y_row.
+                    st.unit.forward(&st.primary, &mut st.y);
+                    if last {
+                        st.unit.quantize_8bit(&mut st.y);
+                        st.partial_primary.copy_from_slice(&st.y);
+                    }
+                    self.finish_half_step(
+                        &mut st.y,
+                        &offsets[vec_at(b, t, row, col)],
+                        row,
+                        phi,
+                        &mut gauss,
+                        &mut rng,
+                        &mut st.partner,
+                    );
+                    // Tile (col, row) = transpose: x_row → y_col.
+                    st.unit.transposed(&st.partner, &mut st.y);
+                    if last {
+                        st.unit.quantize_8bit(&mut st.y);
+                        st.partial_partner.copy_from_slice(&st.y);
+                    }
+                    self.finish_half_step(
+                        &mut st.y,
+                        &offsets[vec_at(b, t, col, row)],
+                        col,
+                        phi,
+                        &mut gauss,
+                        &mut rng,
+                        &mut st.primary,
+                    );
+                    count_local_mvm(&mut st.ops, t, last, 2);
+                }
+            }
+        }
+    }
+
+    /// Offsets `o[r][c] = Σ_{c'≠c} p[r][c']` — the controller's glue
+    /// computation, gathered from the per-pair partial-sum segments.
+    fn recompute_offsets<U>(
+        &self,
+        states: &[PairState<U>],
+        offsets: &mut [f32],
+        ops: &mut OpCounts,
+    ) {
+        let b = self.grid.blocks();
+        let t = self.grid.tile();
+        let mut rowsum = vec![0.0_f32; t];
+        for r in 0..b {
+            rowsum.fill(0.0);
+            for c in 0..b {
+                let p = self.partial_slot(states, r, c);
+                for (s, &v) in rowsum.iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for c in 0..b {
+                let p = self.partial_slot(states, r, c);
+                let base = (r * b + c) * t;
+                for i in 0..t {
+                    offsets[base + i] = rowsum[i] - p[i];
+                }
+            }
+        }
+        ops.glue_adds += 2 * (b * b * t) as u64;
+    }
+
+    /// The latest 8-bit partial-sum segment of logical tile `(r, c)`.
+    fn partial_slot<'a, U>(&self, states: &'a [PairState<U>], r: usize, c: usize) -> &'a [f32] {
+        let pi = self.pair_index(r, c);
+        if r <= c {
+            &states[pi].partial_primary
+        } else {
+            &states[pi].partial_partner
+        }
     }
 
     /// Adds offset + noise to the raw MVM result and thresholds it into a
@@ -475,33 +549,37 @@ impl SophieSolver {
             }
         } else {
             for i in 0..t {
-                out[i] = if y[i] + offset[i] >= theta[i] { 1.0 } else { 0.0 };
+                out[i] = if y[i] + offset[i] >= theta[i] {
+                    1.0
+                } else {
+                    0.0
+                };
             }
         }
     }
 
     /// The spin copy of column `cblock` held at block row `donor`.
-    fn column_copy<'a>(
+    fn column_copy<'a, U>(
         &self,
-        inputs: &'a [PairInputs],
+        states: &'a [PairState<U>],
         donor: usize,
         cblock: usize,
     ) -> &'a [f32] {
         let pi = self.pair_index(donor, cblock);
         if donor <= cblock {
             // Tile (donor, cblock) is the pair's primary: input is x_cblock.
-            &inputs[pi].primary
+            &states[pi].primary
         } else {
             // Pair (cblock, donor): the partner tile (donor, cblock) reads
             // x_cblock as its input copy.
-            &inputs[pi].partner
+            &states[pi].partner
         }
     }
 
     /// Majority vote over the fresh copies of column `cblock`.
-    fn majority_update(
+    fn majority_update<U>(
         &self,
-        inputs: &[PairInputs],
+        states: &[PairState<U>],
         rows: &[usize],
         cblock: usize,
         out: &mut [f32],
@@ -509,7 +587,7 @@ impl SophieSolver {
         let t = self.grid.tile();
         let mut votes = vec![0.0_f32; t];
         for &r in rows {
-            let copy = self.column_copy(inputs, r, cblock);
+            let copy = self.column_copy(states, r, cblock);
             for (v, &x) in votes.iter_mut().zip(copy) {
                 *v += x;
             }
@@ -521,64 +599,142 @@ impl SophieSolver {
     }
 }
 
-/// Private spin copies of one symmetric pair.
+/// Per-pair mutable state: the pair's physical unit, private spin copies,
+/// latest partial-sum segments, MVM scratch, and op tally.
+///
+/// During the local iterations of a round each selected pair's state is
+/// mutated by exactly one pool task while all cross-pair inputs are frozen,
+/// which is what makes the fan-out race-free without locks.
 #[derive(Debug, Clone)]
-struct PairInputs {
+struct PairState<U> {
+    pair: TilePair,
+    /// Position in the solver's pair list (= the RNG sub-stream id).
+    index: usize,
+    unit: U,
     /// Copy of `x_col` — input of the primary tile `(row, col)`.
     primary: Vec<f32>,
     /// Copy of `x_row` — input of the partner tile `(col, row)`; empty for
     /// diagonal pairs.
     partner: Vec<f32>,
+    /// Latest 8-bit partial sum produced by the primary tile.
+    partial_primary: Vec<f32>,
+    /// Latest 8-bit partial sum of the partner tile; empty for diagonals.
+    partial_partner: Vec<f32>,
+    /// MVM output scratch.
+    y: Vec<f32>,
+    /// Operations attributed to this pair, folded into the run total after
+    /// the last round.
+    ops: OpCounts,
 }
 
-impl PairInputs {
-    fn from_global(pair: TilePair, global: &[f32], t: usize) -> Self {
-        let seg = |b: usize| global[b * t..(b + 1) * t].to_vec();
-        match pair {
-            TilePair::Diagonal(d) => PairInputs {
-                primary: seg(d),
-                partner: Vec::new(),
-            },
-            TilePair::OffDiagonal { row, col } => PairInputs {
-                primary: seg(col),
-                partner: seg(row),
-            },
+impl<U: MvmUnit> PairState<U> {
+    fn new(pair: TilePair, index: usize, unit: U, t: usize) -> Self {
+        let off = matches!(pair, TilePair::OffDiagonal { .. });
+        PairState {
+            pair,
+            index,
+            unit,
+            primary: vec![0.0; t],
+            partner: if off { vec![0.0; t] } else { Vec::new() },
+            partial_primary: vec![0.0; t],
+            partial_partner: if off { vec![0.0; t] } else { Vec::new() },
+            y: vec![0.0; t],
+            ops: OpCounts::new(),
         }
     }
 
-    fn reset_from_global(&mut self, pair: TilePair, global: &[f32], t: usize) {
-        match pair {
+    /// First 8-bit pass: this pair's tiles' contributions to their block
+    /// rows at the initial global state (no noise, no thresholding).
+    fn initial_partials(&mut self, global: &[f32], t: usize) {
+        match self.pair {
+            TilePair::Diagonal(d) => {
+                self.unit.forward(&global[d * t..(d + 1) * t], &mut self.y);
+                self.unit.quantize_8bit(&mut self.y);
+                self.partial_primary.copy_from_slice(&self.y);
+                self.ops.tile_mvms_8bit += 1;
+                self.ops.adc_8bit_samples += t as u64;
+                self.ops.eo_input_bits += t as u64;
+            }
+            TilePair::OffDiagonal { row, col } => {
+                self.unit
+                    .forward(&global[col * t..(col + 1) * t], &mut self.y);
+                self.unit.quantize_8bit(&mut self.y);
+                self.partial_primary.copy_from_slice(&self.y);
+                self.unit
+                    .transposed(&global[row * t..(row + 1) * t], &mut self.y);
+                self.unit.quantize_8bit(&mut self.y);
+                self.partial_partner.copy_from_slice(&self.y);
+                self.ops.tile_mvms_8bit += 2;
+                self.ops.adc_8bit_samples += 2 * t as u64;
+                self.ops.eo_input_bits += 2 * t as u64;
+            }
+        }
+    }
+
+    /// Refreshes this pair's private spin copies from the global state.
+    fn reset_from_global(&mut self, global: &[f32], t: usize) {
+        match self.pair {
             TilePair::Diagonal(d) => {
                 self.primary.copy_from_slice(&global[d * t..(d + 1) * t]);
             }
             TilePair::OffDiagonal { row, col } => {
-                self.primary.copy_from_slice(&global[col * t..(col + 1) * t]);
-                self.partner.copy_from_slice(&global[row * t..(row + 1) * t]);
+                self.primary
+                    .copy_from_slice(&global[col * t..(col + 1) * t]);
+                self.partner
+                    .copy_from_slice(&global[row * t..(row + 1) * t]);
             }
         }
     }
 }
 
-/// Offsets `o[r][c] = Σ_{c'≠c} p[r][c']` — the controller's glue
-/// computation.
-fn recompute_offsets(partial: &[f32], offsets: &mut [f32], b: usize, t: usize, ops: &mut OpCounts) {
-    let mut rowsum = vec![0.0_f32; t];
-    for r in 0..b {
-        rowsum.fill(0.0);
-        for c in 0..b {
-            let base = (r * b + c) * t;
-            for (s, &p) in rowsum.iter_mut().zip(&partial[base..base + t]) {
-                *s += p;
-            }
-        }
-        for c in 0..b {
-            let base = (r * b + c) * t;
-            for i in 0..t {
-                offsets[base + i] = rowsum[i] - partial[base + i];
+/// Flat index range of logical tile `(r, c)` in the `b²·t`-long offsets
+/// buffer.
+fn vec_at(b: usize, t: usize, r: usize, c: usize) -> std::ops::Range<usize> {
+    (r * b + c) * t..(r * b + c + 1) * t
+}
+
+/// Seed of the private noise stream used by pair `pair_index` during round
+/// `round_index` (1-based; 0 is implicitly the serial setup stream of
+/// `SmallRng::seed_from_u64(seed)`).
+///
+/// Derived purely from the job seed and the (round, pair) coordinates —
+/// never from thread identity or execution order — which is what makes
+/// engine traces bit-identical for every `SOPHIE_THREADS` setting. The
+/// chained SplitMix64 finalizers decorrelate adjacent coordinates.
+fn noise_stream_seed(seed: u64, round_index: u64, pair_index: u64) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    mix(mix(mix(seed.wrapping_add(0x9E37_79B9_7F4A_7C15)) ^ round_index) ^ pair_index)
+}
+
+/// Collects disjoint mutable borrows of the selected pair states.
+///
+/// `selected` must be sorted ascending and duplicate-free (the schedule
+/// guarantees this); walking one `iter_mut` keeps the aliasing proof in
+/// safe code.
+fn collect_selected<'a, U>(
+    states: &'a mut [PairState<U>],
+    selected: &[usize],
+) -> Vec<&'a mut PairState<U>> {
+    let mut out = Vec::with_capacity(selected.len());
+    let mut iter = states.iter_mut().enumerate();
+    for &want in selected {
+        for (i, st) in iter.by_ref() {
+            if i == want {
+                out.push(st);
+                break;
             }
         }
     }
-    ops.glue_adds += 2 * (b * b * t) as u64;
+    assert_eq!(
+        out.len(),
+        selected.len(),
+        "selected pair indices must be sorted, unique, and in range"
+    );
+    out
 }
 
 fn count_local_mvm(ops: &mut OpCounts, t: usize, last: bool, mvms: u64) {
@@ -654,7 +810,11 @@ mod tests {
         let g = gnm(96, 400, WeightDist::Unit, 7).unwrap();
         let solver = SophieSolver::from_graph(&g, small_config(16, 120)).unwrap();
         let out = solver.run(&g, 5, None).unwrap();
-        assert!(out.best_cut > 230.0, "best cut {} ≤ random baseline", out.best_cut);
+        assert!(
+            out.best_cut > 230.0,
+            "best cut {} ≤ random baseline",
+            out.best_cut
+        );
         // Reported bits must reproduce the reported cut.
         assert_eq!(cut_value_binary(&g, &out.best_bits), out.best_cut);
     }
@@ -691,8 +851,8 @@ mod tests {
         let pairs = b * (b + 1) / 2;
         let off = pairs - b;
         let mvms_per_local_pass = b + 2 * off; // logical tiles touched
-        // Init: every logical tile once (8-bit); per round: L passes, the
-        // last one 8-bit.
+                                               // Init: every logical tile once (8-bit); per round: L passes, the
+                                               // last one 8-bit.
         let expect_8bit = mvms_per_local_pass + giters * mvms_per_local_pass;
         let expect_1bit = giters * (l - 1) * mvms_per_local_pass;
         assert_eq!(out.ops.tile_mvms_8bit, expect_8bit);
@@ -701,7 +861,10 @@ mod tests {
         assert_eq!(out.ops.tiles_programmed, pairs);
         // All columns update each round at full selection.
         assert_eq!(out.ops.spin_broadcast_bits, giters * b * b * t);
-        assert_eq!(out.ops.partial_sum_bits, giters * mvms_per_local_pass * t * 8);
+        assert_eq!(
+            out.ops.partial_sum_bits,
+            giters * mvms_per_local_pass * t * 8
+        );
     }
 
     #[test]
@@ -857,7 +1020,7 @@ mod warm_start_tests {
             &schedule,
             0,
             None,
-            Some(&vec![true; 10]),
+            Some(&[true; 10]),
         );
     }
 }

@@ -52,11 +52,11 @@ mod opcount;
 mod outcome;
 pub mod schedule;
 
+pub use batch::{run_batch, run_batch_ideal, BatchOutcome};
 pub use config::SophieConfig;
 pub use engine::SophieSolver;
 pub use error::{Result, SophieError};
 pub use gaussian::GaussianSource;
 pub use opcount::OpCounts;
-pub use batch::{run_batch, run_batch_ideal, BatchOutcome};
 pub use outcome::SophieOutcome;
 pub use schedule::{Round, Schedule};

@@ -84,7 +84,11 @@ impl std::fmt::Display for OpCounts {
         writeln!(f, "  tile MVMs (1-bit reads): {}", self.tile_mvms_1bit)?;
         writeln!(f, "  tile MVMs (8-bit reads): {}", self.tile_mvms_8bit)?;
         writeln!(f, "  E-O input bits:          {}", self.eo_input_bits)?;
-        writeln!(f, "  ADC samples 1-bit/8-bit: {}/{}", self.adc_1bit_samples, self.adc_8bit_samples)?;
+        writeln!(
+            f,
+            "  ADC samples 1-bit/8-bit: {}/{}",
+            self.adc_1bit_samples, self.adc_8bit_samples
+        )?;
         writeln!(f, "  noise injections:        {}", self.noise_injections)?;
         writeln!(f, "  glue adds:               {}", self.glue_adds)?;
         writeln!(f, "  sync traffic bits:       {}", self.sync_traffic_bits())?;

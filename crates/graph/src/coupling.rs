@@ -112,7 +112,9 @@ mod tests {
         let mut best_h = f64::INFINITY;
         let mut best_cut = 0.0;
         for bits in 0..8u8 {
-            let s: Vec<i8> = (0..3).map(|i| if bits >> i & 1 == 1 { 1 } else { -1 }).collect();
+            let s: Vec<i8> = (0..3)
+                .map(|i| if bits >> i & 1 == 1 { 1 } else { -1 })
+                .collect();
             let h = hamiltonian(&k, &s);
             if h < best_h {
                 best_h = h;

@@ -118,7 +118,9 @@ pub fn spins_to_binary(spins: &[i8]) -> Vec<bool> {
 
 /// Draws a uniformly random ±1 spin configuration.
 pub fn random_spins<R: Rng>(n: usize, rng: &mut R) -> Vec<i8> {
-    (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect()
+    (0..n)
+        .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+        .collect()
 }
 
 #[cfg(test)]
@@ -184,7 +186,10 @@ mod tests {
     fn binary_and_spin_encodings_agree() {
         let g = path3();
         let bits = vec![true, false, true];
-        assert_eq!(cut_value_binary(&g, &bits), cut_value(&g, &binary_to_spins(&bits)));
+        assert_eq!(
+            cut_value_binary(&g, &bits),
+            cut_value(&g, &binary_to_spins(&bits))
+        );
         assert_eq!(spins_to_binary(&binary_to_spins(&bits)), bits);
     }
 

@@ -54,11 +54,19 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
-            GraphError::TooManyEdges { requested, capacity } => {
-                write!(f, "requested {requested} edges but a simple graph holds at most {capacity}")
+            GraphError::TooManyEdges {
+                requested,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} edges but a simple graph holds at most {capacity}"
+                )
             }
             GraphError::Empty => write!(f, "graph must have at least one node"),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -92,7 +100,10 @@ mod tests {
         assert!(e.to_string().contains('9'));
         let e = GraphError::DuplicateEdge { u: 1, v: 2 };
         assert!(e.to_string().contains("(1, 2)"));
-        let e = GraphError::TooManyEdges { requested: 100, capacity: 10 };
+        let e = GraphError::TooManyEdges {
+            requested: 100,
+            capacity: 10,
+        };
         assert!(e.to_string().contains("100"));
     }
 

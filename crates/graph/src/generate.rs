@@ -93,7 +93,10 @@ pub fn gnm(n: usize, m: usize, dist: WeightDist, seed: u64) -> Result<Graph> {
     }
     let capacity = n * (n - 1) / 2;
     if m > capacity {
-        return Err(GraphError::TooManyEdges { requested: m, capacity });
+        return Err(GraphError::TooManyEdges {
+            requested: m,
+            capacity,
+        });
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut chosen = std::collections::HashSet::with_capacity(m);
@@ -288,7 +291,10 @@ mod tests {
     fn gnm_rejects_overfull_graphs() {
         assert!(matches!(
             gnm(4, 7, WeightDist::Unit, 0),
-            Err(GraphError::TooManyEdges { requested: 7, capacity: 6 })
+            Err(GraphError::TooManyEdges {
+                requested: 7,
+                capacity: 6
+            })
         ));
     }
 

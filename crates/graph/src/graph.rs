@@ -161,10 +161,16 @@ impl GraphBuilder {
     /// * [`GraphError::DuplicateEdge`] if `{u, v}` was already added.
     pub fn add_edge(&mut self, u: usize, v: usize, w: f64) -> Result<&mut Self> {
         if u >= self.nodes {
-            return Err(GraphError::NodeOutOfBounds { node: u, nodes: self.nodes });
+            return Err(GraphError::NodeOutOfBounds {
+                node: u,
+                nodes: self.nodes,
+            });
         }
         if v >= self.nodes {
-            return Err(GraphError::NodeOutOfBounds { node: v, nodes: self.nodes });
+            return Err(GraphError::NodeOutOfBounds {
+                node: v,
+                nodes: self.nodes,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
@@ -255,14 +261,20 @@ mod tests {
     #[test]
     fn builder_rejects_self_loop() {
         let mut b = GraphBuilder::new(2);
-        assert!(matches!(b.add_edge(1, 1, 1.0), Err(GraphError::SelfLoop { node: 1 })));
+        assert!(matches!(
+            b.add_edge(1, 1, 1.0),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
     }
 
     #[test]
     fn builder_rejects_duplicates_in_either_order() {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1, 1.0).unwrap();
-        assert!(matches!(b.add_edge(1, 0, 2.0), Err(GraphError::DuplicateEdge { u: 0, v: 1 })));
+        assert!(matches!(
+            b.add_edge(1, 0, 2.0),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        ));
     }
 
     #[test]
@@ -276,7 +288,10 @@ mod tests {
 
     #[test]
     fn empty_graph_is_rejected() {
-        assert!(matches!(GraphBuilder::new(0).build(), Err(GraphError::Empty)));
+        assert!(matches!(
+            GraphBuilder::new(0).build(),
+            Err(GraphError::Empty)
+        ));
     }
 
     #[test]

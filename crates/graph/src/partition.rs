@@ -35,7 +35,11 @@ impl Partition {
                 side_b.push(v);
             }
         }
-        Partition { side_a, side_b, cut }
+        Partition {
+            side_a,
+            side_b,
+            cut,
+        }
     }
 
     /// Builds the partition from a binary assignment (`true → side A`).

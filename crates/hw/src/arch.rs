@@ -245,7 +245,10 @@ mod tests {
         for t in [16, 32, 64, 128, 256] {
             let b = a.with_tile_size_same_cells(t).unwrap();
             assert!(b.cells() <= cells, "tile {t}");
-            assert!(b.cells() * 2 > cells, "tile {t} wastes over half the budget");
+            assert!(
+                b.cells() * 2 > cells,
+                "tile {t} wastes over half the budget"
+            );
         }
     }
 
@@ -262,7 +265,10 @@ mod tests {
         let pe = PeSpec { tile_size: 64 };
         let total = 256 * 100 * pe.buffer_bytes_per_job();
         let mb = total as f64 / (1024.0 * 1024.0);
-        assert!((6.0..9.0).contains(&mb), "sram {mb} MB should be near 7.6 MB");
+        assert!(
+            (6.0..9.0).contains(&mb),
+            "sram {mb} MB should be near 7.6 MB"
+        );
     }
 
     #[test]

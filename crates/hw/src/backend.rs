@@ -109,9 +109,9 @@ impl OpcmUnit {
             for v in y.iter_mut() {
                 // Cheap Gaussian-ish noise: sum of three uniforms has the
                 // right first two moments and is plenty for device noise.
-                let g: f32 = (self.rng.gen::<f32>() + self.rng.gen::<f32>() + self.rng.gen::<f32>()
-                    - 1.5)
-                    * 2.0;
+                let g: f32 =
+                    (self.rng.gen::<f32>() + self.rng.gen::<f32>() + self.rng.gen::<f32>() - 1.5)
+                        * 2.0;
                 *v *= 1.0 + self.read_noise * g;
             }
         }
@@ -125,15 +125,10 @@ impl MvmUnit for OpcmUnit {
         // Full-scale range: the largest possible |partial sum| is
         // max|w| · t (all inputs high on the strongest row).
         let t = tile.size() as f32;
-        let max_abs = tile
-            .as_slice()
-            .iter()
-            .fold(0.0_f32, |m, &x| m.max(x.abs()));
+        let max_abs = tile.as_slice().iter().fold(0.0_f32, |m, &x| m.max(x.abs()));
         let range = (max_abs * t).max(f32::MIN_POSITIVE);
-        self.adc = Some(
-            DualPrecisionAdc::new(self.adc_bits, range)
-                .expect("validated adc configuration"),
-        );
+        self.adc =
+            Some(DualPrecisionAdc::new(self.adc_bits, range).expect("validated adc configuration"));
     }
 
     fn forward(&mut self, x: &[f32], y: &mut [f32]) {

@@ -51,8 +51,8 @@ pub fn machine_area(
     let t = machine.tile_size();
     let arrays = machine.total_arrays();
     let opcm_mm2 = arrays as f64 * array_area_mm2(cell, t) * params.chiplet_area_overhead;
-    let sram_bytes = (arrays * batch_jobs) as f64
-        * machine.accelerator.chiplet.pe.buffer_bytes_per_job() as f64;
+    let sram_bytes =
+        (arrays * batch_jobs) as f64 * machine.accelerator.chiplet.pe.buffer_bytes_per_job() as f64;
     AreaBreakdown {
         opcm_mm2,
         sram_mm2: params.sram_area_mm2(sram_bytes),
@@ -69,7 +69,8 @@ mod tests {
     fn chiplet_area_matches_paper_calibration() {
         // One chiplet: 64 PEs of 64×128 cells at 30 µm pitch → ≈486 mm².
         let cell = OpcmCellSpec::default();
-        let chiplet = 64.0 * array_area_mm2(&cell, 64) * CostParams::default().chiplet_area_overhead;
+        let chiplet =
+            64.0 * array_area_mm2(&cell, 64) * CostParams::default().chiplet_area_overhead;
         assert!(
             (470.0..500.0).contains(&chiplet),
             "chiplet area {chiplet} mm² should be ≈486"

@@ -78,10 +78,7 @@ mod tests {
         let w = WorkloadSummary::from_ops(n, &cfg, &ops, batch);
         let base = MachineConfig::sophie_default(1);
         let machine = MachineConfig {
-            accelerator: base
-                .accelerator
-                .with_tile_size_same_cells(tile)
-                .unwrap(),
+            accelerator: base.accelerator.with_tile_size_same_cells(tile).unwrap(),
             ..base
         };
         evaluate(

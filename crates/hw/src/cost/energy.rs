@@ -75,13 +75,14 @@ pub fn job_energy(
     // reads `adc_cycles` cycles.
     let laser_power_array =
         cell.laser_power_per_wavelength_w(t, params.detector_power_for_tile_w(t)) * t as f64;
-    let laser_cycles =
-        ops.tile_mvms_1bit as f64 + ops.tile_mvms_8bit as f64 * adc_cycles as f64;
+    let laser_cycles = ops.tile_mvms_1bit as f64 + ops.tile_mvms_8bit as f64 * adc_cycles as f64;
     let laser_j = laser_power_array * laser_cycles * cycle;
 
     let eo_j = params.eo.energy_j(ops.eo_input_bits);
     let adc_j = params.oe.energy_1bit_j(ops.adc_1bit_samples)
-        + params.oe.energy_multibit_j(ops.adc_8bit_samples, adc_cycles);
+        + params
+            .oe
+            .energy_multibit_j(ops.adc_8bit_samples, adc_cycles);
 
     // Programming: resident problems program each array once per batch;
     // non-resident problems reprogram every wave of every round. Either
@@ -194,7 +195,14 @@ mod tests {
     #[test]
     fn total_is_sum_of_parts() {
         let e = energy(4096, 10, 1);
-        let sum = e.laser_j + e.eo_j + e.adc_j + e.programming_j + e.dram_j + e.glue_j + e.sram_j + e.static_j;
+        let sum = e.laser_j
+            + e.eo_j
+            + e.adc_j
+            + e.programming_j
+            + e.dram_j
+            + e.glue_j
+            + e.sram_j
+            + e.static_j;
         assert!((e.total_j() - sum).abs() < 1e-18);
     }
 }

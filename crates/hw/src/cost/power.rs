@@ -89,7 +89,11 @@ mod tests {
             100,
         );
         // ≈540 mW at the paper's 7.6 MB reference point.
-        assert!((0.3..0.8).contains(&budget.sram_w), "sram {}", budget.sram_w);
+        assert!(
+            (0.3..0.8).contains(&budget.sram_w),
+            "sram {}",
+            budget.sram_w
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl WorkloadSummary {
     /// Panics if `ops.global_syncs == 0` or `batch_jobs == 0`.
     #[must_use]
     pub fn from_ops(n: usize, config: &SophieConfig, ops: &OpCounts, batch_jobs: usize) -> Self {
-        assert!(ops.global_syncs > 0, "workload must contain at least one round");
+        assert!(
+            ops.global_syncs > 0,
+            "workload must contain at least one round"
+        );
         assert!(batch_jobs > 0, "batch must contain at least one job");
         let rounds = ops.global_syncs as f64;
         let blocks = n.div_ceil(config.tile_size);

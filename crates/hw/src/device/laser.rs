@@ -36,8 +36,7 @@ impl LaserSource {
         );
         LaserSource {
             wavelengths: tile_size,
-            power_per_wavelength_w: cell
-                .laser_power_per_wavelength_w(tile_size, detector_power_w),
+            power_per_wavelength_w: cell.laser_power_per_wavelength_w(tile_size, detector_power_w),
             wall_plug_efficiency: 0.25,
         }
     }

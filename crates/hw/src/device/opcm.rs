@@ -379,7 +379,9 @@ mod tests {
 
     #[test]
     fn more_levels_reduce_quantization_error() {
-        let vals: Vec<f32> = (0..64).map(|i| ((i * 37) % 13) as f32 / 6.0 - 1.0).collect();
+        let vals: Vec<f32> = (0..64)
+            .map(|i| ((i * 37) % 13) as f32 / 6.0 - 1.0)
+            .collect();
         let t8 = tile(&vals, 8);
         let err_for = |levels: u32| {
             let spec = OpcmCellSpec {

@@ -77,7 +77,8 @@ impl VariabilityModel {
     /// `cell_seed` distinguishes arrays (pass the pair index).
     #[must_use]
     pub fn degrade(&self, tile: &Tile, cell_seed: u64) -> Tile {
-        let mut rng = SmallRng::seed_from_u64(self.seed ^ cell_seed.wrapping_mul(0x9e3779b97f4a7c15));
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ cell_seed.wrapping_mul(0x9e3779b97f4a7c15));
         let data = tile.as_slice();
         let max_abs = data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()));
         let drift = self.drift_factor() as f32;
@@ -90,8 +91,7 @@ impl VariabilityModel {
                 } else {
                     let mismatch = if self.program_sigma > 0.0 {
                         // Three-uniform approximation of a Gaussian.
-                        let r: f32 =
-                            rng.gen::<f32>() + rng.gen::<f32>() + rng.gen::<f32>() - 1.5;
+                        let r: f32 = rng.gen::<f32>() + rng.gen::<f32>() + rng.gen::<f32>() - 1.5;
                         1.0 + self.program_sigma as f32 * 2.0 * r
                     } else {
                         1.0

@@ -29,7 +29,10 @@ impl fmt::Display for HwError {
             HwError::BadParameter { name, message } => {
                 write!(f, "invalid hardware parameter `{name}`: {message}")
             }
-            HwError::CapacityExceeded { available, required } => write!(
+            HwError::CapacityExceeded {
+                available,
+                required,
+            } => write!(
                 f,
                 "workload needs {required} arrays but the machine has {available}"
             ),

@@ -170,12 +170,8 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -1.0],
-            &[0.5, -1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.5, -1.0, 2.0]]).unwrap();
         let e = jacobi_eigen(&a).unwrap();
         let vtv = e.vectors.transposed().matmul(&e.vectors).unwrap();
         assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-11);

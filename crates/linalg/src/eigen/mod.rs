@@ -111,7 +111,9 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
     }
     let asym = a.max_asymmetry();
     if asym > 1e-9 * (1.0 + a.max_abs()) {
-        return Err(LinalgError::NotSymmetric { max_asymmetry: asym });
+        return Err(LinalgError::NotSymmetric {
+            max_asymmetry: asym,
+        });
     }
 
     let n = a.rows();

@@ -199,8 +199,7 @@ mod tests {
         ql_implicit(&mut d, &mut e, &mut zt, n).unwrap();
         d.sort_by(f64::total_cmp);
         for (k, &lam) in d.iter().enumerate() {
-            let expect =
-                2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n + 1) as f64).cos();
+            let expect = 2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n + 1) as f64).cos();
             assert!((lam - expect).abs() < 1e-10, "λ_{k}");
         }
     }
@@ -216,6 +215,9 @@ mod tests {
 
     #[test]
     fn eigenvectors_stay_orthonormal() {
-        check(&[1.0, -1.0, 0.5, 2.5, -3.0, 0.0], &[0.7, 0.2, 0.9, 0.1, 0.4]);
+        check(
+            &[1.0, -1.0, 0.5, 2.5, -3.0, 0.0],
+            &[0.7, 0.2, 0.9, 0.1, 0.4],
+        );
     }
 }

@@ -101,21 +101,16 @@ pub(crate) fn tridiagonalize(z: &mut [f64], n: usize) -> (Vec<f64>, Vec<f64>) {
                 let ev = &e[..=l];
                 let rows = l + 1;
                 let workers = par::worker_count(rows.div_ceil(64));
-                par::for_each_row_chunk_mut(
-                    &mut lower[..rows * n],
-                    n,
-                    workers,
-                    |row0, chunk| {
-                        for (local_j, row) in chunk.chunks_mut(n).enumerate() {
-                            let j = row0 + local_j;
-                            let fj = w[j];
-                            let gj = ev[j];
-                            for (k, a) in row[..=j].iter_mut().enumerate() {
-                                *a -= fj * ev[k] + gj * w[k];
-                            }
+                par::for_each_row_chunk_mut(&mut lower[..rows * n], n, workers, |row0, chunk| {
+                    for (local_j, row) in chunk.chunks_mut(n).enumerate() {
+                        let j = row0 + local_j;
+                        let fj = w[j];
+                        let gj = ev[j];
+                        for (k, a) in row[..=j].iter_mut().enumerate() {
+                            *a -= fj * ev[k] + gj * w[k];
                         }
-                    },
-                );
+                    }
+                });
             }
         } else {
             e[i] = z[i * n + l];

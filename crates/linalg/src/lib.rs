@@ -13,8 +13,8 @@
 //! * [`tile`] — the tiling model ([`tile::TileGrid`], zero-padded
 //!   [`tile::Tile`]s in `f32`, and symmetric tile-pair enumeration that
 //!   underpins the paper's ≈2× OPCM area saving);
-//! * [`vector`] / [`par`] — slice kernels and scoped-thread parallel
-//!   helpers shared by the simulators.
+//! * [`vector`] / [`par`] — slice kernels and the persistent-worker-pool
+//!   parallel helpers shared by the simulators.
 //!
 //! # Example
 //!
@@ -31,7 +31,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed only inside `par`, which needs
+// two narrow idioms for its persistent worker pool (closure lifetime
+// erasure and disjoint-region pointer sharing); every block there carries a
+// SAFETY comment. All other modules remain unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod eigen;
 mod error;

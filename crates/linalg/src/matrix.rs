@@ -323,7 +323,9 @@ impl Matrix {
     /// (`θ_i = ½ Σ_j C_ij` in PRIS).
     #[must_use]
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.rows).map(|r| crate::vector::sum(self.row(r))).collect()
+        (0..self.rows)
+            .map(|r| crate::vector::sum(self.row(r)))
+            .collect()
     }
 }
 
@@ -331,14 +333,20 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -78,10 +78,9 @@ impl TilePair {
     pub fn members(self) -> Vec<TileIndex> {
         match self {
             TilePair::Diagonal(b) => vec![TileIndex { row: b, col: b }],
-            TilePair::OffDiagonal { row, col } => vec![
-                TileIndex { row, col },
-                TileIndex { row: col, col: row },
-            ],
+            TilePair::OffDiagonal { row, col } => {
+                vec![TileIndex { row, col }, TileIndex { row: col, col: row }]
+            }
         }
     }
 
@@ -266,11 +265,12 @@ impl Tile {
         assert_eq!(y.len(), self.size, "mvm_transposed: output length mismatch");
         y.fill(0.0);
         for (r, &xr) in x.iter().enumerate() {
+            // Spin inputs are sparse in ±1/0 encodings and padded tiles have
+            // zero fringe rows, so the skip is a real win; the dense rows go
+            // through the vectorizable saxpy kernel.
             if xr != 0.0 {
                 let row = &self.data[r * self.size..(r + 1) * self.size];
-                for (yc, &t) in y.iter_mut().zip(row) {
-                    *yc += xr * t;
-                }
+                crate::vector::axpy_f32(xr, row, y);
             }
         }
     }
@@ -279,7 +279,7 @@ impl Tile {
     #[must_use]
     pub fn row_sums(&self) -> Vec<f32> {
         (0..self.size)
-            .map(|r| self.data[r * self.size..(r + 1) * self.size].iter().sum())
+            .map(|r| crate::vector::sum_f32(&self.data[r * self.size..(r + 1) * self.size]))
             .collect()
     }
 

@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use sophie_linalg::eigen::{jacobi_eigen, symmetric_eigen};
-use sophie_linalg::{Matrix, TileGrid, TiledMatrix};
+use sophie_linalg::tile::TileIndex;
+use sophie_linalg::{Matrix, Tile, TileGrid, TiledMatrix};
 
 /// Strategy: a symmetric n×n matrix with entries in [-5, 5].
 fn symmetric_matrix(max_n: usize) -> impl Strategy<Value = Matrix> {
@@ -106,6 +107,45 @@ proptest! {
         prop_assert_eq!(total, g.logical_tiles());
         let b = g.blocks();
         prop_assert_eq!(g.symmetric_pairs().len(), b * (b + 1) / 2);
+    }
+
+    #[test]
+    fn mvm_transposed_equals_transpose_then_mvm(
+        (a, xf) in any_matrix(24),
+        tile in 1_usize..9,
+        sparsify in proptest::bool::ANY,
+    ) {
+        // The bidirectional OPCM read (`Tᵀ·x` on the stored array) must
+        // agree with physically transposing the matrix first, for every
+        // tile including zero-padded fringe tiles, and regardless of the
+        // sparse-input skip in the kernel.
+        let n = a.rows().min(a.cols());
+        let square = Matrix::from_fn(n, n, |r, c| a[(r, c)]);
+        let grid = TileGrid::new(n, tile).unwrap();
+        let t = grid.tile();
+        let mut x: Vec<f32> = xf.iter().take(t).map(|&v| v as f32).collect();
+        x.resize(t, 0.5);
+        if sparsify {
+            for (i, v) in x.iter_mut().enumerate() {
+                if i % 2 == 0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        let transposed = square.transposed();
+        for br in 0..grid.blocks() {
+            for bc in 0..grid.blocks() {
+                let fwd = Tile::from_matrix(&square, &grid, TileIndex { row: br, col: bc });
+                let flipped = Tile::from_matrix(&transposed, &grid, TileIndex { row: bc, col: br });
+                let mut via_bidirectional = vec![0.0_f32; t];
+                let mut via_transpose = vec![0.0_f32; t];
+                fwd.mvm_transposed(&x, &mut via_bidirectional);
+                flipped.mvm(&x, &mut via_transpose);
+                for (p, q) in via_bidirectional.iter().zip(&via_transpose) {
+                    prop_assert!((p - q).abs() < 1e-3, "tile ({br},{bc}): {p} vs {q}");
+                }
+            }
+        }
     }
 
     #[test]

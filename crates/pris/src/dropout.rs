@@ -175,7 +175,11 @@ mod tests {
         let c = transformation_matrix(&k, d, 0.0, DeltaVariant::Gershgorin).unwrap();
         assert!(c.is_symmetric(1e-9));
         let eig = sophie_linalg::eigen::symmetric_eigen(&c).unwrap();
-        assert!(eig.values[0] > -1e-9, "C must be PSD, min λ = {}", eig.values[0]);
+        assert!(
+            eig.values[0] > -1e-9,
+            "C must be PSD, min λ = {}",
+            eig.values[0]
+        );
     }
 
     #[test]
@@ -240,7 +244,10 @@ mod tests {
         let (k, _) = setup(6, 1);
         assert!(matches!(
             Preprocessor::new(&k, vec![1.0; 5], DeltaVariant::Gershgorin),
-            Err(PrisError::BadDelta { expected: 6, found: 5 })
+            Err(PrisError::BadDelta {
+                expected: 6,
+                found: 5
+            })
         ));
     }
 

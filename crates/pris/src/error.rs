@@ -32,13 +32,19 @@ impl fmt::Display for PrisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PrisError::BadAlpha { alpha } => {
-                write!(f, "eigenvalue dropout factor must be in [0, 1], got {alpha}")
+                write!(
+                    f,
+                    "eigenvalue dropout factor must be in [0, 1], got {alpha}"
+                )
             }
             PrisError::BadNoise { phi } => {
                 write!(f, "noise level must be non-negative, got {phi}")
             }
             PrisError::BadDelta { expected, found } => {
-                write!(f, "dropout diagonal has length {found}, expected {expected}")
+                write!(
+                    f,
+                    "dropout diagonal has length {found}, expected {expected}"
+                )
             }
             PrisError::Linalg(e) => write!(f, "linear algebra error: {e}"),
         }
@@ -69,7 +75,9 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(PrisError::BadAlpha { alpha: 2.0 }.to_string().contains("[0, 1]"));
+        assert!(PrisError::BadAlpha { alpha: 2.0 }
+            .to_string()
+            .contains("[0, 1]"));
         assert!(PrisError::BadNoise { phi: -1.0 }.to_string().contains("-1"));
     }
 

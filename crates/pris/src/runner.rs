@@ -148,10 +148,7 @@ mod tests {
         // Expected random cut = m/2 = 120; PRIS should clearly beat it.
         assert!(out.best_cut > 140.0, "best cut {}", out.best_cut);
         // The reported bits must reproduce the reported cut.
-        assert_eq!(
-            cut_value_binary(&g, &out.best_bits),
-            out.best_cut
-        );
+        assert_eq!(cut_value_binary(&g, &out.best_bits), out.best_cut);
     }
 
     #[test]

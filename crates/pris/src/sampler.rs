@@ -38,9 +38,11 @@ impl PrisModel {
         }
         let asym = c.max_asymmetry();
         if asym > 1e-6 * (1.0 + c.max_abs()) {
-            return Err(PrisError::Linalg(sophie_linalg::LinalgError::NotSymmetric {
-                max_asymmetry: asym,
-            }));
+            return Err(PrisError::Linalg(
+                sophie_linalg::LinalgError::NotSymmetric {
+                    max_asymmetry: asym,
+                },
+            ));
         }
         let thresholds: Vec<f64> = c.row_sums().iter().map(|s| 0.5 * s).collect();
         let noise_scales = crate::noise::row_scales(&c);

@@ -91,10 +91,7 @@ impl TuningTable {
     }
 
     fn key(order: usize, density: f64) -> (f64, f64) {
-        (
-            (order.max(1) as f64).log10(),
-            density.max(1e-6).log10(),
-        )
+        ((order.max(1) as f64).log10(), density.max(1e-6).log10())
     }
 
     fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
@@ -254,8 +251,20 @@ mod tests {
     #[test]
     fn lookup_finds_nearest_class() {
         let mut table = TuningTable::new();
-        table.insert(TuningEntry { order: 100, density: 1.0, phi: 0.1, alpha: 0.0, calibration_cut: 0.0 });
-        table.insert(TuningEntry { order: 2000, density: 0.01, phi: 0.05, alpha: 0.0, calibration_cut: 0.0 });
+        table.insert(TuningEntry {
+            order: 100,
+            density: 1.0,
+            phi: 0.1,
+            alpha: 0.0,
+            calibration_cut: 0.0,
+        });
+        table.insert(TuningEntry {
+            order: 2000,
+            density: 0.01,
+            phi: 0.05,
+            alpha: 0.0,
+            calibration_cut: 0.0,
+        });
         let hit = table.lookup(1800, 0.02).unwrap();
         assert_eq!(hit.order, 2000);
         let hit = table.lookup(120, 0.9).unwrap();
@@ -272,7 +281,13 @@ mod tests {
     fn lookup_graph_uses_graph_stats() {
         let g = gnm(50, 100, WeightDist::Unit, 1).unwrap();
         let mut table = TuningTable::new();
-        table.insert(TuningEntry { order: 50, density: 0.08, phi: 0.07, alpha: 0.0, calibration_cut: 0.0 });
+        table.insert(TuningEntry {
+            order: 50,
+            density: 0.08,
+            phi: 0.07,
+            alpha: 0.0,
+            calibration_cut: 0.0,
+        });
         let hit = table.lookup_graph(&g).unwrap();
         assert_eq!(hit.phi, 0.07);
     }

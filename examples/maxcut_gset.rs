@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     results.push(("PRIS (original)", pris.best_cut));
 
-    results.push(("Simulated annealing", anneal(&graph, &SaConfig::default()).best_cut));
+    results.push((
+        "Simulated annealing",
+        anneal(&graph, &SaConfig::default()).best_cut,
+    ));
     results.push((
         "Discrete simulated bifurcation",
         bifurcate(&graph, &SbConfig::default()).best_cut,
@@ -67,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         search(&graph, &BlsConfig::default()).best_cut,
     ));
 
-    let best = results.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
+    let best = results
+        .iter()
+        .map(|r| r.1)
+        .fold(f64::NEG_INFINITY, f64::max);
     println!("\n{:<32} {:>10} {:>8}", "solver", "cut", "vs best");
     for (name, cut) in &results {
         println!("{name:<32} {cut:>10.1} {:>7.1}%", 100.0 * cut / best);

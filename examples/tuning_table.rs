@@ -38,9 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let capacity = order * (order - 1) / 2;
         let m = ((density * capacity as f64) as usize).max(1);
         let fresh = gnm(order, m, WeightDist::Unit, 777)?;
-        let entry = table
-            .lookup_graph(&fresh)
-            .expect("table has entries");
+        let entry = table.lookup_graph(&fresh).expect("table has entries");
         let cut = validate_on(entry, &fresh, 400, 3, &mut rng)?;
         println!(
             "{label:<28} lookup → φ = {:<6} best cut on fresh instance: {cut:.0}",

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate: every PR must pass this locally before merge.
+#
+#   scripts/ci.sh          # full gate (fmt, clippy, build, tests)
+#   scripts/ci.sh --quick  # skip the cross-crate test sweep
+#
+# The first four steps are the ROADMAP tier-1 contract; the final
+# workspace sweep additionally runs every crate's unit, property, and
+# compat-shim tests (34 test binaries).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --all-targets --workspace -- -D warnings
+run cargo build --release
+run cargo test -q
+
+if [[ "$quick" -eq 0 ]]; then
+    run cargo test -q --workspace
+fi
+
+echo "ci.sh: all gates passed"

@@ -63,7 +63,12 @@ fn local_search_certifies_sophie_output_as_partition() {
     // A one-flip local search from scratch should land in the same league
     // (sanity that SOPHIE's output is competitive, not degenerate).
     let bls = search(&g, &BlsConfig::default());
-    assert!(out.best_cut >= 0.85 * bls.best_cut, "{} vs {}", out.best_cut, bls.best_cut);
+    assert!(
+        out.best_cut >= 0.85 * bls.best_cut,
+        "{} vs {}",
+        out.best_cut,
+        bls.best_cut
+    );
 }
 
 #[test]

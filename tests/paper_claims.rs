@@ -52,8 +52,14 @@ fn stochastic_selection_cuts_25_to_50_percent_of_work() {
 
     let ratio_half = half.total_tile_mvms() as f64 / full.total_tile_mvms() as f64;
     let ratio_75 = sel75.total_tile_mvms() as f64 / full.total_tile_mvms() as f64;
-    assert!((0.45..0.60).contains(&ratio_half), "50% selection → {ratio_half}");
-    assert!((0.70..0.85).contains(&ratio_75), "75% selection → {ratio_75}");
+    assert!(
+        (0.45..0.60).contains(&ratio_half),
+        "50% selection → {ratio_half}"
+    );
+    assert!(
+        (0.70..0.85).contains(&ratio_75),
+        "75% selection → {ratio_75}"
+    );
     assert!(half.sync_traffic_bits() < full.sync_traffic_bits());
 }
 
@@ -80,7 +86,10 @@ fn quality_degrades_mildly_with_fewer_tiles() {
     let full = quality(1.0);
     let half = quality(0.5);
     assert!(full > 0.85, "full selection quality {full}");
-    assert!(half > full - 0.12, "half selection quality {half} vs {full}");
+    assert!(
+        half > full - 0.12,
+        "half selection quality {half} vs {full}"
+    );
 }
 
 /// Claim (Fig. 8 trend): more local iterations per global iteration (less
@@ -107,7 +116,14 @@ fn skipping_synchronization_slows_convergence() {
                 hits += 1;
             }
         }
-        (hits, if hits > 0 { total / f64::from(hits) } else { f64::INFINITY })
+        (
+            hits,
+            if hits > 0 {
+                total / f64::from(hits)
+            } else {
+                f64::INFINITY
+            },
+        )
     };
 
     let (hits_tight, iters_tight) = avg_local_iters_to_target(2);
@@ -129,7 +145,10 @@ fn skipping_synchronization_slows_convergence() {
 fn moderate_noise_is_optimal() {
     let graph = gnm(128, 640, WeightDist::Unit, 6).unwrap();
     let quality = |phi: f64| {
-        let cfg = SophieConfig { phi, ..base_config() };
+        let cfg = SophieConfig {
+            phi,
+            ..base_config()
+        };
         let solver = SophieSolver::from_graph(&graph, cfg).unwrap();
         (0..3)
             .map(|seed| solver.run(&graph, seed, None).unwrap().best_cut)
@@ -138,6 +157,12 @@ fn moderate_noise_is_optimal() {
     let none = quality(0.0);
     let moderate = quality(0.08);
     let heavy = quality(1.5);
-    assert!(moderate > none, "noise should help escape: {moderate} vs {none}");
-    assert!(moderate > heavy, "too much noise should hurt: {moderate} vs {heavy}");
+    assert!(
+        moderate > none,
+        "noise should help escape: {moderate} vs {none}"
+    );
+    assert!(
+        moderate > heavy,
+        "too much noise should hurt: {moderate} vs {heavy}"
+    );
 }
