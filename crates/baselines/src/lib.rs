@@ -6,11 +6,19 @@
 //! * [`sa`] — simulated annealing (Metropolis, geometric cooling);
 //! * [`sb`] — ballistic and discrete simulated bifurcation, the algorithm
 //!   behind the multi-FPGA machine of Table III;
+//! * [`tempering`] — parallel tempering (replica exchange);
 //! * [`local_search`] — breakout-style local search (the BLS row);
 //! * [`best_known`] — the reference pipeline computing best-known-quality
 //!   cuts for regenerated instances;
 //! * [`mod@reference`] — the published numbers of INPRIS/PRIS/CIM/BRIM/BLS/
 //!   D-Wave/SB/mBRIM as typed constants with provenance.
+//!
+//! Every solver also has an `*_observed` entry point
+//! ([`sa::anneal_observed`], [`sb::bifurcate_observed`],
+//! [`tempering::temper_observed`], [`local_search::search_observed`]) that
+//! streams `sophie_solve::SolveEvent`s to a `SolveObserver`, so these
+//! baselines and the SOPHIE engine can be compared through one
+//! instrumentation vocabulary.
 //!
 //! # Example
 //!
@@ -30,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod best_known;
+mod instrument;
 pub mod local_search;
 pub mod reference;
 pub mod sa;

@@ -9,6 +9,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sophie_graph::cut::{cut_value, flip_gain, random_spins};
 use sophie_graph::Graph;
+use sophie_solve::{NullObserver, SolveObserver};
+
+use crate::instrument::{spin_flips, BaselineEvents};
 
 /// Configuration for one breakout-local-search run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +76,29 @@ fn descend(graph: &Graph, spins: &mut [i8], mut cut: f64) -> (f64, u64) {
 /// Panics if `config.rounds == 0`.
 #[must_use]
 pub fn search(graph: &Graph, config: &BlsConfig) -> BlsOutcome {
+    search_observed(graph, config, None, &mut NullObserver)
+}
+
+/// Runs breakout local search like [`search`] while emitting
+/// [`sophie_solve::SolveEvent`]s to `observer`.
+///
+/// One perturbation round (descent to a local optimum, preceded by a
+/// breakout from round 2 on) maps to one event round: its `GlobalSync`
+/// scores the local optimum reached, with `activity` the Hamming distance
+/// to the previous round's optimum. Round 0 scores the initial random
+/// state. The event stream does not perturb the RNG path — [`search`]
+/// delegates here and produces bit-identical outcomes.
+///
+/// # Panics
+///
+/// Panics if `config.rounds == 0`.
+#[must_use]
+pub fn search_observed(
+    graph: &Graph,
+    config: &BlsConfig,
+    target: Option<f64>,
+    observer: &mut dyn SolveObserver,
+) -> BlsOutcome {
     assert!(config.rounds > 0, "rounds must be positive");
     let n = graph.num_nodes();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -80,13 +106,20 @@ pub fn search(graph: &Graph, config: &BlsConfig) -> BlsOutcome {
     let mut cut = cut_value(graph, &spins);
     let mut total_moves = 0u64;
 
+    let mut events =
+        BaselineEvents::start("bls", n, config.rounds, config.seed, target, cut, observer);
+    let mut prev_spins = spins.clone();
+    let mut best_round = 1usize;
+
     let (c, m) = descend(graph, &mut spins, cut);
     cut = c;
     total_moves += m;
     let mut best_cut = cut;
     let mut best_spins = spins.clone();
+    events.round(1, cut, spin_flips(&prev_spins, &spins), best_cut, observer);
+    prev_spins.copy_from_slice(&spins);
 
-    for _ in 1..config.rounds {
+    for round in 1..config.rounds {
         // Breakout: random multi-flip perturbation from the best state.
         spins.copy_from_slice(&best_spins);
         for _ in 0..config.perturbation.min(n) {
@@ -100,8 +133,18 @@ pub fn search(graph: &Graph, config: &BlsConfig) -> BlsOutcome {
         if cut > best_cut {
             best_cut = cut;
             best_spins.copy_from_slice(&spins);
+            best_round = round + 1;
         }
+        events.round(
+            round + 1,
+            cut,
+            spin_flips(&prev_spins, &spins),
+            best_cut,
+            observer,
+        );
+        prev_spins.copy_from_slice(&spins);
     }
+    events.finish(best_cut, best_round, config.rounds, observer);
     BlsOutcome {
         best_cut,
         best_spins,

@@ -8,6 +8,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sophie_graph::cut::{cut_value, flip_gain, random_spins};
 use sophie_graph::Graph;
+use sophie_solve::{NullObserver, SolveObserver};
+
+use crate::instrument::{spin_flips, BaselineEvents};
 
 /// Configuration for one annealing run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +60,31 @@ pub struct SaOutcome {
 /// mis-ordered.
 #[must_use]
 pub fn anneal(graph: &Graph, config: &SaConfig) -> SaOutcome {
+    anneal_observed(graph, config, None, &mut NullObserver)
+}
+
+/// Runs simulated annealing like [`anneal`] while emitting
+/// [`sophie_solve::SolveEvent`]s to `observer`.
+///
+/// One sweep maps to one round: each sweep ends with a `GlobalSync` whose
+/// `cut` is the current (not best) cut and whose `activity` is the Hamming
+/// distance to the sweep-start state. Because SA captures its best
+/// per-flip, `TargetReached` fires at the end of the sweep in which the
+/// best first crossed `target`. The event stream does not perturb the
+/// Metropolis RNG path — [`anneal`] delegates here and produces
+/// bit-identical outcomes.
+///
+/// # Panics
+///
+/// Panics if `config.sweeps == 0` or temperatures are non-positive or
+/// mis-ordered.
+#[must_use]
+pub fn anneal_observed(
+    graph: &Graph,
+    config: &SaConfig,
+    target: Option<f64>,
+    observer: &mut dyn SolveObserver,
+) -> SaOutcome {
     assert!(config.sweeps > 0, "sweeps must be positive");
     assert!(
         config.t_initial >= config.t_final && config.t_final > 0.0,
@@ -72,10 +100,16 @@ pub fn anneal(graph: &Graph, config: &SaConfig) -> SaOutcome {
     let mut accepted = 0u64;
     let mut attempts = 0u64;
 
+    let mut events =
+        BaselineEvents::start("sa", n, config.sweeps, config.seed, target, cut, observer);
+    let mut best_round = 0usize;
+    let mut sweep_start = spins.clone();
+
     let cooling = (config.t_final / config.t_initial).powf(1.0 / config.sweeps as f64);
     let mut temp = config.t_initial;
 
     for sweep in 0..config.sweeps {
+        sweep_start.copy_from_slice(&spins);
         for _ in 0..n {
             let u = rng.gen_range(0..n);
             let gain = flip_gain(graph, &spins, u);
@@ -89,11 +123,20 @@ pub fn anneal(graph: &Graph, config: &SaConfig) -> SaOutcome {
                     best_cut = cut;
                     best_spins.copy_from_slice(&spins);
                     best_sweep = sweep;
+                    best_round = sweep + 1;
                 }
             }
         }
         temp *= cooling;
+        events.round(
+            sweep + 1,
+            cut,
+            spin_flips(&sweep_start, &spins),
+            best_cut,
+            observer,
+        );
     }
+    events.finish(best_cut, best_round, config.sweeps, observer);
     SaOutcome {
         best_cut,
         best_spins,

@@ -12,6 +12,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sophie_graph::cut::cut_value;
 use sophie_graph::Graph;
+use sophie_solve::{NullObserver, SolveObserver};
+
+use crate::instrument::{spin_flips, BaselineEvents};
 
 /// Coupling variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,6 +77,30 @@ pub struct SbOutcome {
 /// Panics if `config.steps == 0` or `config.dt <= 0`.
 #[must_use]
 pub fn bifurcate(graph: &Graph, config: &SbConfig) -> SbOutcome {
+    bifurcate_observed(graph, config, None, &mut NullObserver)
+}
+
+/// Runs simulated bifurcation like [`bifurcate`] while emitting
+/// [`sophie_solve::SolveEvent`]s to `observer`.
+///
+/// One integration step maps to one round: each step ends with a
+/// `GlobalSync` scoring `sign(x)`, with `activity` the Hamming distance to
+/// the previous step's signs. Round 0 scores the initial oscillator signs
+/// (which the plain solver never evaluates — its best tracking starts at
+/// the first step, and that is unchanged here). The event stream does not
+/// perturb the RNG path — [`bifurcate`] delegates here and produces
+/// bit-identical outcomes.
+///
+/// # Panics
+///
+/// Panics if `config.steps == 0` or `config.dt <= 0`.
+#[must_use]
+pub fn bifurcate_observed(
+    graph: &Graph,
+    config: &SbConfig,
+    target: Option<f64>,
+    observer: &mut dyn SolveObserver,
+) -> SbOutcome {
     assert!(config.steps > 0, "steps must be positive");
     assert!(config.dt > 0.0, "dt must be positive");
     let n = graph.num_nodes();
@@ -96,6 +123,16 @@ pub fn bifurcate(graph: &Graph, config: &SbConfig) -> SbOutcome {
     let mut best_cut = f64::NEG_INFINITY;
     let mut best_spins = spins.clone();
     let mut best_step = 0;
+
+    // Round 0 scores the initial oscillator signs; best tracking still
+    // starts at the first integration step, exactly as before.
+    for (s, &xi) in spins.iter_mut().zip(&x) {
+        *s = if xi >= 0.0 { 1 } else { -1 };
+    }
+    let cut0 = cut_value(graph, &spins);
+    let mut events =
+        BaselineEvents::start("sb", n, config.steps, config.seed, target, cut0, observer);
+    let mut prev_spins = spins.clone();
 
     for step in 0..config.steps {
         let a_t = config.a0 * (step as f64 + 1.0) / config.steps as f64;
@@ -139,7 +176,16 @@ pub fn bifurcate(graph: &Graph, config: &SbConfig) -> SbOutcome {
             best_spins.copy_from_slice(&spins);
             best_step = step;
         }
+        events.round(
+            step + 1,
+            cut,
+            spin_flips(&prev_spins, &spins),
+            best_cut,
+            observer,
+        );
+        prev_spins.copy_from_slice(&spins);
     }
+    events.finish(best_cut, best_step + 1, config.steps, observer);
     SbOutcome {
         best_cut,
         best_spins,

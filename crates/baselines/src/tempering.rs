@@ -10,6 +10,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sophie_graph::cut::{cut_value, flip_gain, random_spins};
 use sophie_graph::Graph;
+use sophie_solve::{NullObserver, SolveObserver};
+
+use crate::instrument::BaselineEvents;
 
 /// Configuration for a parallel-tempering run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +72,30 @@ struct Replica {
 /// `t_min > t_max`.
 #[must_use]
 pub fn temper(graph: &Graph, config: &PtConfig) -> PtOutcome {
+    temper_observed(graph, config, None, &mut NullObserver)
+}
+
+/// Runs parallel tempering like [`temper`] while emitting
+/// [`sophie_solve::SolveEvent`]s to `observer`.
+///
+/// One exchange round maps to one event round: each round's `GlobalSync`
+/// scores the current best replica (the max of the per-replica cuts) and
+/// reports `activity` 0 — with many replicas there is no single spin state
+/// whose flips would be meaningful. Round 0 scores the best initial
+/// replica. The event stream does not perturb the RNG path — [`temper`]
+/// delegates here and produces bit-identical outcomes.
+///
+/// # Panics
+///
+/// Panics if `replicas < 2`, temperatures are non-positive, or
+/// `t_min > t_max`.
+#[must_use]
+pub fn temper_observed(
+    graph: &Graph,
+    config: &PtConfig,
+    target: Option<f64>,
+    observer: &mut dyn SolveObserver,
+) -> PtOutcome {
     assert!(config.replicas >= 2, "need at least 2 replicas");
     assert!(
         config.t_min > 0.0 && config.t_min <= config.t_max,
@@ -108,7 +135,18 @@ pub fn temper(graph: &Graph, config: &PtConfig) -> PtOutcome {
     let mut swaps_accepted = 0u64;
     let mut swaps_attempted = 0u64;
 
-    for _ in 0..config.exchanges {
+    let mut events = BaselineEvents::start(
+        "pt",
+        n,
+        config.exchanges,
+        config.seed,
+        target,
+        best_cut,
+        observer,
+    );
+    let mut best_round = 0usize;
+
+    for exchange in 0..config.exchanges {
         // Metropolis sweeps within each replica.
         for rep in &mut replicas {
             for _ in 0..config.sweeps_per_exchange * n {
@@ -120,6 +158,7 @@ pub fn temper(graph: &Graph, config: &PtConfig) -> PtOutcome {
                     if rep.cut > best_cut {
                         best_cut = rep.cut;
                         best_spins.copy_from_slice(&rep.spins);
+                        best_round = exchange + 1;
                     }
                 }
             }
@@ -139,7 +178,13 @@ pub fn temper(graph: &Graph, config: &PtConfig) -> PtOutcome {
                 swaps_accepted += 1;
             }
         }
+        let ensemble_best = replicas
+            .iter()
+            .map(|r| r.cut)
+            .fold(f64::NEG_INFINITY, f64::max);
+        events.round(exchange + 1, ensemble_best, 0, best_cut, observer);
     }
+    events.finish(best_cut, best_round, config.exchanges, observer);
     PtOutcome {
         best_cut,
         best_spins,

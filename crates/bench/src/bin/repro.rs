@@ -4,11 +4,15 @@
 //!
 //! ```text
 //! repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|all> [--fast] [--out DIR]
+//! repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]
 //! ```
 //!
 //! `--fast` shrinks grids/repetitions for a minutes-scale run; the default
 //! uses the paper's settings. Results print to stdout and are mirrored as
 //! CSV into the output directory (default `results/`).
+//!
+//! `trace` runs one SOPHIE job and dumps its solve-event stream as JSONL
+//! (schema in EXPERIMENTS.md § "Event traces").
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,12 +20,14 @@ use std::process::ExitCode;
 use sophie_bench::experiments;
 use sophie_bench::{Fidelity, Instances, Report};
 
-const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|all|bench-summary> [--fast] [--out DIR]";
+const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|all|bench-summary> [--fast] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]";
 
 fn main() -> ExitCode {
     let mut command: Option<String> = None;
     let mut fast = false;
     let mut out_dir: Option<PathBuf> = None;
+    let mut graph_name = "K100".to_string();
+    let mut seed = 0u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -30,7 +36,21 @@ fn main() -> ExitCode {
             "--out" => match args.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
-                    eprintln!("--out requires a directory\n{USAGE}");
+                    eprintln!("--out requires a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--graph" => match args.next() {
+                Some(name) => graph_name = name,
+                None => {
+                    eprintln!("--graph requires an instance name\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an unsigned integer\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -51,6 +71,34 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+
+    if command == "trace" {
+        // Single-run event dump: --out names the JSONL file itself.
+        let Some(path) = out_dir else {
+            eprintln!("trace requires --out <path.jsonl>\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        let fidelity = Fidelity::from_fast_flag(fast);
+        let mut instances = Instances::new();
+        eprintln!("\n### tracing {graph_name} seed {seed} ({fidelity:?}) ###");
+        let start = std::time::Instant::now();
+        match sophie_bench::trace::write_trace(&mut instances, &graph_name, seed, fidelity, &path) {
+            Ok(s) => {
+                eprintln!(
+                    "### trace done in {:.1?}: {} events, best cut {}, wrote {} ###",
+                    start.elapsed(),
+                    s.events_written,
+                    s.best_cut,
+                    path.display()
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("cannot write trace {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if command == "bench-summary" {
         // Microbench sweep, not a paper experiment: medians land next to

@@ -14,7 +14,7 @@
 use sophie_core::{SophieConfig, SophieSolver};
 use sophie_hw::{OpcmBackend, OpcmBackendConfig};
 
-use crate::experiments::{mean, parallel_runs};
+use crate::experiments::{mean, parallel_reports};
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
 use crate::report::Report;
@@ -49,7 +49,7 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
 
     let quality = |inst: &mut Instances, label: &str, config: &SophieConfig| {
         let solver = inst.solver(GRAPH, config);
-        let outs = parallel_runs(&solver, &graph, runs, None);
+        let outs = parallel_reports(&solver, &graph, runs, None);
         let avg = mean(outs.iter().map(|o| o.best_cut));
         let ops = outs[0].ops;
         eprintln!("[ablations] {label}: {avg:.1}");
@@ -100,7 +100,7 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
     let raw_quality = {
         let k = sophie_graph::coupling::coupling_matrix(&graph);
         let solver = SophieSolver::from_transform(&k, base(fidelity)).expect("valid config");
-        let outs = parallel_runs(&solver, &graph, runs, None);
+        let outs = parallel_reports(&solver, &graph, runs, None);
         mean(outs.iter().map(|o| o.best_cut))
     };
     rows.push(vec![
@@ -114,7 +114,9 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
         "recurrence on the raw coupling matrix".into(),
     ]);
 
-    // 4. ADC resolution through the device backend.
+    // 4. ADC resolution through the device backend (observed, so the
+    //    reported best comes from the same event stream the other
+    //    variants use).
     let solver = inst.solver(GRAPH, &base(fidelity));
     for bits in [4u32, 8, 12] {
         let backend = OpcmBackend::new(OpcmBackendConfig {
@@ -122,10 +124,11 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
             ..OpcmBackendConfig::default()
         });
         let avg = mean((0..runs as u64).map(|seed| {
+            let mut rec = sophie_solve::TraceRecorder::new();
             solver
-                .run_with_backend(&backend, &graph, seed, None)
-                .expect("engine run")
-                .best_cut
+                .run_with_backend_observed(&backend, &graph, seed, None, &mut rec)
+                .expect("engine run");
+            rec.into_report().best_cut
         }));
         eprintln!("[ablations] {bits}-bit ADC: {avg:.1}");
         rows.push(vec![

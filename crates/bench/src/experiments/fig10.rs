@@ -10,7 +10,7 @@ use sophie_core::SophieConfig;
 use sophie_hw::arch::{AcceleratorSpec, ChipletSpec, MachineConfig, PeSpec};
 use sophie_hw::cost::{params::CostParams, timing::batch_time, workload::WorkloadSummary};
 
-use crate::experiments::{mean, parallel_runs};
+use crate::experiments::{mean, parallel_reports};
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
 use crate::report::{fmt_time, Report};
@@ -64,10 +64,10 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
                 stochastic_spin_update: true,
             };
             let solver = inst.solver(name, &config);
-            let outs = parallel_runs(&solver, &graph, runs, Some(target));
+            let outs = parallel_reports(&solver, &graph, runs, Some(target));
             let hits: Vec<f64> = outs
                 .iter()
-                .filter_map(|o| o.global_iters_to_target)
+                .filter_map(|r| r.iterations_to_target)
                 .map(|g| g as f64)
                 .collect();
             let (cell_time, cell_rounds) = if hits.len() * 2 >= runs {

@@ -3,7 +3,7 @@
 
 use sophie_core::SophieConfig;
 
-use crate::experiments::{mean, parallel_runs};
+use crate::experiments::{mean, parallel_reports};
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
 use crate::report::Report;
@@ -34,7 +34,7 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
                 stochastic_spin_update: true,
             };
             let solver = inst.solver(name, &config);
-            let outs = parallel_runs(&solver, &graph, fidelity.runs(), None);
+            let outs = parallel_reports(&solver, &graph, fidelity.runs(), None);
             let avg = mean(outs.iter().map(|o| o.best_cut));
             rows.push(vec![
                 local.to_string(),

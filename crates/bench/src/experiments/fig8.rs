@@ -3,7 +3,7 @@
 
 use sophie_core::SophieConfig;
 
-use crate::experiments::{mean, parallel_runs};
+use crate::experiments::{mean, parallel_reports};
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
 use crate::report::Report;
@@ -35,10 +35,10 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
                 stochastic_spin_update: true,
             };
             let solver = inst.solver(name, &config);
-            let outs = parallel_runs(&solver, &graph, runs, Some(target));
+            let outs = parallel_reports(&solver, &graph, runs, Some(target));
             let hits: Vec<f64> = outs
                 .iter()
-                .filter_map(|o| o.global_iters_to_target)
+                .filter_map(|r| r.iterations_to_target)
                 .map(|g| (g * local) as f64)
                 .collect();
             let converged = hits.len();

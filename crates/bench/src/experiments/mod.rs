@@ -12,21 +12,30 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
-use sophie_core::{SophieOutcome, SophieSolver};
+use sophie_core::SophieSolver;
 use sophie_graph::Graph;
+use sophie_solve::{SolveReport, TraceRecorder};
 
 /// Runs `runs` independent seeds of `solver` on `graph` in parallel and
-/// returns the outcomes in seed order.
-pub(crate) fn parallel_runs(
+/// returns the per-run [`SolveReport`]s in seed order.
+///
+/// Each run streams its solve events into a [`TraceRecorder`]; experiments
+/// consume the distilled reports (`best_cut`, `iterations_to_target`,
+/// `ops`, traces) instead of reaching into solver-specific outcome types,
+/// so the same analysis code works for any solver that emits the shared
+/// event vocabulary.
+pub(crate) fn parallel_reports(
     solver: &SophieSolver,
     graph: &Graph,
     runs: usize,
     target: Option<f64>,
-) -> Vec<SophieOutcome> {
+) -> Vec<SolveReport> {
     sophie_linalg::par::parallel_map(runs, |seed| {
+        let mut rec = TraceRecorder::new();
         solver
-            .run(graph, seed as u64, target)
-            .expect("engine runs are infallible after construction")
+            .run_observed(graph, seed as u64, target, &mut rec)
+            .expect("engine runs are infallible after construction");
+        rec.into_report()
     })
 }
 
@@ -47,7 +56,7 @@ mod tests {
     use sophie_graph::generate::{complete, WeightDist};
 
     #[test]
-    fn parallel_runs_are_seed_ordered_and_deterministic() {
+    fn parallel_reports_are_seed_ordered_and_deterministic() {
         let g = complete(24, WeightDist::Unit, 0).unwrap();
         let cfg = SophieConfig {
             tile_size: 8,
@@ -55,10 +64,15 @@ mod tests {
             ..SophieConfig::default()
         };
         let solver = SophieSolver::from_graph(&g, cfg).unwrap();
-        let a = parallel_runs(&solver, &g, 4, None);
-        let b = parallel_runs(&solver, &g, 4, None);
+        let a = parallel_reports(&solver, &g, 4, None);
+        let b = parallel_reports(&solver, &g, 4, None);
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.best_cut, y.best_cut);
+            assert_eq!(x, y);
+        }
+        for (seed, r) in a.iter().enumerate() {
+            assert_eq!(r.seed, seed as u64);
+            assert_eq!(r.solver, "sophie");
+            assert_eq!(r.cut_trace.len(), 21); // initial state + 20 rounds
         }
     }
 

@@ -6,7 +6,7 @@ use sophie_hw::arch::MachineConfig;
 use sophie_hw::cost::{params::CostParams, timing::batch_time, workload::WorkloadSummary};
 use sophie_linalg::TileGrid;
 
-use crate::experiments::{mean, parallel_runs};
+use crate::experiments::{mean, parallel_reports};
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
 use crate::report::Report;
@@ -70,10 +70,10 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
         ..SophieConfig::default()
     };
     let solver = inst.solver(kname, &cfg);
-    let outs = parallel_runs(&solver, &graph, fidelity.runs(), Some(target));
+    let outs = parallel_reports(&solver, &graph, fidelity.runs(), Some(target));
     let hits: Vec<f64> = outs
         .iter()
-        .filter_map(|o| o.global_iters_to_target)
+        .filter_map(|r| r.iterations_to_target)
         .map(|g| g as f64)
         .collect();
     let cell = if hits.is_empty() {

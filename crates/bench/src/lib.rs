@@ -16,6 +16,7 @@
 //! | `summary`| abstract       | headline-claim scorecard |
 //! | `ablations`| (extension)  | design-choice toggles: spin update, local depth, dropout, ADC bits, tile mapping |
 //! | `power`  | (extension)    | steady-state machine power budget |
+//! | `trace`  | (extension)    | JSONL solve-event dump of one run ([`trace`]) |
 //!
 //! Every experiment honors [`fidelity::Fidelity`]: `--fast` shrinks grids
 //! and repetitions; the default reproduces the paper's settings.
@@ -28,6 +29,7 @@ pub mod fidelity;
 pub mod instances;
 pub mod micro;
 pub mod report;
+pub mod trace;
 
 pub use fidelity::Fidelity;
 pub use instances::Instances;

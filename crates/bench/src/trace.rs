@@ -1,0 +1,101 @@
+//! JSONL solve-event capture (the `repro trace` command).
+//!
+//! Runs one SOPHIE job on a named benchmark instance and streams every
+//! [`sophie_solve::SolveEvent`] through a [`sophie_solve::EventWriter`]
+//! into a file, one JSON object per line. The schema is documented in
+//! `EXPERIMENTS.md` (§ "Event traces"); the stream is deterministic for a
+//! fixed (instance, config, seed) and independent of `SOPHIE_THREADS`, so
+//! traces diff cleanly across machines and revisions.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
+
+use sophie_core::SophieConfig;
+use sophie_solve::EventWriter;
+
+use crate::fidelity::Fidelity;
+use crate::instances::Instances;
+
+/// What a trace capture produced, for the command-line summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSummary {
+    /// JSON lines written to the output file.
+    pub events_written: u64,
+    /// Best cut found by the traced run.
+    pub best_cut: f64,
+}
+
+/// Runs one SOPHIE job on instance `name` with `seed` and writes its
+/// event stream as JSONL to `out`.
+///
+/// The solver configuration matches the Fig. 6 operating point (tile 64,
+/// 10 local iterations, all tiles selected, φ = 0.05) with the fidelity's
+/// global-iteration budget, so a fast trace stays small while a full one
+/// covers a paper-scale anneal.
+///
+/// # Errors
+///
+/// Returns I/O errors from creating or writing `out`.
+///
+/// # Panics
+///
+/// Panics on an unknown instance name (same names as the experiments:
+/// `"G1"`, `"G22"`, `"K100"`, or `"K<n>"`).
+pub fn write_trace(
+    inst: &mut Instances,
+    name: &str,
+    seed: u64,
+    fidelity: Fidelity,
+    out: &Path,
+) -> std::io::Result<TraceSummary> {
+    let graph = inst.graph(name);
+    let config = SophieConfig {
+        tile_size: 64,
+        local_iters: 10,
+        global_iters: fidelity.global_iters(),
+        tile_fraction: 1.0,
+        phi: 0.05,
+        alpha: 0.0,
+        stochastic_spin_update: true,
+    };
+    let solver = inst.solver(name, &config);
+    let mut writer = EventWriter::new(BufWriter::new(File::create(out)?));
+    let outcome = solver
+        .run_observed(&graph, seed, None, &mut writer)
+        .expect("engine runs are infallible after construction");
+    let events_written = writer.events_written();
+    writer.finish()?;
+    Ok(TraceSummary {
+        events_written,
+        best_cut: outcome.best_cut,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_file_is_line_delimited_json_with_run_framing() {
+        let dir = std::env::temp_dir().join("sophie_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("k100.jsonl");
+        let mut inst = Instances::new();
+        let summary = write_trace(&mut inst, "K100", 1, Fidelity::Fast, &path).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len() as u64, summary.events_written);
+        assert!(lines[0].starts_with(r#"{"event":"run_started""#));
+        assert!(lines[0].contains(r#""solver":"sophie""#));
+        assert!(lines
+            .last()
+            .unwrap()
+            .starts_with(r#"{"event":"run_finished""#));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -13,8 +13,8 @@ use sophie_linalg::{TileGrid, TilePair};
 
 use crate::config::SophieConfig;
 use crate::error::Result;
-use crate::opcount::OpCounts;
 use crate::schedule::RoundGenerator;
+use sophie_solve::OpCounts;
 
 /// Replays the schedule for a problem of order `n` and returns the exact
 /// operation counts of one job.

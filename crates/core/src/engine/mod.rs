@@ -1,0 +1,405 @@
+//! The tiled recurrent Ising engine (paper Algorithm 1), as a staged
+//! round pipeline.
+//!
+//! [`SophieSolver`] executes the modified PRIS algorithm:
+//!
+//! * the transformation matrix is tiled and each **symmetric pair** of
+//!   tiles is mapped to one bidirectional MVM unit (§III-A1, §III-D);
+//! * each selected pair runs `local_iters` **local iterations** against its
+//!   private spin copies and frozen offset vectors;
+//! * a **global synchronization** then exchanges partial sums and spin
+//!   states, with *stochastic tile computation* and *stochastic spin
+//!   update* shrinking both compute and traffic (§III-A2).
+//!
+//! The engine is generic over [`MvmBackend`] so the identical algorithm can
+//! run on the exact floating-point substrate or on the OPCM device model in
+//! `sophie-hw`, and it tallies an [`OpCounts`](sophie_solve::OpCounts) as it
+//! goes — the interface to the power/performance models.
+//!
+//! # Stage pipeline
+//!
+//! A run is a thin loop over four explicit stages, each its own module:
+//!
+//! 1. [`program`] — unit programming and state upload (once per run);
+//! 2. [`round`] — pair selection and parallel local iteration;
+//! 3. [`sync`] — global synchronization and partial-sum merge;
+//! 4. [`track`] — best/target/trace bookkeeping and event emission.
+//!
+//! The stages communicate through one [`state::MachineState`] value, and
+//! every `run*` entry point has an `_observed` variant that streams typed
+//! [`sophie_solve::SolveEvent`]s to a [`SolveObserver`] (the plain
+//! variants attach a no-op observer; outcomes are bit-identical either
+//! way).
+//!
+//! # Threading model
+//!
+//! Within a round, the selected tile pairs are independent by construction:
+//! each owns a private spin copy and partial-sum segment, and reads only
+//! offset vectors frozen at the last synchronization. The engine exploits
+//! this by fanning the pairs of every round across the persistent worker
+//! pool in [`sophie_linalg::par`] (bounded by `SOPHIE_THREADS`). Noise is
+//! drawn from counter-derived per-`(round, pair)` RNG streams rather than
+//! one shared generator, per-pair [`OpCounts`](sophie_solve::OpCounts)
+//! tallies are folded in a
+//! fixed order at every synchronization, and all observer events are
+//! emitted from the driving thread — so outcomes *and event streams*
+//! (traces, bits, op counts) are bit-identical regardless of the thread
+//! count.
+
+mod program;
+mod round;
+mod state;
+mod sync;
+mod track;
+
+#[cfg(test)]
+mod tests;
+
+use sophie_graph::cut::cut_value_binary;
+use sophie_graph::Graph;
+use sophie_linalg::{Matrix, Tile, TileGrid, TilePair};
+use sophie_solve::{NullObserver, SolveEvent, SolveObserver};
+
+use crate::backend::{IdealBackend, MvmBackend};
+use crate::config::SophieConfig;
+use crate::error::{Result, SophieError};
+use crate::outcome::SophieOutcome;
+use crate::schedule::Schedule;
+
+/// The SOPHIE solver: a tiled transformation matrix plus everything needed
+/// to run jobs against it.
+///
+/// ```
+/// use sophie_core::{SophieConfig, SophieSolver};
+/// use sophie_graph::generate::{complete, WeightDist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = complete(32, WeightDist::Unit, 0)?;
+/// let config = SophieConfig { tile_size: 8, global_iters: 60, ..SophieConfig::default() };
+/// let solver = SophieSolver::from_graph(&g, config)?;
+/// let out = solver.run(&g, 1, None)?;
+/// assert!(out.best_cut > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SophieSolver {
+    config: SophieConfig,
+    grid: TileGrid,
+    pairs: Vec<TilePair>,
+    /// Primary (upper-triangular or diagonal) tile of each pair.
+    tiles: Vec<Tile>,
+    /// Per-node thresholds `θ_i = ½ Σ_j C_ij`, zero on padding.
+    thresholds: Vec<f32>,
+    /// Per-node noise scales `ρ_i = ½ Σ_j |C_ij|`, zero on padding.
+    noise_scale: Vec<f32>,
+    /// True (unpadded) problem dimension.
+    n: usize,
+}
+
+impl SophieSolver {
+    /// Builds a solver from a max-cut instance: forms `K = -A`, applies
+    /// eigenvalue dropout with the configured `α`, and tiles the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, eigensolver, and preprocessing errors.
+    pub fn from_graph(graph: &Graph, config: SophieConfig) -> Result<Self> {
+        config.validate()?;
+        let k = sophie_graph::coupling::coupling_matrix(graph);
+        let delta = sophie_graph::coupling::delta_diagonal(graph);
+        let c = sophie_pris::dropout::transformation_matrix(
+            &k,
+            delta,
+            config.alpha,
+            sophie_pris::DeltaVariant::Gershgorin,
+        )?;
+        Self::from_transform(&c, config)
+    }
+
+    /// Builds a solver from an already-preprocessed transformation matrix
+    /// `C` (useful when sweeping `α` with a cached
+    /// [`sophie_pris::Preprocessor`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors or [`SophieError::Linalg`] if `c` is
+    /// rectangular.
+    pub fn from_transform(c: &Matrix, config: SophieConfig) -> Result<Self> {
+        config.validate()?;
+        if !c.is_square() {
+            return Err(SophieError::Linalg(sophie_linalg::LinalgError::NotSquare {
+                rows: c.rows(),
+                cols: c.cols(),
+            }));
+        }
+        let grid = TileGrid::new(c.rows(), config.tile_size)?;
+        let pairs = grid.symmetric_pairs();
+        let tiles: Vec<Tile> = pairs
+            .iter()
+            .map(|p| Tile::from_matrix(c, &grid, p.primary()))
+            .collect();
+        let padded = grid.padded_len();
+        let mut thresholds = vec![0.0_f32; padded];
+        let mut noise_scale = vec![0.0_f32; padded];
+        for r in 0..c.rows() {
+            let row = c.row(r);
+            thresholds[r] = (0.5 * row.iter().sum::<f64>()) as f32;
+            noise_scale[r] = (0.5 * row.iter().map(|x| x.abs()).sum::<f64>()) as f32;
+        }
+        Ok(SophieSolver {
+            config,
+            grid,
+            pairs,
+            tiles,
+            thresholds,
+            noise_scale,
+            n: c.rows(),
+        })
+    }
+
+    /// The validated configuration.
+    #[must_use]
+    pub fn config(&self) -> &SophieConfig {
+        &self.config
+    }
+
+    /// The tiling descriptor.
+    #[must_use]
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// Number of symmetric tile pairs (physical MVM units required).
+    #[must_use]
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Problem dimension (graph order).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Index of the pair covering tile `(r, c)` in the pair list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block indices are out of range.
+    #[must_use]
+    pub fn pair_index(&self, r: usize, c: usize) -> usize {
+        let b = self.grid.blocks();
+        assert!(r < b && c < b, "block index out of range");
+        let (lo, hi) = if r <= c { (r, c) } else { (c, r) };
+        // Pairs are emitted row-major: for row k, the diagonal then (k, k+1..B).
+        lo * b - lo * (lo + 1) / 2 + lo + (hi - lo)
+    }
+
+    /// Runs one job on the exact floating-point backend.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; kept fallible for parity
+    /// with backend-specific runs.
+    pub fn run(&self, graph: &Graph, seed: u64, target_cut: Option<f64>) -> Result<SophieOutcome> {
+        self.run_with_backend(&IdealBackend::new(), graph, seed, target_cut)
+    }
+
+    /// Like [`Self::run`], but streaming [`SolveEvent`]s to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction.
+    pub fn run_observed(
+        &self,
+        graph: &Graph,
+        seed: u64,
+        target_cut: Option<f64>,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<SophieOutcome> {
+        self.run_with_backend_observed(&IdealBackend::new(), graph, seed, target_cut, observer)
+    }
+
+    /// Runs one job on an arbitrary MVM backend, generating the static
+    /// schedule from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction.
+    pub fn run_with_backend<B: MvmBackend>(
+        &self,
+        backend: &B,
+        graph: &Graph,
+        seed: u64,
+        target_cut: Option<f64>,
+    ) -> Result<SophieOutcome> {
+        self.run_with_backend_observed(backend, graph, seed, target_cut, &mut NullObserver)
+    }
+
+    /// Like [`Self::run_with_backend`], but streaming [`SolveEvent`]s to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction.
+    pub fn run_with_backend_observed<B: MvmBackend>(
+        &self,
+        backend: &B,
+        graph: &Graph,
+        seed: u64,
+        target_cut: Option<f64>,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<SophieOutcome> {
+        let schedule = Schedule::generate(
+            &self.grid,
+            self.config.global_iters,
+            self.config.tile_fraction,
+            self.config.stochastic_spin_update,
+            seed ^ 0x5c3a_11ed_0b57_aced,
+        );
+        self.run_scheduled_from_observed(
+            backend, graph, &schedule, seed, target_cut, None, observer,
+        )
+    }
+
+    /// Runs one job against a pre-generated schedule (the hardware flow:
+    /// the host generates all scheduling decisions offline, §III-D).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph.num_nodes() != self.dim()` or the schedule was
+    /// generated for a different grid.
+    pub fn run_scheduled<B: MvmBackend>(
+        &self,
+        backend: &B,
+        graph: &Graph,
+        schedule: &Schedule,
+        seed: u64,
+        target_cut: Option<f64>,
+    ) -> Result<SophieOutcome> {
+        self.run_scheduled_from(backend, graph, schedule, seed, target_cut, None)
+    }
+
+    /// Like [`Self::run_scheduled`], but warm-started from `initial_bits`
+    /// instead of a random state — e.g. to continue annealing from the
+    /// best configuration of a previous batch, or to polish a baseline
+    /// solver's output on the Ising machine.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on graph/schedule mismatch or if `initial_bits` has the
+    /// wrong length.
+    pub fn run_scheduled_from<B: MvmBackend>(
+        &self,
+        backend: &B,
+        graph: &Graph,
+        schedule: &Schedule,
+        seed: u64,
+        target_cut: Option<f64>,
+        initial_bits: Option<&[bool]>,
+    ) -> Result<SophieOutcome> {
+        self.run_scheduled_from_observed(
+            backend,
+            graph,
+            schedule,
+            seed,
+            target_cut,
+            initial_bits,
+            &mut NullObserver,
+        )
+    }
+
+    /// The fully general entry point: pre-generated schedule, optional
+    /// warm start, and a [`SolveObserver`] receiving the run's event
+    /// stream. All other `run*` methods funnel here.
+    ///
+    /// The stage loop is: `program` once, then per scheduled round
+    /// `round` → `sync` → `track` (one private module per stage, see the
+    /// module docs). Events follow the ordering
+    /// contract documented in [`sophie_solve`]: `RunStarted`, a round-0
+    /// `GlobalSync` for the initial state (its `ops_delta` is the setup
+    /// cost), then per round `RoundStarted`, one `PairIterated` per
+    /// selected pair in ascending pair order, `GlobalSync`, and at most
+    /// one `TargetReached`; finally `RunFinished`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on graph/schedule mismatch or if `initial_bits` has the
+    /// wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_scheduled_from_observed<B: MvmBackend>(
+        &self,
+        backend: &B,
+        graph: &Graph,
+        schedule: &Schedule,
+        seed: u64,
+        target_cut: Option<f64>,
+        initial_bits: Option<&[bool]>,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<SophieOutcome> {
+        assert_eq!(graph.num_nodes(), self.n, "graph order mismatch");
+        assert_eq!(
+            schedule.blocks(),
+            self.grid.blocks(),
+            "schedule grid mismatch"
+        );
+
+        observer.on_event(&SolveEvent::RunStarted {
+            solver: "sophie",
+            dimension: self.n,
+            planned_iterations: schedule.rounds().len(),
+            seed,
+            target: target_cut,
+        });
+
+        // Stage 1: program the units and upload the initial state.
+        let mut ms = program::program(self, backend, seed, initial_bits);
+
+        let bits = state::global_bits(&ms.global, self.n);
+        let cut0 = cut_value_binary(graph, &bits);
+        let mut tracker = track::RunTracker::start(target_cut, &bits, cut0, ms.ops, observer);
+
+        let local_iters = self.config.local_iters;
+        for (g, sched_round) in schedule.rounds().iter().enumerate() {
+            let round_index = g + 1;
+
+            // Stage 2: parallel local iterations over the selected pairs.
+            observer.on_event(&SolveEvent::RoundStarted {
+                round: round_index,
+                pairs_selected: sched_round.pairs.len(),
+            });
+            round::execute(self, &mut ms, &sched_round.pairs, round_index as u64, seed);
+            for &pi in &sched_round.pairs {
+                observer.on_event(&SolveEvent::PairIterated {
+                    round: round_index,
+                    pair: pi,
+                    local_iters,
+                });
+            }
+
+            // Stage 3: global synchronization and partial-sum merge.
+            sync::synchronize(self, &mut ms, schedule, sched_round);
+            ms.drain_pair_ops();
+
+            // Stage 4: score the synchronized state and emit its events.
+            let bits = state::global_bits(&ms.global, self.n);
+            let cut = cut_value_binary(graph, &bits);
+            tracker.observe(round_index, &bits, cut, ms.ops, observer);
+        }
+
+        Ok(tracker.finish(schedule.rounds().len(), ms.ops, observer))
+    }
+}

@@ -1,0 +1,92 @@
+//! Stage 1 — unit programming and state upload.
+//!
+//! Programs every pair's primary tile into a physical MVM unit, seeds the
+//! global spin state (random or warm-started), computes the first 8-bit
+//! partial sums, primes each pair's private spin copies, and gathers the
+//! initial offset vectors. After this stage the machine is exactly at
+//! "round 0": the state every subsequent round iterates from.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sophie_linalg::par;
+use sophie_solve::OpCounts;
+
+use super::state::{MachineState, PairState};
+use super::{sync, SophieSolver};
+use crate::backend::{MvmBackend, MvmUnit};
+
+/// Builds the programmed machine for one run.
+///
+/// Unit programming stays serial: backends may hand out unit ids from a
+/// shared counter, and the id ↔ pair mapping must not depend on timing.
+/// The initial partial sums and spin-copy resets fan out across the worker
+/// pool — one independent task per pair.
+///
+/// On return the per-pair tallies have been drained, so `ms.ops` is the
+/// complete setup cost (the `ops_delta` of the round-0 `GlobalSync`
+/// event).
+///
+/// # Panics
+///
+/// Panics if `initial_bits` has the wrong length.
+pub(super) fn program<B: MvmBackend>(
+    solver: &SophieSolver,
+    backend: &B,
+    seed: u64,
+    initial_bits: Option<&[bool]>,
+) -> MachineState<B::Unit> {
+    let t = solver.grid.tile();
+    let b = solver.grid.blocks();
+    let mut ops = OpCounts::new();
+
+    let mut states: Vec<PairState<B::Unit>> = solver
+        .pairs
+        .iter()
+        .enumerate()
+        .map(|(pi, &pair)| {
+            let mut unit = backend.unit(t);
+            unit.program(&solver.tiles[pi]);
+            PairState::new(pair, pi, unit, t)
+        })
+        .collect();
+    ops.tiles_programmed += solver.pairs.len() as u64;
+
+    // Global spin state, padded; padding stays 0 and couples to nothing.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut global = vec![0.0_f32; solver.grid.padded_len()];
+    match initial_bits {
+        Some(bits) => {
+            assert_eq!(bits.len(), solver.n, "initial state length mismatch");
+            for (g, &bit) in global.iter_mut().zip(bits) {
+                *g = if bit { 1.0 } else { 0.0 };
+            }
+        }
+        None => {
+            for g in global.iter_mut().take(solver.n) {
+                *g = if rng.gen_bool(0.5) { 1.0 } else { 0.0 };
+            }
+        }
+    }
+
+    // Initial partial sums — every tile's contribution to its block row —
+    // and private spin copies: one independent task per pair.
+    {
+        let global_ref: &[f32] = &global;
+        par::for_each_chunk_mut(&mut states, solver.pairs.len(), |_, chunk| {
+            for st in chunk {
+                st.initial_partials(global_ref, t);
+                st.reset_from_global(global_ref, t);
+            }
+        });
+    }
+
+    let mut ms = MachineState {
+        states,
+        global,
+        offsets: vec![0.0_f32; b * b * t],
+        ops,
+    };
+    sync::recompute_offsets(solver, &mut ms);
+    ms.drain_pair_ops();
+    ms
+}

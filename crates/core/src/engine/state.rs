@@ -1,0 +1,213 @@
+//! Per-run mutable state shared by the engine's stages.
+//!
+//! [`MachineState`] is the "machine" the stages operate on: the programmed
+//! MVM units with their private spin copies ([`PairState`]), the global
+//! spin vector, the frozen offset vectors, and the run's operation tally.
+//! The stage modules ([`super::program`], [`super::round`],
+//! [`super::sync`], [`super::track`]) each mutate a well-defined slice of
+//! it.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sophie_linalg::TilePair;
+use sophie_solve::OpCounts;
+
+use crate::backend::MvmUnit;
+
+/// Everything one run mutates: pair states, the global spin vector, the
+/// offset vectors frozen between synchronizations, and the operation
+/// totals accumulated so far.
+#[derive(Debug)]
+pub(super) struct MachineState<U> {
+    /// One entry per symmetric tile pair, in pair-list order.
+    pub states: Vec<PairState<U>>,
+    /// Global spin state, padded; padding stays 0 and couples to nothing.
+    pub global: Vec<f32>,
+    /// Per-logical-tile offset vectors (`b²·t` values): read-only during
+    /// local iterations, regathered at every synchronization.
+    pub offsets: Vec<f32>,
+    /// Run-total operation counts. Serial stages add to this directly;
+    /// per-pair tallies are folded in via [`MachineState::drain_pair_ops`].
+    pub ops: OpCounts,
+}
+
+impl<U> MachineState<U> {
+    /// Folds every pair's private tally into the run total, zeroing the
+    /// per-pair counters.
+    ///
+    /// Called once per round (and once after setup) in fixed pair order;
+    /// because `u64` addition is exact and commutative the final totals
+    /// are identical to folding once at the end of the run, while the
+    /// intermediate totals give the per-round deltas the observer layer
+    /// reports.
+    pub fn drain_pair_ops(&mut self) {
+        for st in &mut self.states {
+            let taken = std::mem::take(&mut st.ops);
+            self.ops = self.ops.combined(&taken);
+        }
+    }
+}
+
+/// Per-pair mutable state: the pair's physical unit, private spin copies,
+/// latest partial-sum segments, MVM scratch, and op tally.
+///
+/// During the local iterations of a round each selected pair's state is
+/// mutated by exactly one pool task while all cross-pair inputs are frozen,
+/// which is what makes the fan-out race-free without locks.
+#[derive(Debug, Clone)]
+pub(super) struct PairState<U> {
+    pub pair: TilePair,
+    /// Position in the solver's pair list (= the RNG sub-stream id).
+    pub index: usize,
+    pub unit: U,
+    /// Copy of `x_col` — input of the primary tile `(row, col)`.
+    pub primary: Vec<f32>,
+    /// Copy of `x_row` — input of the partner tile `(col, row)`; empty for
+    /// diagonal pairs.
+    pub partner: Vec<f32>,
+    /// Latest 8-bit partial sum produced by the primary tile.
+    pub partial_primary: Vec<f32>,
+    /// Latest 8-bit partial sum of the partner tile; empty for diagonals.
+    pub partial_partner: Vec<f32>,
+    /// MVM output scratch.
+    pub y: Vec<f32>,
+    /// Operations attributed to this pair since the last drain.
+    pub ops: OpCounts,
+}
+
+impl<U> PairState<U> {
+    /// Refreshes this pair's private spin copies from the global state.
+    pub fn reset_from_global(&mut self, global: &[f32], t: usize) {
+        match self.pair {
+            TilePair::Diagonal(d) => {
+                self.primary.copy_from_slice(&global[d * t..(d + 1) * t]);
+            }
+            TilePair::OffDiagonal { row, col } => {
+                self.primary
+                    .copy_from_slice(&global[col * t..(col + 1) * t]);
+                self.partner
+                    .copy_from_slice(&global[row * t..(row + 1) * t]);
+            }
+        }
+    }
+}
+
+impl<U: MvmUnit> PairState<U> {
+    pub fn new(pair: TilePair, index: usize, unit: U, t: usize) -> Self {
+        let off = matches!(pair, TilePair::OffDiagonal { .. });
+        PairState {
+            pair,
+            index,
+            unit,
+            primary: vec![0.0; t],
+            partner: if off { vec![0.0; t] } else { Vec::new() },
+            partial_primary: vec![0.0; t],
+            partial_partner: if off { vec![0.0; t] } else { Vec::new() },
+            y: vec![0.0; t],
+            ops: OpCounts::new(),
+        }
+    }
+
+    /// First 8-bit pass: this pair's tiles' contributions to their block
+    /// rows at the initial global state (no noise, no thresholding).
+    pub fn initial_partials(&mut self, global: &[f32], t: usize) {
+        match self.pair {
+            TilePair::Diagonal(d) => {
+                self.unit.forward(&global[d * t..(d + 1) * t], &mut self.y);
+                self.unit.quantize_8bit(&mut self.y);
+                self.partial_primary.copy_from_slice(&self.y);
+                self.ops.tile_mvms_8bit += 1;
+                self.ops.adc_8bit_samples += t as u64;
+                self.ops.eo_input_bits += t as u64;
+            }
+            TilePair::OffDiagonal { row, col } => {
+                self.unit
+                    .forward(&global[col * t..(col + 1) * t], &mut self.y);
+                self.unit.quantize_8bit(&mut self.y);
+                self.partial_primary.copy_from_slice(&self.y);
+                self.unit
+                    .transposed(&global[row * t..(row + 1) * t], &mut self.y);
+                self.unit.quantize_8bit(&mut self.y);
+                self.partial_partner.copy_from_slice(&self.y);
+                self.ops.tile_mvms_8bit += 2;
+                self.ops.adc_8bit_samples += 2 * t as u64;
+                self.ops.eo_input_bits += 2 * t as u64;
+            }
+        }
+    }
+}
+
+/// Flat index range of logical tile `(r, c)` in the `b²·t`-long offsets
+/// buffer.
+pub(super) fn vec_at(b: usize, t: usize, r: usize, c: usize) -> std::ops::Range<usize> {
+    (r * b + c) * t..(r * b + c + 1) * t
+}
+
+/// Seed of the private noise stream used by pair `pair_index` during round
+/// `round_index` (1-based; 0 is implicitly the serial setup stream of
+/// `SmallRng::seed_from_u64(seed)`).
+///
+/// Derived purely from the job seed and the (round, pair) coordinates —
+/// never from thread identity or execution order — which is what makes
+/// engine traces bit-identical for every `SOPHIE_THREADS` setting. The
+/// chained SplitMix64 finalizers decorrelate adjacent coordinates.
+pub(super) fn noise_stream_seed(seed: u64, round_index: u64, pair_index: u64) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    mix(mix(mix(seed.wrapping_add(0x9E37_79B9_7F4A_7C15)) ^ round_index) ^ pair_index)
+}
+
+/// The pair's private noise RNG for one round.
+pub(super) fn noise_rng(seed: u64, round_index: u64, pair_index: u64) -> SmallRng {
+    SmallRng::seed_from_u64(noise_stream_seed(seed, round_index, pair_index))
+}
+
+/// Collects disjoint mutable borrows of the selected pair states.
+///
+/// `selected` must be sorted ascending and duplicate-free (the schedule
+/// guarantees this); walking one `iter_mut` keeps the aliasing proof in
+/// safe code.
+pub(super) fn collect_selected<'a, U>(
+    states: &'a mut [PairState<U>],
+    selected: &[usize],
+) -> Vec<&'a mut PairState<U>> {
+    let mut out = Vec::with_capacity(selected.len());
+    let mut iter = states.iter_mut().enumerate();
+    for &want in selected {
+        for (i, st) in iter.by_ref() {
+            if i == want {
+                out.push(st);
+                break;
+            }
+        }
+    }
+    assert_eq!(
+        out.len(),
+        selected.len(),
+        "selected pair indices must be sorted, unique, and in range"
+    );
+    out
+}
+
+/// Tallies the MVMs and ADC samples of one local pass over a pair.
+pub(super) fn count_local_mvm(ops: &mut OpCounts, t: usize, last: bool, mvms: u64) {
+    let samples = mvms * t as u64;
+    if last {
+        ops.tile_mvms_8bit += mvms;
+        ops.adc_8bit_samples += samples;
+    } else {
+        ops.tile_mvms_1bit += mvms;
+        ops.adc_1bit_samples += samples;
+    }
+    ops.eo_input_bits += samples;
+    ops.noise_injections += samples;
+}
+
+/// Thresholds the first `n` (unpadded) entries of the global state into
+/// bits.
+pub(super) fn global_bits(global: &[f32], n: usize) -> Vec<bool> {
+    global[..n].iter().map(|&x| x > 0.5).collect()
+}

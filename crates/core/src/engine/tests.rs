@@ -1,0 +1,366 @@
+use sophie_graph::cut::cut_value_binary;
+use sophie_graph::generate::{complete, gnm, WeightDist};
+use sophie_linalg::TilePair;
+use sophie_solve::{SolveEvent, TraceRecorder};
+
+use super::SophieSolver;
+use crate::backend::IdealBackend;
+use crate::config::SophieConfig;
+use crate::schedule::Schedule;
+
+fn small_config(tile: usize, giters: usize) -> SophieConfig {
+    SophieConfig {
+        tile_size: tile,
+        local_iters: 5,
+        global_iters: giters,
+        tile_fraction: 1.0,
+        phi: 0.25,
+        alpha: 0.0,
+        stochastic_spin_update: true,
+    }
+}
+
+#[test]
+fn pair_index_matches_enumeration() {
+    let g = complete(40, WeightDist::Unit, 0).unwrap();
+    let solver = SophieSolver::from_graph(&g, small_config(8, 1)).unwrap();
+    let b = solver.grid().blocks();
+    for r in 0..b {
+        for c in 0..b {
+            let pi = solver.pair_index(r, c);
+            let (lo, hi) = if r <= c { (r, c) } else { (c, r) };
+            let pair = solver.pairs[pi];
+            match pair {
+                TilePair::Diagonal(d) => assert_eq!((lo, hi), (d, d)),
+                TilePair::OffDiagonal { row, col } => assert_eq!((lo, hi), (row, col)),
+            }
+        }
+    }
+}
+
+#[test]
+fn solves_k4_exactly() {
+    let g = complete(4, WeightDist::Unit, 0).unwrap();
+    let config = SophieConfig {
+        tile_size: 2,
+        local_iters: 3,
+        global_iters: 80,
+        phi: 0.3,
+        ..SophieConfig::default()
+    };
+    let solver = SophieSolver::from_graph(&g, config).unwrap();
+    let out = solver.run(&g, 3, Some(4.0)).unwrap();
+    assert_eq!(out.best_cut, 4.0);
+    assert!(out.global_iters_to_target.is_some());
+}
+
+#[test]
+fn beats_random_on_sparse_graph() {
+    let g = gnm(96, 400, WeightDist::Unit, 7).unwrap();
+    let solver = SophieSolver::from_graph(&g, small_config(16, 120)).unwrap();
+    let out = solver.run(&g, 5, None).unwrap();
+    assert!(
+        out.best_cut > 230.0,
+        "best cut {} ≤ random baseline",
+        out.best_cut
+    );
+    // Reported bits must reproduce the reported cut.
+    assert_eq!(cut_value_binary(&g, &out.best_bits), out.best_cut);
+}
+
+#[test]
+fn deterministic_per_seed() {
+    let g = gnm(48, 180, WeightDist::Unit, 2).unwrap();
+    let solver = SophieSolver::from_graph(&g, small_config(16, 30)).unwrap();
+    let a = solver.run(&g, 11, None).unwrap();
+    let b = solver.run(&g, 11, None).unwrap();
+    assert_eq!(a.best_cut, b.best_cut);
+    assert_eq!(a.cut_trace, b.cut_trace);
+    let c = solver.run(&g, 12, None).unwrap();
+    assert_ne!(a.cut_trace, c.cut_trace);
+}
+
+#[test]
+fn trace_has_one_entry_per_sync_plus_initial() {
+    let g = gnm(40, 100, WeightDist::Unit, 1).unwrap();
+    let solver = SophieSolver::from_graph(&g, small_config(16, 25)).unwrap();
+    let out = solver.run(&g, 0, None).unwrap();
+    assert_eq!(out.cut_trace.len(), 26);
+    assert_eq!(out.global_iters_run, 25);
+    assert_eq!(out.ops.global_syncs, 25);
+}
+
+#[test]
+fn op_counts_match_closed_form_at_full_selection() {
+    let g = gnm(64, 200, WeightDist::Unit, 4).unwrap();
+    let cfg = small_config(16, 10); // 4 blocks → 10 pairs (4 diag, 6 off)
+    let solver = SophieSolver::from_graph(&g, cfg.clone()).unwrap();
+    let out = solver.run(&g, 0, None).unwrap();
+    let (b, t, l, giters) = (4u64, 16u64, cfg.local_iters as u64, 10u64);
+    let pairs = b * (b + 1) / 2;
+    let off = pairs - b;
+    let mvms_per_local_pass = b + 2 * off; // logical tiles touched
+                                           // Init: every logical tile once (8-bit); per round: L passes, the
+                                           // last one 8-bit.
+    let expect_8bit = mvms_per_local_pass + giters * mvms_per_local_pass;
+    let expect_1bit = giters * (l - 1) * mvms_per_local_pass;
+    assert_eq!(out.ops.tile_mvms_8bit, expect_8bit);
+    assert_eq!(out.ops.tile_mvms_1bit, expect_1bit);
+    assert_eq!(out.ops.pairs_executed, giters * pairs);
+    assert_eq!(out.ops.tiles_programmed, pairs);
+    // All columns update each round at full selection.
+    assert_eq!(out.ops.spin_broadcast_bits, giters * b * b * t);
+    assert_eq!(
+        out.ops.partial_sum_bits,
+        giters * mvms_per_local_pass * t * 8
+    );
+}
+
+#[test]
+fn stochastic_selection_reduces_compute() {
+    let g = gnm(64, 200, WeightDist::Unit, 4).unwrap();
+    let full = SophieSolver::from_graph(&g, small_config(16, 20)).unwrap();
+    let half_cfg = SophieConfig {
+        tile_fraction: 0.5,
+        ..small_config(16, 20)
+    };
+    let half = SophieSolver::from_graph(&g, half_cfg).unwrap();
+    let fo = full.run(&g, 1, None).unwrap();
+    let ho = half.run(&g, 1, None).unwrap();
+    assert!(ho.ops.total_tile_mvms() < fo.ops.total_tile_mvms());
+    assert!(ho.ops.pairs_executed <= fo.ops.pairs_executed / 2 + 20);
+    assert!(ho.ops.sync_traffic_bits() < fo.ops.sync_traffic_bits());
+}
+
+#[test]
+fn majority_vote_mode_runs() {
+    let g = gnm(40, 120, WeightDist::Unit, 3).unwrap();
+    let cfg = SophieConfig {
+        stochastic_spin_update: false,
+        ..small_config(8, 40)
+    };
+    let solver = SophieSolver::from_graph(&g, cfg).unwrap();
+    let out = solver.run(&g, 2, None).unwrap();
+    assert!(out.best_cut > 60.0, "cut {}", out.best_cut);
+}
+
+#[test]
+fn tiled_engine_matches_pris_quality_on_small_graph() {
+    // With one tile covering the whole matrix and the paper's L=10, the
+    // engine should solve small instances as well as plain PRIS.
+    let g = complete(16, WeightDist::Unit, 5).unwrap();
+    let cfg = SophieConfig {
+        tile_size: 16,
+        local_iters: 10,
+        global_iters: 50,
+        phi: 0.3,
+        ..SophieConfig::default()
+    };
+    let solver = SophieSolver::from_graph(&g, cfg).unwrap();
+    let out = solver.run(&g, 7, None).unwrap();
+    // Optimum of K16 (unit weights) is 8·8 = 64.
+    assert!(out.best_cut >= 60.0, "cut {}", out.best_cut);
+}
+
+#[test]
+fn rejects_mismatched_graph() {
+    let g = complete(20, WeightDist::Unit, 0).unwrap();
+    let other = complete(24, WeightDist::Unit, 0).unwrap();
+    let solver = SophieSolver::from_graph(&g, small_config(8, 2)).unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = solver.run(&other, 0, None);
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn zero_noise_still_produces_valid_runs() {
+    let g = gnm(32, 90, WeightDist::Unit, 9).unwrap();
+    let cfg = SophieConfig {
+        phi: 0.0,
+        ..small_config(8, 15)
+    };
+    let solver = SophieSolver::from_graph(&g, cfg).unwrap();
+    let out = solver.run(&g, 0, None).unwrap();
+    assert!(out.best_cut >= 0.0);
+    assert_eq!(
+        out.ops.noise_injections,
+        out.ops.adc_1bit_samples + out.ops.adc_8bit_samples - initial_samples(&solver)
+    );
+}
+
+fn initial_samples(solver: &SophieSolver) -> u64 {
+    // Initial partial-sum pass: one 8-bit sample set per logical tile,
+    // no noise applied there.
+    let b = solver.grid().blocks() as u64;
+    let t = solver.grid().tile() as u64;
+    let off = b * (b + 1) / 2 - b;
+    (b + 2 * off) * t
+}
+
+mod observed {
+    use super::*;
+    use sophie_solve::{EventLog, OpCounts};
+
+    #[test]
+    fn observed_run_is_bit_identical_to_plain_run() {
+        let g = gnm(48, 180, WeightDist::Unit, 2).unwrap();
+        let solver = SophieSolver::from_graph(&g, small_config(16, 30)).unwrap();
+        let plain = solver.run(&g, 11, Some(300.0)).unwrap();
+        let mut rec = TraceRecorder::new();
+        let observed = solver.run_observed(&g, 11, Some(300.0), &mut rec).unwrap();
+        assert_eq!(plain.best_cut, observed.best_cut);
+        assert_eq!(plain.best_bits, observed.best_bits);
+        assert_eq!(plain.cut_trace, observed.cut_trace);
+        assert_eq!(plain.activity_trace, observed.activity_trace);
+        assert_eq!(plain.ops, observed.ops);
+        // The recorder's reconstruction matches the legacy outcome fields.
+        let report = rec.into_report();
+        assert_eq!(report.cut_trace, plain.cut_trace);
+        assert_eq!(report.activity_trace, plain.activity_trace);
+        assert_eq!(report.best_cut, plain.best_cut);
+        assert_eq!(report.iterations_to_target, plain.global_iters_to_target);
+        assert_eq!(report.ops, plain.ops);
+        assert_eq!(report.solver, "sophie");
+    }
+
+    #[test]
+    fn event_stream_follows_the_ordering_contract() {
+        let g = gnm(40, 120, WeightDist::Unit, 3).unwrap();
+        let solver = SophieSolver::from_graph(&g, small_config(8, 12)).unwrap();
+        let mut log = EventLog::new();
+        let out = solver.run_observed(&g, 4, None, &mut log).unwrap();
+        let events = log.into_events();
+        assert!(matches!(
+            events.first(),
+            Some(SolveEvent::RunStarted { .. })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(SolveEvent::RunFinished { .. })
+        ));
+        // One sync per round plus the initial state.
+        let syncs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                SolveEvent::GlobalSync { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syncs, (0..=12).collect::<Vec<_>>());
+        // The per-round ops deltas add up to the run totals.
+        let delta_sum = events.iter().fold(OpCounts::new(), |acc, e| match e {
+            SolveEvent::GlobalSync { ops_delta, .. } => acc.combined(ops_delta),
+            _ => acc,
+        });
+        assert_eq!(delta_sum, out.ops);
+        // Pair events stay in ascending pair order within each round.
+        let mut last: Option<(usize, usize)> = None;
+        for e in &events {
+            if let SolveEvent::PairIterated { round, pair, .. } = e {
+                if let Some((lr, lp)) = last {
+                    assert!(*round > lr || (*round == lr && *pair > lp));
+                }
+                last = Some((*round, *pair));
+            }
+        }
+        assert!(last.is_some(), "tiled engine must emit pair events");
+    }
+
+    #[test]
+    fn target_reached_emitted_at_most_once() {
+        let g = complete(4, WeightDist::Unit, 0).unwrap();
+        let config = SophieConfig {
+            tile_size: 2,
+            local_iters: 3,
+            global_iters: 80,
+            phi: 0.3,
+            ..SophieConfig::default()
+        };
+        let solver = SophieSolver::from_graph(&g, config).unwrap();
+        let mut log = EventLog::new();
+        let out = solver.run_observed(&g, 3, Some(4.0), &mut log).unwrap();
+        let hits: Vec<_> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                SolveEvent::TargetReached { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(Some(hits[0]), out.global_iters_to_target);
+    }
+}
+
+mod warm_start_tests {
+    use super::*;
+
+    #[test]
+    fn warm_start_begins_from_the_given_state() {
+        let g = gnm(40, 150, WeightDist::Unit, 23).unwrap();
+        let cfg = SophieConfig {
+            tile_size: 16,
+            global_iters: 10,
+            phi: 0.1,
+            ..SophieConfig::default()
+        };
+        let solver = SophieSolver::from_graph(&g, cfg.clone()).unwrap();
+        let schedule = Schedule::generate(solver.grid(), cfg.global_iters, 1.0, true, 3);
+        let initial = vec![true; 40]; // all-one-side: cut 0 at iteration 0
+        let out = solver
+            .run_scheduled_from(&IdealBackend::new(), &g, &schedule, 1, None, Some(&initial))
+            .unwrap();
+        assert_eq!(out.cut_trace[0], 0.0);
+        assert!(out.best_cut > 0.0, "annealing should escape the start");
+    }
+
+    #[test]
+    fn warm_start_from_good_state_does_not_regress_best() {
+        let g = gnm(48, 200, WeightDist::Unit, 29).unwrap();
+        let cfg = SophieConfig {
+            tile_size: 16,
+            global_iters: 30,
+            phi: 0.08,
+            ..SophieConfig::default()
+        };
+        let solver = SophieSolver::from_graph(&g, cfg.clone()).unwrap();
+        let cold = solver.run(&g, 5, None).unwrap();
+        let schedule = Schedule::generate(solver.grid(), cfg.global_iters, 1.0, true, 7);
+        let warm = solver
+            .run_scheduled_from(
+                &IdealBackend::new(),
+                &g,
+                &schedule,
+                6,
+                None,
+                Some(&cold.best_bits),
+            )
+            .unwrap();
+        // The warm run starts at the cold run's best, so its best can only
+        // match or improve it.
+        assert!(warm.best_cut >= cold.best_cut);
+        assert_eq!(warm.cut_trace[0], cold.best_cut);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state length")]
+    fn rejects_wrong_length_initial_state() {
+        let g = gnm(30, 90, WeightDist::Unit, 1).unwrap();
+        let cfg = SophieConfig {
+            tile_size: 16,
+            global_iters: 2,
+            ..SophieConfig::default()
+        };
+        let solver = SophieSolver::from_graph(&g, cfg.clone()).unwrap();
+        let schedule = Schedule::generate(solver.grid(), 2, 1.0, true, 0);
+        let _ = solver.run_scheduled_from(
+            &IdealBackend::new(),
+            &g,
+            &schedule,
+            0,
+            None,
+            Some(&[true; 10]),
+        );
+    }
+}

@@ -48,7 +48,6 @@ mod config;
 mod engine;
 mod error;
 mod gaussian;
-mod opcount;
 mod outcome;
 pub mod schedule;
 
@@ -57,6 +56,11 @@ pub use config::SophieConfig;
 pub use engine::SophieSolver;
 pub use error::{Result, SophieError};
 pub use gaussian::GaussianSource;
-pub use opcount::OpCounts;
 pub use outcome::SophieOutcome;
 pub use schedule::{Round, Schedule};
+
+// The instrumentation layer lives in `sophie-solve` so solvers that cannot
+// depend on this crate (e.g. `sophie-pris`) share it; re-exported here so
+// engine users need only one import path.
+pub use sophie_solve::observe;
+pub use sophie_solve::{OpCounts, SolveReport};

@@ -1,6 +1,6 @@
 //! Results of a SOPHIE run.
 
-use crate::opcount::OpCounts;
+use sophie_solve::OpCounts;
 
 /// Outcome of one job executed by the tiled engine.
 #[derive(Debug, Clone)]
@@ -35,13 +35,18 @@ impl SophieOutcome {
         self.global_iters_to_target.map(|g| g * local_iters)
     }
 
-    /// Ratio of the best cut to a reference (best-known) cut.
+    /// Ratio of the best cut to a positive reference (best-known) cut.
+    ///
+    /// Quality ratios are only meaningful against a positive reference: a
+    /// zero or negative `best_known` (or NaN) yields [`f64::NAN`] rather
+    /// than a sign-flipped or infinite ratio, matching
+    /// [`sophie_solve::SolveReport::quality_vs`].
     #[must_use]
     pub fn quality_vs(&self, best_known: f64) -> f64 {
-        if best_known == 0.0 {
-            0.0
-        } else {
+        if best_known > 0.0 {
             self.best_cut / best_known
+        } else {
+            f64::NAN
         }
     }
 }
@@ -79,6 +84,13 @@ mod tests {
     fn quality_ratio() {
         let o = sample();
         assert!((o.quality_vs(100.0) - 0.95).abs() < 1e-12);
-        assert_eq!(o.quality_vs(0.0), 0.0);
+    }
+
+    #[test]
+    fn quality_ratio_undefined_for_nonpositive_reference() {
+        let o = sample();
+        assert!(o.quality_vs(0.0).is_nan());
+        assert!(o.quality_vs(-25.0).is_nan());
+        assert!(o.quality_vs(f64::NAN).is_nan());
     }
 }

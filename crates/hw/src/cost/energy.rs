@@ -50,6 +50,62 @@ impl EnergyBreakdown {
     }
 }
 
+/// Dynamic energy of one operation-count slice (joules).
+///
+/// Evaluates the op-proportional terms of [`job_energy`] — laser, E-O
+/// modulation, O-E conversion (ADC), and controller glue — for an
+/// arbitrary [`OpCounts`] slice, such as the `ops_delta` carried by each
+/// `GlobalSync` solve event
+/// ([`sophie_core::observe::SolveEvent::GlobalSync`]). Every term is
+/// linear in the counts, so the per-sync energies of a run sum exactly
+/// to the dynamic energy of the run's total counts; this is what makes
+/// per-round energy attribution from an event stream well-defined.
+///
+/// Programming, DRAM, SRAM, and static power are batch-amortized or
+/// time-integrated and cannot be attributed to a single sync; use
+/// [`job_energy`] for the full per-job breakdown.
+#[must_use]
+pub fn ops_energy_j(
+    machine: &MachineConfig,
+    params: &CostParams,
+    cell: &OpcmCellSpec,
+    ops: &OpCounts,
+    adc_cycles: u64,
+) -> f64 {
+    let (laser_j, eo_j, adc_j, glue_j) = dynamic_terms(machine, params, cell, ops, adc_cycles);
+    laser_j + eo_j + adc_j + glue_j
+}
+
+/// The four op-proportional energy terms shared by [`job_energy`] and
+/// [`ops_energy_j`]: `(laser_j, eo_j, adc_j, glue_j)`.
+fn dynamic_terms(
+    machine: &MachineConfig,
+    params: &CostParams,
+    cell: &OpcmCellSpec,
+    ops: &OpCounts,
+    adc_cycles: u64,
+) -> (f64, f64, f64, f64) {
+    let t = machine.tile_size();
+    let cycle = machine.cycle_s();
+
+    // Laser: while an array computes, T wavelengths are lit at the power
+    // the loss model demands (detector power scales with the summation
+    // width to keep 8-bit SNR); 1-bit reads hold the laser 1 cycle, 8-bit
+    // reads `adc_cycles` cycles.
+    let laser_power_array =
+        cell.laser_power_per_wavelength_w(t, params.detector_power_for_tile_w(t)) * t as f64;
+    let laser_cycles = ops.tile_mvms_1bit as f64 + ops.tile_mvms_8bit as f64 * adc_cycles as f64;
+    let laser_j = laser_power_array * laser_cycles * cycle;
+
+    let eo_j = params.eo.energy_j(ops.eo_input_bits);
+    let adc_j = params.oe.energy_1bit_j(ops.adc_1bit_samples)
+        + params
+            .oe
+            .energy_multibit_j(ops.adc_8bit_samples, adc_cycles);
+    let glue_j = params.glue_energy_per_add_j * ops.glue_adds as f64;
+    (laser_j, eo_j, adc_j, glue_j)
+}
+
 /// Computes the per-job energy.
 ///
 /// `ops` are per-job operation counts (engine-measured or analytic);
@@ -66,23 +122,9 @@ pub fn job_energy(
     adc_cycles: u64,
 ) -> EnergyBreakdown {
     let t = machine.tile_size();
-    let cycle = machine.cycle_s();
     let batch = w.batch_jobs as f64;
 
-    // Laser: while an array computes, T wavelengths are lit at the power
-    // the loss model demands (detector power scales with the summation
-    // width to keep 8-bit SNR); 1-bit reads hold the laser 1 cycle, 8-bit
-    // reads `adc_cycles` cycles.
-    let laser_power_array =
-        cell.laser_power_per_wavelength_w(t, params.detector_power_for_tile_w(t)) * t as f64;
-    let laser_cycles = ops.tile_mvms_1bit as f64 + ops.tile_mvms_8bit as f64 * adc_cycles as f64;
-    let laser_j = laser_power_array * laser_cycles * cycle;
-
-    let eo_j = params.eo.energy_j(ops.eo_input_bits);
-    let adc_j = params.oe.energy_1bit_j(ops.adc_1bit_samples)
-        + params
-            .oe
-            .energy_multibit_j(ops.adc_8bit_samples, adc_cycles);
+    let (laser_j, eo_j, adc_j, glue_j) = dynamic_terms(machine, params, cell, ops, adc_cycles);
 
     // Programming: resident problems program each array once per batch;
     // non-resident problems reprogram every wave of every round. Either
@@ -108,8 +150,6 @@ pub fn job_energy(
         * (2.0 * w.blocks() as f64 * w.tile as f64 * 8.0
             + w.avg_covered_cols_per_round * w.tile as f64);
     let dram_j = params.dram_energy_per_bit_j * (matrix_bits / batch + context_bits + sync_bits);
-
-    let glue_j = params.glue_energy_per_add_j * ops.glue_adds as f64;
 
     // SRAM: every MVM reads its input spins and offset vector and writes
     // its thresholded output; 8-bit reads store multi-bit partial sums.
@@ -190,6 +230,73 @@ mod tests {
         let small = energy(2000, 100, 4); // resident on 4 accelerators
         let large = energy(16_384, 100, 1); // heavily non-resident
         assert!(large.programming_j > small.programming_j * 10.0);
+    }
+
+    #[test]
+    fn ops_energy_is_zero_for_empty_counts() {
+        let (m, _, _) = setup(2000, 1, 1);
+        let e = ops_energy_j(
+            &m,
+            &CostParams::default(),
+            &OpcmCellSpec::default(),
+            &OpCounts::default(),
+            8,
+        );
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn ops_energy_matches_job_energy_dynamic_terms() {
+        let (m, w, ops) = setup(4096, 10, 1);
+        let p = CostParams::default();
+        let cell = OpcmCellSpec::default();
+        let t = batch_time(&m, &p, &w, 8).unwrap();
+        let full = job_energy(&m, &p, &cell, &w, &ops, &t, 8);
+        let dynamic = ops_energy_j(&m, &p, &cell, &ops, 8);
+        let expected = full.laser_j + full.eo_j + full.adc_j + full.glue_j;
+        assert!((dynamic - expected).abs() <= 1e-12 * expected.abs());
+    }
+
+    #[test]
+    fn per_sync_deltas_attribute_the_whole_run_energy() {
+        // Drive a real engine run through an event log and check that the
+        // per-sync `ops_delta` energies sum to the energy of the run's
+        // total counts — the linearity contract per-round attribution
+        // rests on.
+        use sophie_core::observe::{EventLog, SolveEvent};
+        use sophie_core::{SophieConfig, SophieSolver};
+        use sophie_graph::generate::{gnm, WeightDist};
+
+        let g = gnm(64, 300, WeightDist::UniformInt { lo: -2, hi: 2 }, 9).unwrap();
+        let cfg = SophieConfig {
+            tile_size: 16,
+            local_iters: 4,
+            global_iters: 20,
+            ..SophieConfig::default()
+        };
+        let solver = SophieSolver::from_graph(&g, cfg).unwrap();
+        let mut log = EventLog::new();
+        let out = solver.run_observed(&g, 3, None, &mut log).unwrap();
+
+        let m = MachineConfig::sophie_default(1);
+        let p = CostParams::default();
+        let cell = OpcmCellSpec::default();
+        let per_sync: f64 = log
+            .events()
+            .iter()
+            .filter_map(|ev| match ev {
+                SolveEvent::GlobalSync { ops_delta, .. } => {
+                    Some(ops_energy_j(&m, &p, &cell, ops_delta, 8))
+                }
+                _ => None,
+            })
+            .sum();
+        let total = ops_energy_j(&m, &p, &cell, &out.ops, 8);
+        assert!(total > 0.0);
+        assert!(
+            (per_sync - total).abs() <= 1e-9 * total,
+            "per-sync {per_sync} vs total {total}"
+        );
     }
 
     #[test]

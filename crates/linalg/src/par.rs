@@ -30,6 +30,11 @@
 //!   results independent of execution order.
 //! * **Panics propagate.** A panicking task poisons the job; the posting
 //!   thread re-panics after the job drains, and the pool stays usable.
+//! * **Observation happens off the pool.** Solver instrumentation
+//!   (`sophie-solve`'s `SolveObserver` events) is emitted only from the
+//!   thread that posted the job, after the posting call returns — never
+//!   from inside a pool task. Observers therefore need no synchronization,
+//!   and event order is independent of `SOPHIE_THREADS`.
 //!
 //! This is the only module in the crate allowed to use `unsafe`: handing a
 //! borrowing closure to long-lived threads requires erasing its lifetime

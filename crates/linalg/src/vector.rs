@@ -28,7 +28,7 @@ const LANES: usize = 8;
 ///
 /// A single-accumulator reduction cannot be autovectorized under strict
 /// float semantics (the additions form a sequential dependency chain), so
-/// this kernel keeps [`LANES`] independent partial sums over
+/// this kernel keeps `LANES` (8) independent partial sums over
 /// `chunks_exact` blocks and tree-reduces them at the end. The summation
 /// order differs from the naive loop but is fixed, so results stay
 /// bit-reproducible run to run.

@@ -1,130 +1,10 @@
-//! Convergence and best-solution tracking shared by all solvers.
+//! Convergence tracking (re-exported from `sophie-solve`).
 //!
-//! The paper's figures report two derived quantities: the best cut found
-//! within an iteration budget (Fig. 6, 7) and the first iteration at which a
-//! run reaches a quality target such as 95 % of the best-known cut
-//! (Fig. 8, 10, and the `T_x` columns of Table II). [`CutTracker`] records
-//! both in a single pass.
+//! [`CutTracker`] started life in this crate and was later promoted to the
+//! solver-agnostic `sophie-solve` instrumentation layer so the SOPHIE
+//! engine and the baselines could share the exact implementation instead
+//! of duplicating it. This module re-exports it at its historical path;
+//! new code should prefer `sophie_solve::CutTracker` (or the richer
+//! `sophie_solve::SolutionTracker`) directly.
 
-/// Streaming tracker for cut-value observations over iterations.
-#[derive(Debug, Clone)]
-pub struct CutTracker {
-    target: Option<f64>,
-    best_cut: f64,
-    best_iteration: usize,
-    first_hit: Option<usize>,
-    observations: usize,
-}
-
-impl CutTracker {
-    /// Starts a tracker; `target` is the cut value that counts as
-    /// "converged" (e.g. 95 % of best-known), or `None` to only track the
-    /// best.
-    #[must_use]
-    pub fn new(target: Option<f64>) -> Self {
-        CutTracker {
-            target,
-            best_cut: f64::NEG_INFINITY,
-            best_iteration: 0,
-            first_hit: None,
-            observations: 0,
-        }
-    }
-
-    /// Records the cut value observed at `iteration`.
-    pub fn observe(&mut self, iteration: usize, cut: f64) {
-        self.observations += 1;
-        if cut > self.best_cut {
-            self.best_cut = cut;
-            self.best_iteration = iteration;
-        }
-        if self.first_hit.is_none() {
-            if let Some(t) = self.target {
-                if cut >= t {
-                    self.first_hit = Some(iteration);
-                }
-            }
-        }
-    }
-
-    /// Best cut observed so far (`-inf` before any observation).
-    #[must_use]
-    pub fn best_cut(&self) -> f64 {
-        self.best_cut
-    }
-
-    /// Iteration at which the best cut was first observed.
-    #[must_use]
-    pub fn best_iteration(&self) -> usize {
-        self.best_iteration
-    }
-
-    /// First iteration meeting the target, if it was ever met.
-    #[must_use]
-    pub fn first_hit(&self) -> Option<usize> {
-        self.first_hit
-    }
-
-    /// Total number of observations recorded.
-    #[must_use]
-    pub fn observations(&self) -> usize {
-        self.observations
-    }
-
-    /// The configured target, if any.
-    #[must_use]
-    pub fn target(&self) -> Option<f64> {
-        self.target
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn tracks_best_and_its_iteration() {
-        let mut t = CutTracker::new(None);
-        t.observe(0, 5.0);
-        t.observe(1, 9.0);
-        t.observe(2, 7.0);
-        assert_eq!(t.best_cut(), 9.0);
-        assert_eq!(t.best_iteration(), 1);
-        assert_eq!(t.observations(), 3);
-        assert_eq!(t.first_hit(), None);
-    }
-
-    #[test]
-    fn first_hit_is_the_first_crossing() {
-        let mut t = CutTracker::new(Some(8.0));
-        t.observe(0, 5.0);
-        t.observe(1, 8.0);
-        t.observe(2, 12.0);
-        assert_eq!(t.first_hit(), Some(1));
-    }
-
-    #[test]
-    fn target_never_met_stays_none() {
-        let mut t = CutTracker::new(Some(100.0));
-        for i in 0..10 {
-            t.observe(i, i as f64);
-        }
-        assert_eq!(t.first_hit(), None);
-        assert_eq!(t.best_cut(), 9.0);
-    }
-
-    #[test]
-    fn ties_do_not_move_best_iteration() {
-        let mut t = CutTracker::new(None);
-        t.observe(3, 4.0);
-        t.observe(5, 4.0);
-        assert_eq!(t.best_iteration(), 3);
-    }
-
-    #[test]
-    fn empty_tracker_reports_neg_infinity() {
-        let t = CutTracker::new(Some(1.0));
-        assert_eq!(t.best_cut(), f64::NEG_INFINITY);
-        assert_eq!(t.target(), Some(1.0));
-    }
-}
+pub use sophie_solve::CutTracker;

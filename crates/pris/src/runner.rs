@@ -4,8 +4,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sophie_graph::cut::cut_value_binary;
 use sophie_graph::Graph;
+use sophie_solve::{NullObserver, OpCounts, SolutionTracker, SolveEvent, SolveObserver};
 
-use crate::convergence::CutTracker;
 use crate::error::Result;
 use crate::sampler::PrisModel;
 
@@ -62,6 +62,31 @@ pub struct RunOutcome {
 ///
 /// Panics if `model.dim() != graph.num_nodes()`.
 pub fn run(model: &PrisModel, graph: &Graph, config: &RunConfig) -> Result<RunOutcome> {
+    run_observed(model, graph, config, &mut NullObserver)
+}
+
+/// Runs PRIS like [`run`] while emitting [`SolveEvent`]s to `observer`.
+///
+/// One recurrent step maps to one round: every step emits a
+/// [`SolveEvent::GlobalSync`] whose `activity` is the Hamming distance to
+/// the previous state and whose `ops_delta` is zero (PRIS has no hardware
+/// operation model). Round 0 is the initial random state. The event
+/// stream does not perturb the sampling path — `run` delegates here with
+/// a [`NullObserver`] and produces bit-identical outcomes.
+///
+/// # Errors
+///
+/// Returns [`crate::PrisError::BadNoise`] for invalid φ.
+///
+/// # Panics
+///
+/// Panics if `model.dim() != graph.num_nodes()`.
+pub fn run_observed(
+    model: &PrisModel,
+    graph: &Graph,
+    config: &RunConfig,
+    observer: &mut dyn SolveObserver,
+) -> Result<RunOutcome> {
     assert_eq!(
         model.dim(),
         graph.num_nodes(),
@@ -70,25 +95,59 @@ pub fn run(model: &PrisModel, graph: &Graph, config: &RunConfig) -> Result<RunOu
     let noise = model.noise(config.phi)?;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut bits = model.random_state(&mut rng);
-    let mut tracker = CutTracker::new(config.target_cut);
-    let mut best_bits = bits.clone();
 
-    tracker.observe(0, cut_value_binary(graph, &bits));
+    observer.on_event(&SolveEvent::RunStarted {
+        solver: "pris",
+        dimension: graph.num_nodes(),
+        planned_iterations: config.iterations,
+        seed: config.seed,
+        target: config.target_cut,
+    });
+
+    let cut0 = cut_value_binary(graph, &bits);
+    let mut tracker = SolutionTracker::start(config.target_cut, &bits, cut0);
+    observer.on_event(&SolveEvent::GlobalSync {
+        round: 0,
+        cut: cut0,
+        activity: 0,
+        ops_delta: OpCounts::default(),
+    });
+    if tracker.hit_at_start() {
+        observer.on_event(&SolveEvent::TargetReached {
+            round: 0,
+            cut: cut0,
+        });
+    }
+
     for it in 1..=config.iterations {
         model.step(&mut bits, &noise, &mut rng);
         let cut = cut_value_binary(graph, &bits);
-        let improved = cut > tracker.best_cut();
-        tracker.observe(it, cut);
-        if improved {
-            best_bits.copy_from_slice(&bits);
+        let obs = tracker.observe(it, &bits, cut);
+        observer.on_event(&SolveEvent::GlobalSync {
+            round: it,
+            cut,
+            activity: obs.flips,
+            ops_delta: OpCounts::default(),
+        });
+        if obs.reached_target {
+            observer.on_event(&SolveEvent::TargetReached { round: it, cut });
         }
     }
 
-    Ok(RunOutcome {
+    observer.on_event(&SolveEvent::RunFinished {
         best_cut: tracker.best_cut(),
+        best_round: tracker.best_iteration(),
+        rounds_run: config.iterations,
+        ops: OpCounts::default(),
+    });
+
+    let best_iteration = tracker.best_iteration();
+    let (best_cut, best_bits, first_hit, _, _) = tracker.into_parts();
+    Ok(RunOutcome {
+        best_cut,
         best_bits,
-        best_iteration: tracker.best_iteration(),
-        iterations_to_target: tracker.first_hit(),
+        best_iteration,
+        iterations_to_target: first_hit,
         iterations: config.iterations,
     })
 }
@@ -164,6 +223,39 @@ mod tests {
         let b = solve_max_cut(&g, 0.0, &config).unwrap();
         assert_eq!(a.best_cut, b.best_cut);
         assert_eq!(a.best_bits, b.best_bits);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_rebuilds_traces() {
+        let g = gnm(30, 90, WeightDist::Unit, 5).unwrap();
+        let k = sophie_graph::coupling::coupling_matrix(&g);
+        let delta = sophie_graph::coupling::delta_diagonal(&g);
+        let c = crate::dropout::transformation_matrix(
+            &k,
+            delta,
+            0.0,
+            crate::dropout::DeltaVariant::Gershgorin,
+        )
+        .unwrap();
+        let model = PrisModel::new(c).unwrap();
+        let config = RunConfig {
+            iterations: 50,
+            phi: 0.15,
+            seed: 9,
+            target_cut: Some(1.0),
+        };
+        let plain = run(&model, &g, &config).unwrap();
+        let mut rec = sophie_solve::TraceRecorder::new();
+        let observed = run_observed(&model, &g, &config, &mut rec).unwrap();
+        assert_eq!(plain.best_cut, observed.best_cut);
+        assert_eq!(plain.best_bits, observed.best_bits);
+        assert_eq!(plain.best_iteration, observed.best_iteration);
+        let report = rec.into_report();
+        assert_eq!(report.solver, "pris");
+        assert_eq!(report.best_cut, plain.best_cut);
+        assert_eq!(report.cut_trace.len(), config.iterations + 1);
+        assert_eq!(report.activity_trace.len(), config.iterations);
+        assert_eq!(report.iterations_to_target, plain.iterations_to_target);
     }
 
     #[test]

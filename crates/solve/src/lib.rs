@@ -1,0 +1,47 @@
+//! Solver-agnostic instrumentation shared by every solver in the workspace.
+//!
+//! The paper's entire evaluation (Figs. 6–10, Tables I–III) is built from
+//! per-iteration trajectories: cut traces, spin-flip activity, operation
+//! counts, and time-to-target statistics. Rather than letting each solver
+//! grow its own ad-hoc plumbing for those quantities, this crate defines
+//! one vocabulary that all of them speak:
+//!
+//! * [`OpCounts`] — the operation tally that feeds the power/performance
+//!   models in `sophie-hw` (§IV-A: the functional simulator "counts the
+//!   total number of each type of operation");
+//! * [`CutTracker`] / [`SolutionTracker`] — streaming best-cut,
+//!   time-to-target, and trace bookkeeping (Fig. 6–8 statistics);
+//! * [`observe`] — the [`SolveObserver`] trait with typed [`SolveEvent`]s
+//!   plus provided sinks ([`NullObserver`], [`TraceRecorder`],
+//!   [`EventWriter`]);
+//! * [`SolveReport`] — the uniform run summary a [`TraceRecorder`]
+//!   distills from any solver's event stream.
+//!
+//! The SOPHIE engine (`sophie-core`), the PRIS reference sampler
+//! (`sophie-pris`), and the SA/SB/tempering/local-search baselines
+//! (`sophie-baselines`) all emit these events, so experiment harnesses can
+//! compare heterogeneous solvers through a single interface.
+//!
+//! # Event ordering contract
+//!
+//! Every solver emits, in order: one [`SolveEvent::RunStarted`]; then per
+//! iteration an optional [`SolveEvent::RoundStarted`] and
+//! [`SolveEvent::PairIterated`]s (tiled solvers only), one
+//! [`SolveEvent::GlobalSync`], and — at most once per run, immediately
+//! after the sync that crossed the target — a
+//! [`SolveEvent::TargetReached`]; finally one [`SolveEvent::RunFinished`].
+//! Events are emitted from the thread driving the run, never from worker
+//! threads, so streams are bit-identical for every `SOPHIE_THREADS` value.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod observe;
+mod opcount;
+mod report;
+pub mod track;
+
+pub use observe::{EventLog, EventWriter, NullObserver, SolveEvent, SolveObserver, TraceRecorder};
+pub use opcount::OpCounts;
+pub use report::SolveReport;
+pub use track::{CutTracker, SolutionTracker};

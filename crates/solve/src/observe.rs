@@ -1,0 +1,512 @@
+//! The solve-event vocabulary and provided observer sinks.
+//!
+//! A solver drives a [`SolveObserver`] by calling
+//! [`SolveObserver::on_event`] with typed [`SolveEvent`]s as the run
+//! progresses. The events mirror the paper's instrumentation needs: cut
+//! and activity trajectories (Figs. 6–8), per-round operation deltas for
+//! the PPA models (§IV-A), and time-to-target statistics (Fig. 8/10,
+//! Table II).
+//!
+//! Three sinks are provided:
+//!
+//! * [`NullObserver`] — ignores everything (the default for unobserved
+//!   runs; the compiler removes the calls);
+//! * [`TraceRecorder`] — reconstructs the classic `cut_trace` /
+//!   `activity_trace` vectors and distills a [`SolveReport`];
+//! * [`EventWriter`] — streams every event as one JSON line (the
+//!   `repro trace` dump format, schema documented in EXPERIMENTS.md).
+//!
+//! # Ordering guarantees
+//!
+//! See the crate-level docs: `RunStarted`, then per round
+//! `RoundStarted → PairIterated* → GlobalSync [→ TargetReached]`, then
+//! `RunFinished`. Round 0 denotes the initial synchronized state: solvers
+//! emit a `GlobalSync { round: 0, .. }` for it (activity 0, setup ops as
+//! the delta) without a preceding `RoundStarted`. All events are emitted
+//! from the thread driving the run in a deterministic order that does not
+//! depend on worker-pool scheduling.
+
+use std::io::Write;
+
+use crate::opcount::OpCounts;
+use crate::report::SolveReport;
+
+/// One typed event in a solver's lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveEvent {
+    /// The run is about to execute its first iteration.
+    RunStarted {
+        /// Short solver identifier (`"sophie"`, `"pris"`, `"sa"`, …).
+        solver: &'static str,
+        /// Problem dimension (graph order).
+        dimension: usize,
+        /// Iterations the run plans to execute (global iterations for the
+        /// engine, recurrent steps / sweeps for the other solvers).
+        planned_iterations: usize,
+        /// Job seed.
+        seed: u64,
+        /// Convergence target, if one was set.
+        target: Option<f64>,
+    },
+    /// A round (global iteration) is starting.
+    RoundStarted {
+        /// 1-based round index.
+        round: usize,
+        /// Tile pairs selected this round (0 for untiled solvers).
+        pairs_selected: usize,
+    },
+    /// One tile pair finished its local iterations for a round. Emitted in
+    /// ascending pair order regardless of worker scheduling; untiled
+    /// solvers never emit it.
+    PairIterated {
+        /// 1-based round index.
+        round: usize,
+        /// Pair index in the solver's pair list.
+        pair: usize,
+        /// Local iterations executed against frozen offsets.
+        local_iters: usize,
+    },
+    /// A global synchronization completed and the state was scored.
+    /// `round` 0 is the initial state (activity 0, setup ops as the delta).
+    GlobalSync {
+        /// Round index; 0 denotes the initial state.
+        round: usize,
+        /// Cut value of the synchronized state.
+        cut: f64,
+        /// Spins changed relative to the previous synchronized state.
+        activity: usize,
+        /// Operations attributable to this round (zero for solvers without
+        /// an operation model).
+        ops_delta: OpCounts,
+    },
+    /// The target cut was reached for the first time (at most once per
+    /// run, immediately after the crossing `GlobalSync`).
+    TargetReached {
+        /// Round whose synchronized state first met the target.
+        round: usize,
+        /// Cut value at the crossing.
+        cut: f64,
+    },
+    /// The run completed.
+    RunFinished {
+        /// Best cut observed at any synchronization point.
+        best_cut: f64,
+        /// Round at which the best cut was first observed.
+        best_round: usize,
+        /// Rounds actually executed.
+        rounds_run: usize,
+        /// Whole-run operation totals.
+        ops: OpCounts,
+    },
+}
+
+impl SolveEvent {
+    /// Serializes the event as one JSON object (no trailing newline) in
+    /// the `repro trace` schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            SolveEvent::RunStarted {
+                solver,
+                dimension,
+                planned_iterations,
+                seed,
+                target,
+            } => {
+                let target = target.map_or("null".to_string(), |t| format!("{t}"));
+                format!(
+                    "{{\"event\":\"run_started\",\"solver\":\"{solver}\",\"dimension\":{dimension},\
+                     \"planned_iterations\":{planned_iterations},\"seed\":{seed},\"target\":{target}}}"
+                )
+            }
+            SolveEvent::RoundStarted {
+                round,
+                pairs_selected,
+            } => format!(
+                "{{\"event\":\"round_started\",\"round\":{round},\"pairs_selected\":{pairs_selected}}}"
+            ),
+            SolveEvent::PairIterated {
+                round,
+                pair,
+                local_iters,
+            } => format!(
+                "{{\"event\":\"pair_iterated\",\"round\":{round},\"pair\":{pair},\
+                 \"local_iters\":{local_iters}}}"
+            ),
+            SolveEvent::GlobalSync {
+                round,
+                cut,
+                activity,
+                ops_delta,
+            } => format!(
+                "{{\"event\":\"global_sync\",\"round\":{round},\"cut\":{cut},\
+                 \"activity\":{activity},\"ops_delta\":{}}}",
+                ops_json(ops_delta)
+            ),
+            SolveEvent::TargetReached { round, cut } => {
+                format!("{{\"event\":\"target_reached\",\"round\":{round},\"cut\":{cut}}}")
+            }
+            SolveEvent::RunFinished {
+                best_cut,
+                best_round,
+                rounds_run,
+                ops,
+            } => format!(
+                "{{\"event\":\"run_finished\",\"best_cut\":{best_cut},\"best_round\":{best_round},\
+                 \"rounds_run\":{rounds_run},\"ops\":{}}}",
+                ops_json(ops)
+            ),
+        }
+    }
+}
+
+/// JSON object for an [`OpCounts`] (field names match the struct).
+fn ops_json(ops: &OpCounts) -> String {
+    format!(
+        "{{\"tile_mvms_1bit\":{},\"tile_mvms_8bit\":{},\"eo_input_bits\":{},\
+         \"adc_1bit_samples\":{},\"adc_8bit_samples\":{},\"noise_injections\":{},\
+         \"glue_adds\":{},\"spin_broadcast_bits\":{},\"partial_sum_bits\":{},\
+         \"pairs_executed\":{},\"global_syncs\":{},\"tiles_programmed\":{}}}",
+        ops.tile_mvms_1bit,
+        ops.tile_mvms_8bit,
+        ops.eo_input_bits,
+        ops.adc_1bit_samples,
+        ops.adc_8bit_samples,
+        ops.noise_injections,
+        ops.glue_adds,
+        ops.spin_broadcast_bits,
+        ops.partial_sum_bits,
+        ops.pairs_executed,
+        ops.global_syncs,
+        ops.tiles_programmed,
+    )
+}
+
+/// Receiver of [`SolveEvent`]s.
+///
+/// Implementations must be cheap relative to a solver iteration — solvers
+/// call [`SolveObserver::on_event`] on their hot path (though never from
+/// worker threads).
+pub trait SolveObserver {
+    /// Handles one event.
+    fn on_event(&mut self, event: &SolveEvent);
+}
+
+/// Observer that discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SolveObserver for NullObserver {
+    fn on_event(&mut self, _event: &SolveEvent) {}
+}
+
+/// Records every event verbatim (for tests and offline analysis).
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<SolveEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// The recorded events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[SolveEvent] {
+        &self.events
+    }
+
+    /// Consumes the log, returning the events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<SolveEvent> {
+        self.events
+    }
+}
+
+impl SolveObserver for EventLog {
+    fn on_event(&mut self, event: &SolveEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Reconstructs trace vectors and a [`SolveReport`] from the event stream.
+///
+/// The recorded `cut_trace` / `activity_trace` are bit-identical to the
+/// legacy fields of `SophieOutcome` when attached to an engine run:
+/// `cut_trace` collects the `cut` of every `GlobalSync` (round 0 first)
+/// and `activity_trace` the `activity` of every `GlobalSync` with
+/// `round ≥ 1`.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    report: SolveReport,
+    ops_accumulated: OpCounts,
+    finished: bool,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Cut value at every synchronization observed so far.
+    #[must_use]
+    pub fn cut_trace(&self) -> &[f64] {
+        &self.report.cut_trace
+    }
+
+    /// Activity at every synchronization after the initial state.
+    #[must_use]
+    pub fn activity_trace(&self) -> &[usize] {
+        &self.report.activity_trace
+    }
+
+    /// The distilled report (clones the traces).
+    #[must_use]
+    pub fn report(&self) -> SolveReport {
+        self.report.clone()
+    }
+
+    /// Consumes the recorder, returning the report.
+    #[must_use]
+    pub fn into_report(self) -> SolveReport {
+        self.report
+    }
+}
+
+impl SolveObserver for TraceRecorder {
+    fn on_event(&mut self, event: &SolveEvent) {
+        match *event {
+            SolveEvent::RunStarted {
+                solver,
+                dimension,
+                planned_iterations,
+                seed,
+                target,
+            } => {
+                self.report.solver = solver.to_string();
+                self.report.dimension = dimension;
+                self.report.planned_iterations = planned_iterations;
+                self.report.seed = seed;
+                self.report.target = target;
+            }
+            SolveEvent::GlobalSync {
+                round,
+                cut,
+                activity,
+                ref ops_delta,
+            } => {
+                self.report.cut_trace.push(cut);
+                if round > 0 {
+                    self.report.activity_trace.push(activity);
+                }
+                self.ops_accumulated = self.ops_accumulated.combined(ops_delta);
+                if !self.finished {
+                    self.report.ops = self.ops_accumulated;
+                }
+            }
+            SolveEvent::TargetReached { round, .. } => {
+                if self.report.iterations_to_target.is_none() {
+                    self.report.iterations_to_target = Some(round);
+                }
+            }
+            SolveEvent::RunFinished {
+                best_cut,
+                best_round,
+                rounds_run,
+                ref ops,
+            } => {
+                self.report.best_cut = best_cut;
+                self.report.best_iteration = best_round;
+                self.report.iterations_run = rounds_run;
+                self.report.ops = *ops;
+                self.finished = true;
+            }
+            SolveEvent::RoundStarted { .. } | SolveEvent::PairIterated { .. } => {}
+        }
+    }
+}
+
+/// Streams every event as one JSON line into a [`Write`] sink.
+///
+/// I/O errors are latched: the first failure stops further writing and is
+/// surfaced by [`EventWriter::finish`].
+#[derive(Debug)]
+pub struct EventWriter<W: Write> {
+    sink: W,
+    events_written: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> EventWriter<W> {
+    /// Wraps a sink.
+    pub fn new(sink: W) -> Self {
+        EventWriter {
+            sink,
+            events_written: 0,
+            error: None,
+        }
+    }
+
+    /// Events successfully written so far.
+    #[must_use]
+    pub fn events_written(&self) -> u64 {
+        self.events_written
+    }
+
+    /// Flushes and returns the sink, or the first I/O error encountered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched write error, or the flush error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+impl<W: Write> SolveObserver for EventWriter<W> {
+    fn on_event(&mut self, event: &SolveEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json();
+        match writeln!(self.sink, "{line}") {
+            Ok(()) => self.events_written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream() -> Vec<SolveEvent> {
+        vec![
+            SolveEvent::RunStarted {
+                solver: "test",
+                dimension: 4,
+                planned_iterations: 2,
+                seed: 7,
+                target: Some(3.0),
+            },
+            SolveEvent::GlobalSync {
+                round: 0,
+                cut: 1.0,
+                activity: 0,
+                ops_delta: OpCounts {
+                    tiles_programmed: 3,
+                    ..OpCounts::default()
+                },
+            },
+            SolveEvent::RoundStarted {
+                round: 1,
+                pairs_selected: 3,
+            },
+            SolveEvent::PairIterated {
+                round: 1,
+                pair: 0,
+                local_iters: 5,
+            },
+            SolveEvent::GlobalSync {
+                round: 1,
+                cut: 4.0,
+                activity: 2,
+                ops_delta: OpCounts {
+                    glue_adds: 10,
+                    ..OpCounts::default()
+                },
+            },
+            SolveEvent::TargetReached { round: 1, cut: 4.0 },
+            SolveEvent::RunFinished {
+                best_cut: 4.0,
+                best_round: 1,
+                rounds_run: 1,
+                ops: OpCounts {
+                    tiles_programmed: 3,
+                    glue_adds: 10,
+                    ..OpCounts::default()
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_recorder_rebuilds_traces_and_report() {
+        let mut rec = TraceRecorder::new();
+        for e in sample_stream() {
+            rec.on_event(&e);
+        }
+        assert_eq!(rec.cut_trace(), &[1.0, 4.0]);
+        assert_eq!(rec.activity_trace(), &[2]);
+        let report = rec.into_report();
+        assert_eq!(report.solver, "test");
+        assert_eq!(report.best_cut, 4.0);
+        assert_eq!(report.iterations_to_target, Some(1));
+        assert_eq!(report.iterations_run, 1);
+        assert_eq!(report.ops.tiles_programmed, 3);
+        assert_eq!(report.ops.glue_adds, 10);
+    }
+
+    #[test]
+    fn event_log_records_everything_in_order() {
+        let mut log = EventLog::new();
+        for e in sample_stream() {
+            log.on_event(&e);
+        }
+        assert_eq!(log.events().len(), 7);
+        assert_eq!(log.events()[0], sample_stream()[0]);
+    }
+
+    #[test]
+    fn event_writer_emits_one_json_line_per_event() {
+        let mut w = EventWriter::new(Vec::new());
+        for e in sample_stream() {
+            w.on_event(&e);
+        }
+        assert_eq!(w.events_written(), 7);
+        let buf = w.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[0].starts_with("{\"event\":\"run_started\""));
+        assert!(lines[0].contains("\"target\":3"));
+        assert!(lines[6].contains("\"tiles_programmed\":3"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            // Balanced braces — a cheap structural sanity check without a
+            // JSON parser in the dependency tree.
+            let open = line.matches('{').count();
+            let close = line.matches('}').count();
+            assert_eq!(open, close, "unbalanced braces in {line}");
+        }
+    }
+
+    #[test]
+    fn json_null_target() {
+        let e = SolveEvent::RunStarted {
+            solver: "x",
+            dimension: 1,
+            planned_iterations: 0,
+            seed: 0,
+            target: None,
+        };
+        assert!(e.to_json().contains("\"target\":null"));
+    }
+
+    #[test]
+    fn null_observer_is_a_no_op() {
+        let mut obs = NullObserver;
+        for e in sample_stream() {
+            obs.on_event(&e);
+        }
+    }
+}

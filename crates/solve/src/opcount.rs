@@ -5,6 +5,10 @@
 //! feed the power/performance models in `sophie-hw`. [`OpCounts`] is that
 //! interface: the engine increments it as it executes, and the cost models
 //! multiply each field by per-operation energy/latency constants.
+//!
+//! Besides whole-run totals, the observer layer surfaces per-round *deltas*
+//! (the `ops_delta` field of [`crate::SolveEvent::GlobalSync`]), so cost
+//! models can attribute energy and traffic to individual synchronizations.
 
 /// Counts of every operation class executed by one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +80,28 @@ impl OpCounts {
             tiles_programmed: self.tiles_programmed + other.tiles_programmed,
         }
     }
+
+    /// Elementwise difference `self − other` (saturating at zero), used to
+    /// derive the per-round deltas the observer layer reports.
+    #[must_use]
+    pub fn delta_since(&self, other: &OpCounts) -> OpCounts {
+        OpCounts {
+            tile_mvms_1bit: self.tile_mvms_1bit.saturating_sub(other.tile_mvms_1bit),
+            tile_mvms_8bit: self.tile_mvms_8bit.saturating_sub(other.tile_mvms_8bit),
+            eo_input_bits: self.eo_input_bits.saturating_sub(other.eo_input_bits),
+            adc_1bit_samples: self.adc_1bit_samples.saturating_sub(other.adc_1bit_samples),
+            adc_8bit_samples: self.adc_8bit_samples.saturating_sub(other.adc_8bit_samples),
+            noise_injections: self.noise_injections.saturating_sub(other.noise_injections),
+            glue_adds: self.glue_adds.saturating_sub(other.glue_adds),
+            spin_broadcast_bits: self
+                .spin_broadcast_bits
+                .saturating_sub(other.spin_broadcast_bits),
+            partial_sum_bits: self.partial_sum_bits.saturating_sub(other.partial_sum_bits),
+            pairs_executed: self.pairs_executed.saturating_sub(other.pairs_executed),
+            global_syncs: self.global_syncs.saturating_sub(other.global_syncs),
+            tiles_programmed: self.tiles_programmed.saturating_sub(other.tiles_programmed),
+        }
+    }
 }
 
 impl std::fmt::Display for OpCounts {
@@ -124,6 +150,23 @@ mod tests {
         let c = a.combined(&b);
         assert_eq!(c.tile_mvms_1bit, 7);
         assert_eq!(c.sync_traffic_bits(), 15);
+    }
+
+    #[test]
+    fn delta_inverts_combined() {
+        let a = OpCounts {
+            tile_mvms_1bit: 3,
+            glue_adds: 7,
+            global_syncs: 1,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            tile_mvms_1bit: 4,
+            adc_8bit_samples: 9,
+            ..OpCounts::default()
+        };
+        assert_eq!(a.combined(&b).delta_since(&a), b);
+        assert_eq!(a.combined(&b).delta_since(&b), a);
     }
 
     #[test]

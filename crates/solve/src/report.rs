@@ -1,0 +1,88 @@
+//! Uniform run summary distilled from any solver's event stream.
+
+use crate::opcount::OpCounts;
+
+/// Solver-agnostic summary of one run, built by a
+/// [`crate::TraceRecorder`] from the [`crate::SolveEvent`] stream.
+///
+/// The fields mirror what the paper's evaluation consumes: the best cut
+/// and when it was found (Figs. 6–7), the first iteration meeting a
+/// quality target (Fig. 8/10, Table II), the full cut/activity
+/// trajectories, and the operation totals feeding the PPA models. The
+/// meaning of one "iteration" is solver-specific — a global iteration for
+/// the SOPHIE engine, a recurrent step for PRIS, a sweep for the
+/// baselines — but the bookkeeping is identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveReport {
+    /// Short solver identifier (`"sophie"`, `"pris"`, `"sa"`, …).
+    pub solver: String,
+    /// Problem dimension (graph order).
+    pub dimension: usize,
+    /// Iterations the run planned to execute.
+    pub planned_iterations: usize,
+    /// Job seed.
+    pub seed: u64,
+    /// Convergence target, if one was set.
+    pub target: Option<f64>,
+    /// Best cut observed at any synchronization/scoring point.
+    pub best_cut: f64,
+    /// Iteration at which the best cut was first observed.
+    pub best_iteration: usize,
+    /// Iterations actually executed.
+    pub iterations_run: usize,
+    /// First iteration whose state met the target, if ever (iteration 0 is
+    /// the initial state).
+    pub iterations_to_target: Option<usize>,
+    /// Cut value at every scoring point; index 0 is the initial state.
+    pub cut_trace: Vec<f64>,
+    /// Spins changed between consecutive scored states (one entry per
+    /// iteration after the initial state; empty for solvers that do not
+    /// report activity).
+    pub activity_trace: Vec<usize>,
+    /// Whole-run operation totals (all-zero for solvers without an
+    /// operation model).
+    pub ops: OpCounts,
+}
+
+impl SolveReport {
+    /// Ratio of the best cut to a positive reference (best-known) cut.
+    ///
+    /// Quality ratios are only meaningful against a positive reference:
+    /// for `best_known <= 0` (or NaN) this returns [`f64::NAN`] rather
+    /// than a sign-flipped or infinite ratio.
+    #[must_use]
+    pub fn quality_vs(&self, best_known: f64) -> f64 {
+        if best_known > 0.0 {
+            self.best_cut / best_known
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SolveReport {
+        SolveReport {
+            solver: "test".to_string(),
+            best_cut: 95.0,
+            ..SolveReport::default()
+        }
+    }
+
+    #[test]
+    fn quality_ratio_against_positive_reference() {
+        let r = sample();
+        assert!((r.quality_vs(100.0) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_ratio_undefined_for_nonpositive_reference() {
+        let r = sample();
+        assert!(r.quality_vs(0.0).is_nan());
+        assert!(r.quality_vs(-10.0).is_nan());
+        assert!(r.quality_vs(f64::NAN).is_nan());
+    }
+}

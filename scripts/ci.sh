@@ -4,9 +4,10 @@
 #   scripts/ci.sh          # full gate (fmt, clippy, build, tests)
 #   scripts/ci.sh --quick  # skip the cross-crate test sweep
 #
-# The first four steps are the ROADMAP tier-1 contract; the final
-# workspace sweep additionally runs every crate's unit, property, and
-# compat-shim tests (34 test binaries).
+# The first four steps are the ROADMAP tier-1 contract; the full gate
+# additionally runs every crate's unit, property, and compat-shim tests,
+# builds the examples, denies rustdoc warnings, and smoke-runs the
+# `repro` binary (bench-summary + a JSONL event trace).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +26,15 @@ run cargo test -q
 
 if [[ "$quick" -eq 0 ]]; then
     run cargo test -q --workspace
+    run cargo build --release --examples
+    echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --workspace"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+    smoke_dir=$(mktemp -d)
+    trap 'rm -rf "$smoke_dir"' EXIT
+    run cargo run --release -q -p sophie-bench --bin repro -- bench-summary --out "$smoke_dir"
+    run cargo run --release -q -p sophie-bench --bin repro -- trace --fast \
+        --graph K100 --seed 0 --out "$smoke_dir/trace.jsonl"
+    [[ -s "$smoke_dir/trace.jsonl" ]] || { echo "trace smoke test wrote nothing" >&2; exit 1; }
 fi
 
 echo "ci.sh: all gates passed"

@@ -8,6 +8,8 @@
 //!   I/O, max-cut evaluation ([`sophie_graph`]);
 //! * [`linalg`] — the numerical substrate: symmetric eigensolvers, tiling,
 //!   matrix products ([`sophie_linalg`]);
+//! * [`solve`] — the solver-agnostic instrumentation layer: solve events,
+//!   observers, reports, and convergence trackers ([`sophie_solve`]);
 //! * [`pris`] — the original photonic recurrent Ising sampler
 //!   ([`sophie_pris`]);
 //! * [`core`] — SOPHIE's modified algorithm: symmetric local updates,
@@ -42,3 +44,4 @@ pub use sophie_graph as graph;
 pub use sophie_hw as hw;
 pub use sophie_linalg as linalg;
 pub use sophie_pris as pris;
+pub use sophie_solve as solve;

@@ -1,0 +1,195 @@
+//! Observer-event regression tests across the whole solver family.
+//!
+//! The instrumentation layer (`sophie::solve`) promises that a solver's
+//! event stream is (a) deterministic for a fixed seed, (b) independent of
+//! `SOPHIE_THREADS` — events are emitted only from the driving thread in
+//! a fixed order — and (c) faithful: the [`TraceRecorder`]'s distilled
+//! report reproduces exactly the traces and totals the solver reports
+//! through its own outcome type. These tests pin all three properties for
+//! the SOPHIE engine, the PRIS runner, and the SA/SB baselines.
+
+use std::sync::Mutex;
+
+use sophie::core::{SophieConfig, SophieSolver};
+use sophie::graph::generate::{gnm, WeightDist};
+use sophie::graph::Graph;
+use sophie::solve::{EventLog, SolveEvent, TraceRecorder};
+
+/// `SOPHIE_THREADS` is process-global; serialize the tests that set it.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("SOPHIE_THREADS", threads);
+    let out = f();
+    std::env::remove_var("SOPHIE_THREADS");
+    out
+}
+
+fn test_instance() -> (Graph, SophieSolver) {
+    let g = gnm(96, 500, WeightDist::UniformInt { lo: -3, hi: 3 }, 11).unwrap();
+    let cfg = SophieConfig {
+        tile_size: 16,
+        local_iters: 4,
+        global_iters: 40,
+        tile_fraction: 0.6,
+        phi: 0.25,
+        alpha: 0.1,
+        ..SophieConfig::default()
+    };
+    let solver = SophieSolver::from_graph(&g, cfg).unwrap();
+    (g, solver)
+}
+
+#[test]
+fn engine_event_stream_is_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (g, solver) = test_instance();
+    let capture = || {
+        let mut log = EventLog::new();
+        solver.run_observed(&g, 42, Some(600.0), &mut log).unwrap();
+        log.into_events()
+    };
+    let serial = with_threads("1", capture);
+    let four = with_threads("4", capture);
+    let eight = with_threads("8", capture);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, four, "1 vs 4 threads");
+    assert_eq!(serial, eight, "1 vs 8 threads");
+}
+
+#[test]
+fn trace_recorder_report_matches_the_engine_outcome() {
+    let (g, solver) = test_instance();
+    for seed in [0u64, 42] {
+        let plain = solver.run(&g, seed, Some(600.0)).unwrap();
+        let mut rec = TraceRecorder::new();
+        let observed = solver
+            .run_observed(&g, seed, Some(600.0), &mut rec)
+            .unwrap();
+        let report = rec.into_report();
+
+        // Observation must not perturb the run…
+        assert_eq!(plain.best_cut, observed.best_cut);
+        assert_eq!(plain.cut_trace, observed.cut_trace);
+        // …and the report must rebuild the outcome exactly from events.
+        assert_eq!(report.solver, "sophie");
+        assert_eq!(report.best_cut, plain.best_cut);
+        assert_eq!(report.cut_trace, plain.cut_trace);
+        assert_eq!(report.activity_trace, plain.activity_trace);
+        assert_eq!(report.iterations_to_target, plain.global_iters_to_target);
+        assert_eq!(report.ops, plain.ops);
+        assert_eq!(report.seed, seed);
+    }
+}
+
+#[test]
+fn engine_sync_deltas_sum_to_the_run_totals_and_jsonl_is_valid() {
+    let (g, solver) = test_instance();
+    let mut log = EventLog::new();
+    let out = solver.run_observed(&g, 7, None, &mut log).unwrap();
+
+    let mut summed = sophie::solve::OpCounts::default();
+    for ev in log.events() {
+        if let SolveEvent::GlobalSync { ops_delta, .. } = ev {
+            summed = summed.combined(ops_delta);
+        }
+    }
+    assert_eq!(summed, out.ops, "per-sync deltas must tile the run totals");
+
+    // Every event serializes to one well-formed JSON object line.
+    for ev in log.events() {
+        let line = ev.to_json();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "{line}"
+        );
+    }
+}
+
+/// Framing shared by every solver: one `RunStarted` first, one
+/// `RunFinished` last, a round-0 `GlobalSync`, at most one
+/// `TargetReached`, and monotonically non-decreasing sync rounds.
+fn assert_well_formed(events: &[SolveEvent], solver: &str) {
+    assert!(
+        matches!(events.first(), Some(SolveEvent::RunStarted { solver: s, .. }) if *s == solver),
+        "{solver}: stream must open with RunStarted"
+    );
+    assert!(
+        matches!(events.last(), Some(SolveEvent::RunFinished { .. })),
+        "{solver}: stream must close with RunFinished"
+    );
+    let sync_rounds: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            SolveEvent::GlobalSync { round, .. } => Some(*round),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sync_rounds.first(), Some(&0), "{solver}: round-0 sync");
+    assert!(
+        sync_rounds.windows(2).all(|w| w[0] < w[1]),
+        "{solver}: sync rounds must increase"
+    );
+    let hits = events
+        .iter()
+        .filter(|e| matches!(e, SolveEvent::TargetReached { .. }))
+        .count();
+    assert!(hits <= 1, "{solver}: at most one TargetReached, got {hits}");
+}
+
+#[test]
+fn pris_and_baselines_emit_well_formed_streams() {
+    let g = gnm(48, 200, WeightDist::Unit, 3).unwrap();
+
+    let mut log = EventLog::new();
+    let k = sophie::graph::coupling::coupling_matrix(&g);
+    let delta = sophie::graph::coupling::delta_diagonal(&g);
+    let c = sophie::pris::dropout::transformation_matrix(
+        &k,
+        delta,
+        0.1,
+        sophie::pris::DeltaVariant::Gershgorin,
+    )
+    .unwrap();
+    let model = sophie::pris::PrisModel::new(c).unwrap();
+    let config = sophie::pris::RunConfig {
+        iterations: 30,
+        ..sophie::pris::RunConfig::default()
+    };
+    sophie::pris::runner::run_observed(&model, &g, &config, &mut log).unwrap();
+    assert_well_formed(log.events(), "pris");
+
+    let mut log = EventLog::new();
+    let _ = sophie::baselines::sa::anneal_observed(
+        &g,
+        &sophie::baselines::SaConfig {
+            sweeps: 25,
+            ..sophie::baselines::SaConfig::default()
+        },
+        Some(1.0),
+        &mut log,
+    );
+    assert_well_formed(log.events(), "sa");
+
+    let mut log = EventLog::new();
+    let _ = sophie::baselines::sb::bifurcate_observed(
+        &g,
+        &sophie::baselines::SbConfig {
+            steps: 25,
+            ..sophie::baselines::SbConfig::default()
+        },
+        Some(1.0),
+        &mut log,
+    );
+    assert_well_formed(log.events(), "sb");
+
+    let mut log = EventLog::new();
+    let (graph2, solver) = test_instance();
+    solver
+        .run_observed(&graph2, 0, Some(600.0), &mut log)
+        .unwrap();
+    assert_well_formed(log.events(), "sophie");
+}
