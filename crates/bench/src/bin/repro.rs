@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|all> [--fast] [--out DIR]
+//! repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|all> [--fast] [--out DIR]
 //! repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]
 //! ```
 //!
@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use sophie_bench::experiments;
 use sophie_bench::{Fidelity, Instances, Report};
 
-const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|all|bench-summary> [--fast] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]";
+const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|all|bench-summary> [--fast] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]";
 
 fn main() -> ExitCode {
     let mut command: Option<String> = None;
@@ -145,6 +145,7 @@ fn main() -> ExitCode {
         ("summary", experiments::summary::run),
         ("ablations", experiments::ablations::run),
         ("power", experiments::power::run),
+        ("robustness", experiments::robustness::run),
     ];
 
     let selected: Vec<&(&str, Exp)> = if command == "all" {

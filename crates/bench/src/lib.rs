@@ -16,6 +16,7 @@
 //! | `summary`| abstract       | headline-claim scorecard |
 //! | `ablations`| (extension)  | design-choice toggles: spin update, local depth, dropout, ADC bits, tile mapping |
 //! | `power`  | (extension)    | steady-state machine power budget |
+//! | `robustness` | (extension) | fault rate × recovery policy sweep with recovery-cost accounting |
 //! | `trace`  | (extension)    | JSONL solve-event dump of one run ([`trace`]) |
 //!
 //! Every experiment honors [`fidelity::Fidelity`]: `--fast` shrinks grids

@@ -8,6 +8,22 @@
 
 use sophie_linalg::Tile;
 
+/// One transient hardware fault that took effect on a unit during a round.
+///
+/// Fault-capable backends (the `sophie-hw` OPCM model) record these as
+/// their MVMs execute; the engine drains them after each round via
+/// [`MvmUnit::take_fault_reports`] and re-emits them as
+/// `SolveEvent::FaultInjected`. The ideal backend never produces any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Fault class (`"laser_droop"`, `"chiplet_dropout"`, `"stuck_cells"`,
+    /// `"drift_burst"`, `"adc_saturation"`).
+    pub kind: &'static str,
+    /// Wave (MVM ordinal within the round, counting forward and transposed
+    /// passes) at which the fault took effect; 0 is the round's first MVM.
+    pub wave: u32,
+}
+
 /// One physical bidirectional matrix-vector unit (an OPCM array plus its
 /// converters): stores a tile and multiplies by it or its transpose.
 ///
@@ -40,6 +56,21 @@ pub trait MvmUnit: Send {
     /// (dual-precision ADC, §III-C). The ideal backend leaves values
     /// untouched.
     fn quantize_8bit(&mut self, _y: &mut [f32]) {}
+
+    /// Tells the unit a new round of local iterations is starting, so
+    /// fault-capable backends can draw that round's transient-fault
+    /// schedule deterministically from `(fault seed, round, unit id)`.
+    /// Called once per round per *selected* pair before any of its MVMs;
+    /// round indices are 1-based (setup programming happens "before
+    /// round 1" and is never faulted). The default is a no-op.
+    fn begin_round(&mut self, _round: u64) {}
+
+    /// Drains the transient faults that took effect since the last drain,
+    /// in the order they fired. The default (ideal hardware) returns an
+    /// empty vector and allocates nothing.
+    fn take_fault_reports(&mut self) -> Vec<FaultReport> {
+        Vec::new()
+    }
 }
 
 /// Factory for [`MvmUnit`]s: one machine/back-end configuration producing

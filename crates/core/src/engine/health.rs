@@ -1,0 +1,226 @@
+//! Stage 3b — calibration probing and fault recovery.
+//!
+//! On fault-aware runs this stage executes right after each global
+//! synchronization (every `check_interval`-th round): it sends a known
+//! probe vector through every live pair's physical unit, compares the
+//! result against the exact tile product, and — when the relative
+//! residual exceeds the configured threshold — applies the
+//! [`RecoveryPolicy`]: reprogram-with-retry, remap to a spare array, or
+//! quarantine. Probing and recovery run serially on the driving thread in
+//! ascending pair order, so the emitted `FaultDetected` /
+//! `TileRecovered` / `RecoveryExhausted` stream is bit-identical for
+//! every `SOPHIE_THREADS` value.
+//!
+//! Every probe and reprogram is tallied in the pair's
+//! [`OpCounts`](sophie_solve::OpCounts) (`probe_mvms`,
+//! `recovery_reprograms`, `units_remapped`, `pairs_quarantined`, plus the
+//! underlying MVM/ADC/programming counters), so the recovery overhead
+//! flows into the round's `ops_delta` and the `sophie-hw` cost models.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sophie_solve::{SolveEvent, SolveObserver};
+
+use super::state::{noise_stream_seed, MachineState, PairState};
+use super::{sync, SophieSolver};
+use crate::backend::{MvmBackend, MvmUnit};
+use crate::health::{HealthConfig, RecoveryPolicy};
+
+/// Floor on the probe-residual denominator, guarding all-zero tiles
+/// (whose exact product is identically zero).
+const DENOM_FLOOR: f32 = 1e-6;
+
+/// Per-run health-monitor state: the configuration, the spare-array
+/// budget consumed so far, and probe scratch buffers.
+#[derive(Debug)]
+pub(super) struct HealthMonitor {
+    config: HealthConfig,
+    spares_used: usize,
+    probe: Vec<f32>,
+    expected: Vec<f32>,
+    measured: Vec<f32>,
+}
+
+impl HealthMonitor {
+    pub fn new(config: HealthConfig, t: usize) -> Self {
+        HealthMonitor {
+            config,
+            spares_used: 0,
+            probe: vec![0.0; t],
+            expected: vec![0.0; t],
+            measured: vec![0.0; t],
+        }
+    }
+
+    /// Whether round `round` (1-based) ends with a probe pass.
+    pub fn due(&self, round: usize) -> bool {
+        round.is_multiple_of(self.config.check_interval)
+    }
+
+    /// Probes every live pair and recovers the faulty ones.
+    ///
+    /// Runs serially in ascending pair order. When any recovery changed
+    /// the machine (fresh array contents or a quarantined pair), the
+    /// affected partial sums are refreshed and the offset vectors
+    /// regathered so the next round iterates against consistent state.
+    pub fn inspect<B: MvmBackend>(
+        &mut self,
+        solver: &SophieSolver,
+        backend: &B,
+        ms: &mut MachineState<B::Unit>,
+        round: usize,
+        observer: &mut dyn SolveObserver,
+    ) {
+        let t = solver.grid.tile();
+        let mut machine_changed = false;
+        {
+            let MachineState { states, global, .. } = ms;
+            for st in states.iter_mut() {
+                if st.disabled {
+                    continue;
+                }
+                let residual = self.probe_residual(solver, st, t);
+                if residual <= self.config.threshold {
+                    continue;
+                }
+                observer.on_event(&SolveEvent::FaultDetected {
+                    round,
+                    pair: st.index,
+                    residual,
+                });
+                if matches!(self.config.policy, RecoveryPolicy::DetectOnly) {
+                    continue;
+                }
+                machine_changed |= self.recover(solver, backend, st, global, round, t, observer);
+            }
+        }
+        if machine_changed {
+            sync::recompute_offsets(solver, ms);
+        }
+    }
+
+    /// One calibration MVM: device output vs. exact tile product on the
+    /// pair's deterministic probe vector, as a relative ∞-norm residual.
+    fn probe_residual<U: MvmUnit>(
+        &mut self,
+        solver: &SophieSolver,
+        st: &mut PairState<U>,
+        t: usize,
+    ) -> f64 {
+        // The probe vector is fixed per pair (independent of round and job
+        // seed): a dense 0/1 pattern matching the unit's operational input
+        // domain, so the ADC range assumptions hold.
+        let mut rng = SmallRng::seed_from_u64(noise_stream_seed(
+            self.config.probe_seed,
+            0,
+            st.index as u64,
+        ));
+        for p in self.probe.iter_mut() {
+            *p = if rng.gen_bool(0.5) { 1.0 } else { 0.0 };
+        }
+        solver.tiles[st.index].mvm(&self.probe, &mut self.expected);
+        st.unit.forward(&self.probe, &mut self.measured);
+        st.unit.quantize_8bit(&mut self.measured);
+        st.ops.probe_mvms += 1;
+        st.ops.tile_mvms_8bit += 1;
+        st.ops.adc_8bit_samples += t as u64;
+        st.ops.eo_input_bits += t as u64;
+
+        let mut max_abs = 0.0_f32;
+        let mut max_err = 0.0_f32;
+        for (&m, &e) in self.measured.iter().zip(&self.expected) {
+            max_abs = max_abs.max(e.abs());
+            max_err = max_err.max((m - e).abs());
+        }
+        f64::from(max_err) / f64::from(max_abs.max(DENOM_FLOOR))
+    }
+
+    /// Applies the recovery policy to one flagged pair; returns whether
+    /// the machine state changed (partials refreshed or pair quarantined).
+    #[allow(clippy::too_many_arguments)]
+    fn recover<B: MvmBackend>(
+        &mut self,
+        solver: &SophieSolver,
+        backend: &B,
+        st: &mut PairState<B::Unit>,
+        global: &[f32],
+        round: usize,
+        t: usize,
+        observer: &mut dyn SolveObserver,
+    ) -> bool {
+        let (reprogram_budget, try_spare, quarantine) = match self.config.policy {
+            RecoveryPolicy::DetectOnly => unreachable!("handled by caller"),
+            RecoveryPolicy::Reprogram { max_attempts } => (max_attempts, false, false),
+            RecoveryPolicy::Remap {
+                reprogram_attempts, ..
+            } => (reprogram_attempts, true, false),
+            RecoveryPolicy::Quarantine { reprogram_attempts } => (reprogram_attempts, false, true),
+        };
+        let max_spares = match self.config.policy {
+            RecoveryPolicy::Remap { max_spares, .. } => max_spares,
+            _ => 0,
+        };
+
+        let ops_before = st.ops;
+        let mut attempts = 0_u32;
+        let mut healthy = false;
+        let mut remapped = false;
+
+        // In-place reprogram clears drift, droop, and dropout (a fresh
+        // OPCM write of the intended tile) but cannot cure stuck cells.
+        for _ in 0..reprogram_budget {
+            attempts += 1;
+            st.unit.program(&solver.tiles[st.index]);
+            st.ops.tiles_programmed += 1;
+            st.ops.recovery_reprograms += 1;
+            if self.probe_residual(solver, st, t) <= self.config.threshold {
+                healthy = true;
+                break;
+            }
+        }
+
+        // Remap: swap in a spare physical array — the only cure for
+        // stuck cells — and program it with the intended tile.
+        if !healthy && try_spare && self.spares_used < max_spares {
+            attempts += 1;
+            remapped = true;
+            self.spares_used += 1;
+            let mut unit = backend.unit(t);
+            unit.program(&solver.tiles[st.index]);
+            st.unit = unit;
+            st.ops.tiles_programmed += 1;
+            st.ops.recovery_reprograms += 1;
+            st.ops.units_remapped += 1;
+            healthy = self.probe_residual(solver, st, t) <= self.config.threshold;
+        }
+
+        if healthy {
+            // The array contents changed, so the pair's cached partial
+            // sums are stale: recompute them from the synchronized global
+            // state (counted like any other 8-bit pass).
+            st.initial_partials(global, t);
+            observer.on_event(&SolveEvent::TileRecovered {
+                round,
+                pair: st.index,
+                attempts,
+                remapped,
+                cost: st.ops.delta_since(&ops_before),
+            });
+            return true;
+        }
+
+        if quarantine {
+            st.disabled = true;
+            st.partial_primary.fill(0.0);
+            st.partial_partner.fill(0.0);
+            st.ops.pairs_quarantined += 1;
+        }
+        observer.on_event(&SolveEvent::RecoveryExhausted {
+            round,
+            pair: st.index,
+            attempts,
+            quarantined: quarantine,
+        });
+        quarantine
+    }
+}

@@ -46,6 +46,7 @@
 //! (traces, bits, op counts) are bit-identical regardless of the thread
 //! count.
 
+mod health;
 mod program;
 mod round;
 mod state;
@@ -60,9 +61,10 @@ use sophie_graph::Graph;
 use sophie_linalg::{Matrix, Tile, TileGrid, TilePair};
 use sophie_solve::{NullObserver, SolveEvent, SolveObserver};
 
-use crate::backend::{IdealBackend, MvmBackend};
+use crate::backend::{IdealBackend, MvmBackend, MvmUnit};
 use crate::config::SophieConfig;
 use crate::error::{Result, SophieError};
+use crate::health::HealthConfig;
 use crate::outcome::SophieOutcome;
 use crate::schedule::Schedule;
 
@@ -320,7 +322,9 @@ impl SophieSolver {
 
     /// The fully general entry point: pre-generated schedule, optional
     /// warm start, and a [`SolveObserver`] receiving the run's event
-    /// stream. All other `run*` methods funnel here.
+    /// stream. All other `run*` methods funnel here (fault-aware runs via
+    /// [`Self::run_fault_aware`], which additionally attaches a health
+    /// monitor).
     ///
     /// The stage loop is: `program` once, then per scheduled round
     /// `round` → `sync` → `track` (one private module per stage, see the
@@ -350,6 +354,75 @@ impl SophieSolver {
         initial_bits: Option<&[bool]>,
         observer: &mut dyn SolveObserver,
     ) -> Result<SophieOutcome> {
+        self.run_impl(
+            backend,
+            graph,
+            schedule,
+            seed,
+            target_cut,
+            initial_bits,
+            None,
+            observer,
+        )
+    }
+
+    /// Runs one job with the runtime health monitor attached: after each
+    /// `check_interval`-th synchronization the engine probes every pair's
+    /// physical unit with a calibration MVM and applies the configured
+    /// [`crate::RecoveryPolicy`] to the units that fail, emitting
+    /// `FaultDetected` / `TileRecovered` / `RecoveryExhausted` events
+    /// (and, from fault-capable backends, `FaultInjected`) alongside the
+    /// usual stream. All probe and reprogram work is tallied in the
+    /// outcome's op counts, so the `sophie-hw` cost models charge the
+    /// recovery overhead.
+    ///
+    /// The schedule is generated from `seed` exactly as in
+    /// [`Self::run_with_backend`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SophieError::BadConfig`] if `health` is invalid.
+    pub fn run_fault_aware<B: MvmBackend>(
+        &self,
+        backend: &B,
+        graph: &Graph,
+        seed: u64,
+        target_cut: Option<f64>,
+        health: &HealthConfig,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<SophieOutcome> {
+        health.validate()?;
+        let schedule = Schedule::generate(
+            &self.grid,
+            self.config.global_iters,
+            self.config.tile_fraction,
+            self.config.stochastic_spin_update,
+            seed ^ 0x5c3a_11ed_0b57_aced,
+        );
+        self.run_impl(
+            backend,
+            graph,
+            &schedule,
+            seed,
+            target_cut,
+            None,
+            Some(health),
+            observer,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_impl<B: MvmBackend>(
+        &self,
+        backend: &B,
+        graph: &Graph,
+        schedule: &Schedule,
+        seed: u64,
+        target_cut: Option<f64>,
+        initial_bits: Option<&[bool]>,
+        health_config: Option<&HealthConfig>,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<SophieOutcome> {
         assert_eq!(graph.num_nodes(), self.n, "graph order mismatch");
         assert_eq!(
             schedule.blocks(),
@@ -373,25 +446,56 @@ impl SophieSolver {
         let mut tracker = track::RunTracker::start(target_cut, &bits, cut0, ms.ops, observer);
 
         let local_iters = self.config.local_iters;
+        let mut monitor = health_config.map(|h| health::HealthMonitor::new(*h, self.grid.tile()));
+        let mut active: Vec<usize> = Vec::with_capacity(self.pairs.len());
         for (g, sched_round) in schedule.rounds().iter().enumerate() {
             let round_index = g + 1;
 
-            // Stage 2: parallel local iterations over the selected pairs.
+            // Stage 2: parallel local iterations over the selected pairs
+            // (minus any the health monitor quarantined).
+            active.clear();
+            active.extend(
+                sched_round
+                    .pairs
+                    .iter()
+                    .copied()
+                    .filter(|&pi| !ms.states[pi].disabled),
+            );
             observer.on_event(&SolveEvent::RoundStarted {
                 round: round_index,
-                pairs_selected: sched_round.pairs.len(),
+                pairs_selected: active.len(),
             });
-            round::execute(self, &mut ms, &sched_round.pairs, round_index as u64, seed);
-            for &pi in &sched_round.pairs {
+            round::execute(self, &mut ms, &active, round_index as u64, seed);
+            for &pi in &active {
                 observer.on_event(&SolveEvent::PairIterated {
                     round: round_index,
                     pair: pi,
                     local_iters,
                 });
             }
+            // Drain the round's transient-fault reports in ascending pair
+            // order (an empty, allocation-free drain on ideal hardware).
+            for &pi in &active {
+                for fault in ms.states[pi].unit.take_fault_reports() {
+                    observer.on_event(&SolveEvent::FaultInjected {
+                        round: round_index,
+                        pair: pi,
+                        kind: fault.kind,
+                        wave: fault.wave,
+                    });
+                }
+            }
 
             // Stage 3: global synchronization and partial-sum merge.
-            sync::synchronize(self, &mut ms, schedule, sched_round);
+            sync::synchronize(self, &mut ms, schedule, sched_round, &active);
+
+            // Stage 3b: calibration probing and recovery (fault-aware
+            // runs only), charged to the same round's ops delta.
+            if let Some(mon) = monitor.as_mut() {
+                if mon.due(round_index) {
+                    mon.inspect(self, backend, &mut ms, round_index, observer);
+                }
+            }
             ms.drain_pair_ops();
 
             // Stage 4: score the synchronized state and emit its events.

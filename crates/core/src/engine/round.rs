@@ -55,6 +55,10 @@ fn run_local_iters<U: MvmUnit>(
 ) {
     let t = solver.grid.tile();
     let b = solver.grid.blocks();
+    // Let fault-capable backends draw this round's transient-fault
+    // schedule (keyed by (fault seed, round, unit id), so it is identical
+    // under any worker-pool scheduling). A no-op on ideal hardware.
+    st.unit.begin_round(round_index);
     let mut rng = noise_rng(seed, round_index, st.index as u64);
     let mut gauss = GaussianSource::new();
     for l in 0..local_iters {

@@ -73,6 +73,10 @@ pub(super) struct PairState<U> {
     pub y: Vec<f32>,
     /// Operations attributed to this pair since the last drain.
     pub ops: OpCounts,
+    /// Set when the health monitor quarantined this pair (graceful
+    /// degradation): it is skipped by round execution and its partial
+    /// sums stay zeroed. Never set on non-fault-aware runs.
+    pub disabled: bool,
 }
 
 impl<U> PairState<U> {
@@ -105,6 +109,7 @@ impl<U: MvmUnit> PairState<U> {
             partial_partner: if off { vec![0.0; t] } else { Vec::new() },
             y: vec![0.0; t],
             ops: OpCounts::new(),
+            disabled: false,
         }
     }
 

@@ -13,11 +13,17 @@ use super::state::MachineState;
 use super::SophieSolver;
 
 /// Synchronizes the machine after one round's local iterations.
+///
+/// `active_pairs` is the subset of `round.pairs` that actually executed
+/// (quarantined pairs are excluded on fault-aware runs; otherwise the two
+/// are the same list) — it drives the partial-sum traffic and
+/// pair-execution accounting.
 pub(super) fn synchronize<U>(
     solver: &SophieSolver,
     ms: &mut MachineState<U>,
     schedule: &Schedule,
     round: &Round,
+    active_pairs: &[usize],
 ) {
     let t = solver.grid.tile();
     let b = solver.grid.blocks();
@@ -60,15 +66,14 @@ pub(super) fn synchronize<U>(
         }
     }
     ms.ops.spin_broadcast_bits += updated_cols * (b * t) as u64;
-    let selected_logical: u64 = round
-        .pairs
+    let selected_logical: u64 = active_pairs
         .iter()
         .map(|&pi| solver.pairs[pi].logical_tiles() as u64)
         .sum();
     ms.ops.partial_sum_bits += selected_logical * (t * 8) as u64;
     recompute_offsets(solver, ms);
     ms.ops.global_syncs += 1;
-    ms.ops.pairs_executed += round.pairs.len() as u64;
+    ms.ops.pairs_executed += active_pairs.len() as u64;
 }
 
 /// Offsets `o[r][c] = Σ_{c'≠c} p[r][c']` — the controller's glue

@@ -48,6 +48,7 @@ mod config;
 mod engine;
 mod error;
 mod gaussian;
+mod health;
 mod outcome;
 pub mod schedule;
 
@@ -56,6 +57,7 @@ pub use config::SophieConfig;
 pub use engine::SophieSolver;
 pub use error::{Result, SophieError};
 pub use gaussian::GaussianSource;
+pub use health::{HealthConfig, RecoveryPolicy};
 pub use outcome::SophieOutcome;
 pub use schedule::{Round, Schedule};
 

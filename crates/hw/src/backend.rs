@@ -6,22 +6,41 @@
 //!
 //! * GST cell quantization (64 levels by default) at programming time;
 //! * multiplicative analog read noise at the photodetector;
-//! * 8-bit ADC quantization on partial-sum reads.
+//! * 8-bit ADC quantization on partial-sum reads;
+//! * optional *transient runtime faults* from a seeded
+//!   [`FaultSchedule`] — drift bursts, stuck cells, laser droop, ADC
+//!   saturation, chiplet dropout — applied at (round, wave) granularity
+//!   and reported through
+//!   [`MvmUnit::take_fault_reports`] for the engine's fault-aware runtime.
 //!
 //! Comparing solution quality across the two backends is how we validate
 //! that SOPHIE's algorithm tolerates its own hardware (tests at the bottom
 //! and `tests/hw_vs_ideal.rs`).
+//!
+//! # Fault semantics
+//!
+//! Reprogramming an array ([`MvmUnit::program`], which recovery policies
+//! invoke) clears gain faults (drift, droop), chiplet dropout, and ADC
+//! saturation; *stuck cells persist* across reprograms — only remapping
+//! the pair onto a spare physical array cures them. ADC saturation also
+//! self-clears at the next round boundary.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sophie_core::backend::{MvmBackend, MvmUnit};
+use sophie_core::backend::{FaultReport, MvmBackend, MvmUnit};
 use sophie_linalg::Tile;
 
 use crate::device::adc::DualPrecisionAdc;
 use crate::device::opcm::{OpcmArray, OpcmCellSpec};
 use crate::device::variability::VariabilityModel;
+use crate::error::Result;
+use crate::fault::{FaultEvent, FaultSchedule};
+
+/// Fraction of the ADC full-scale range reachable during a saturation
+/// burst.
+const ADC_SATURATION_FRACTION: f32 = 0.125;
 
 /// Configuration of the hardware backend.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +57,9 @@ pub struct OpcmBackendConfig {
     pub adc_bits: u32,
     /// GST variability and fault model applied at programming time.
     pub variability: VariabilityModel,
+    /// Transient runtime faults fired during rounds
+    /// ([`FaultSchedule::none`] by default: no faults ever).
+    pub faults: FaultSchedule,
     /// Base seed for per-unit noise streams.
     pub seed: u64,
 }
@@ -49,8 +71,37 @@ impl Default for OpcmBackendConfig {
             read_noise: 0.01,
             adc_bits: 8,
             variability: VariabilityModel::ideal(),
+            faults: FaultSchedule::none(),
             seed: 0,
         }
+    }
+}
+
+impl OpcmBackendConfig {
+    /// Validates every sub-model, so invalid configurations surface as
+    /// typed errors instead of garbage tiles deep in a run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HwError::BadParameter`] naming the first
+    /// offending field.
+    pub fn validate(&self) -> Result<()> {
+        self.cell.validate()?;
+        if self.read_noise < 0.0 || self.read_noise.is_nan() {
+            return Err(crate::HwError::BadParameter {
+                name: "read_noise",
+                message: format!("must be non-negative, got {}", self.read_noise),
+            });
+        }
+        if !(2..=16).contains(&self.adc_bits) {
+            return Err(crate::HwError::BadParameter {
+                name: "adc_bits",
+                message: format!("multi-bit mode must use 2..=16 bits, got {}", self.adc_bits),
+            });
+        }
+        self.variability.validate()?;
+        self.faults.validate()?;
+        Ok(())
     }
 }
 
@@ -63,12 +114,28 @@ pub struct OpcmBackend {
 
 impl OpcmBackend {
     /// Creates a backend; unit noise streams derive from `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use [`Self::try_new`] to
+    /// handle the error instead.
     #[must_use]
     pub fn new(config: OpcmBackendConfig) -> Self {
-        OpcmBackend {
+        Self::try_new(config).expect("invalid OpcmBackendConfig")
+    }
+
+    /// Fallible constructor: validates the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HwError::BadParameter`] naming the first
+    /// offending field.
+    pub fn try_new(config: OpcmBackendConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(OpcmBackend {
             config,
             counter: AtomicU64::new(0),
-        }
+        })
     }
 
     /// The backend configuration.
@@ -84,6 +151,15 @@ impl Default for OpcmBackend {
     }
 }
 
+/// One cell latched by an endurance failure: `(row, col)` plus the level
+/// it is stuck at, in weight space.
+#[derive(Debug, Clone, Copy)]
+struct StuckCell {
+    r: usize,
+    c: usize,
+    w: f32,
+}
+
 /// One OPCM array plus its converters, as seen by the engine.
 #[derive(Debug)]
 pub struct OpcmUnit {
@@ -92,8 +168,26 @@ pub struct OpcmUnit {
     adc_bits: u32,
     read_noise: f32,
     variability: VariabilityModel,
+    faults: FaultSchedule,
     unit_id: u64,
     rng: SmallRng,
+    /// MVM ordinal within the current round (reset by `begin_round`).
+    wave: u32,
+    /// Faults drawn for this round, sorted by wave, not yet activated.
+    pending: Vec<FaultEvent>,
+    /// Activated faults awaiting `take_fault_reports`.
+    reports: Vec<FaultReport>,
+    /// Multiplicative output gain (drift bursts × laser droop); 1.0 when
+    /// healthy. Reset by `program`.
+    gain: f32,
+    /// Chiplet dropout: all outputs read zero. Reset by `program`.
+    dropped: bool,
+    /// ADC saturation burst: 8-bit reads clamp near zero scale for the
+    /// rest of the round. Reset by `begin_round` and `program`.
+    adc_saturated: bool,
+    /// Cells latched by endurance failures. Survive `program` — only a
+    /// remap (a fresh unit from the backend) clears them.
+    stuck: Vec<StuckCell>,
 }
 
 impl OpcmUnit {
@@ -102,6 +196,13 @@ impl OpcmUnit {
     #[must_use]
     pub fn array(&self) -> &OpcmArray {
         &self.array
+    }
+
+    /// Whether the unit is currently affected by any runtime fault
+    /// (gain loss, dropout, ADC saturation, or stuck cells).
+    #[must_use]
+    pub fn is_faulted(&self) -> bool {
+        self.gain != 1.0 || self.dropped || self.adc_saturated || !self.stuck.is_empty()
     }
 
     fn apply_read_noise(&mut self, y: &mut [f32]) {
@@ -116,6 +217,73 @@ impl OpcmUnit {
             }
         }
     }
+
+    /// Advances the wave counter and activates every pending fault whose
+    /// wave has arrived, recording a report for each.
+    fn advance_wave(&mut self) {
+        let wave = self.wave;
+        self.wave = self.wave.saturating_add(1);
+        while self.pending.first().is_some_and(|f| f.wave() <= wave) {
+            let event = self.pending.remove(0);
+            match event {
+                FaultEvent::DriftBurst { factor, .. } | FaultEvent::LaserDroop { factor, .. } => {
+                    self.gain *= factor
+                }
+                FaultEvent::ChipletDropout { .. } => self.dropped = true,
+                FaultEvent::AdcSaturation { .. } => self.adc_saturated = true,
+                FaultEvent::StuckCells { cells_seed, .. } => self.latch_cells(cells_seed),
+            }
+            self.reports.push(FaultReport {
+                kind: event.kind(),
+                wave,
+            });
+        }
+    }
+
+    /// Latches `stuck_fraction` of the array's cells at random reachable
+    /// levels, deterministically in `cells_seed`.
+    fn latch_cells(&mut self, cells_seed: u64) {
+        let t = self.array.tile_size();
+        let count = ((self.faults.stuck_fraction * (t * t) as f64).ceil() as usize).min(t * t);
+        let scale = self.array.scale();
+        let mut rng = SmallRng::seed_from_u64(cells_seed);
+        for _ in 0..count {
+            self.stuck.push(StuckCell {
+                r: rng.gen_range(0..t),
+                c: rng.gen_range(0..t),
+                w: (rng.gen::<f32>() * 2.0 - 1.0) * scale,
+            });
+        }
+    }
+
+    /// Replaces each stuck cell's stored contribution with its latched
+    /// level: `y_r += (w_stuck − w_stored) · x_c` (forward orientation).
+    fn apply_stuck(&self, x: &[f32], y: &mut [f32], transposed: bool) {
+        for cell in &self.stuck {
+            let delta = cell.w - self.array.stored_weight(cell.r, cell.c);
+            if transposed {
+                y[cell.c] += delta * x[cell.r];
+            } else {
+                y[cell.r] += delta * x[cell.c];
+            }
+        }
+    }
+
+    fn apply_output_faults(&mut self, x: &[f32], y: &mut [f32], transposed: bool) {
+        if self.dropped {
+            y.fill(0.0);
+            return;
+        }
+        if !self.stuck.is_empty() {
+            self.apply_stuck(x, y, transposed);
+        }
+        if self.gain != 1.0 {
+            for v in y.iter_mut() {
+                *v *= self.gain;
+            }
+        }
+        self.apply_read_noise(y);
+    }
 }
 
 impl MvmUnit for OpcmUnit {
@@ -129,23 +297,48 @@ impl MvmUnit for OpcmUnit {
         let range = (max_abs * t).max(f32::MIN_POSITIVE);
         self.adc =
             Some(DualPrecisionAdc::new(self.adc_bits, range).expect("validated adc configuration"));
+        // A fresh write restores gain (power control recalibrates),
+        // revives a dropped chiplet, and clears ADC saturation; stuck
+        // cells are physical damage and persist.
+        self.gain = 1.0;
+        self.dropped = false;
+        self.adc_saturated = false;
     }
 
     fn forward(&mut self, x: &[f32], y: &mut [f32]) {
+        self.advance_wave();
         self.array.forward(x, y);
-        self.apply_read_noise(y);
+        self.apply_output_faults(x, y, false);
     }
 
     fn transposed(&mut self, x: &[f32], y: &mut [f32]) {
+        self.advance_wave();
         self.array.transposed(x, y);
-        self.apply_read_noise(y);
+        self.apply_output_faults(x, y, true);
     }
 
     fn quantize_8bit(&mut self, y: &mut [f32]) {
-        self.adc
-            .as_ref()
-            .expect("unit used before programming")
-            .quantize_slice(y);
+        let adc = self.adc.as_ref().expect("unit used before programming");
+        if self.adc_saturated {
+            let clamp = adc.range() * ADC_SATURATION_FRACTION;
+            for v in y.iter_mut() {
+                *v = v.clamp(-clamp, clamp);
+            }
+        }
+        adc.quantize_slice(y);
+    }
+
+    fn begin_round(&mut self, round: u64) {
+        self.wave = 0;
+        // Saturation bursts are transient: a new round resets the ADC.
+        self.adc_saturated = false;
+        // Undelivered events from earlier rounds are discarded; the new
+        // round's events come purely from (seed, round, unit id).
+        self.pending = self.faults.draw(round, self.unit_id);
+    }
+
+    fn take_fault_reports(&mut self) -> Vec<FaultReport> {
+        std::mem::take(&mut self.reports)
     }
 }
 
@@ -161,8 +354,16 @@ impl MvmBackend for OpcmBackend {
             adc_bits: self.config.adc_bits,
             read_noise: self.config.read_noise,
             variability: self.config.variability,
+            faults: self.config.faults,
             unit_id: id,
             rng: SmallRng::seed_from_u64(self.config.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            wave: 0,
+            pending: Vec::new(),
+            reports: Vec::new(),
+            gain: 1.0,
+            dropped: false,
+            adc_saturated: false,
+            stuck: Vec::new(),
         }
     }
 }

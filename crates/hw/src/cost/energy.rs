@@ -76,6 +76,19 @@ pub fn ops_energy_j(
     laser_j + eo_j + adc_j + glue_j
 }
 
+/// Programming energy of recovery reprograms alone.
+///
+/// [`job_energy`] derives its programming term from the workload *shape*
+/// (pairs × rounds), which does not see reprograms issued by the health
+/// monitor at run time; those are tallied in `ops.recovery_reprograms`.
+/// Each writes a full array (`2 t²` cells). Add this to a job's energy
+/// when the run used fault recovery.
+#[must_use]
+pub fn recovery_energy_j(params: &CostParams, tile_size: usize, ops: &OpCounts) -> f64 {
+    let cells_per_array = (2 * tile_size * tile_size) as f64;
+    ops.recovery_reprograms as f64 * cells_per_array * params.program_energy_per_cell_j
+}
+
 /// The four op-proportional energy terms shared by [`job_energy`] and
 /// [`ops_energy_j`]: `(laser_j, eo_j, adc_j, glue_j)`.
 fn dynamic_terms(

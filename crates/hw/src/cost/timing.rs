@@ -17,6 +17,8 @@
 //!   first programming pass are amortized across the batch (the paper's
 //!   Table II includes amortized programming the same way).
 
+use sophie_core::OpCounts;
+
 use crate::arch::MachineConfig;
 use crate::cost::params::CostParams;
 use crate::cost::workload::WorkloadSummary;
@@ -125,6 +127,18 @@ pub fn batch_time(
         waves_per_round: waves,
         resident,
     })
+}
+
+/// Wall-time of recovery reprograms alone.
+///
+/// [`batch_time`] derives programming time from the workload shape and
+/// cannot see run-time reprograms issued by the health monitor; those are
+/// tallied in `ops.recovery_reprograms`. Recovery writes are serial (the
+/// monitor repairs one tile at a time), so they add
+/// `recovery_reprograms × program_time_for_tile_s(t)` of exposed time.
+#[must_use]
+pub fn recovery_time_s(params: &CostParams, tile_size: usize, ops: &OpCounts) -> f64 {
+    ops.recovery_reprograms as f64 * params.program_time_for_tile_s(tile_size)
 }
 
 #[cfg(test)]

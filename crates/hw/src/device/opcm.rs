@@ -166,6 +166,14 @@ impl OpcmArray {
         self.programmed
     }
 
+    /// Scale mapping transmittance-space back to weight-space (the
+    /// `max|w|` of the last programmed tile; 1.0 for zero tiles). Bounds
+    /// the reachable stored-weight magnitude, e.g. for stuck-at levels.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
     /// Programs a tile: splits into positive/negative parts, normalizes to
     /// the transmittance range, and snaps every cell to the level grid.
     ///

@@ -13,6 +13,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sophie_linalg::Tile;
 
+use crate::error::{HwError, Result};
+
 /// Variability/fault model applied to a programmed tile.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -55,6 +57,44 @@ impl VariabilityModel {
             program_sigma: 0.0,
             seed: 0,
         }
+    }
+
+    /// Validates all fields, so invalid models are rejected up front
+    /// instead of silently producing garbage tiles (or panicking deep in
+    /// [`Self::drift_factor`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::BadParameter`] naming the first offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.drift_nu < 0.0 || self.drift_nu.is_nan() {
+            return Err(HwError::BadParameter {
+                name: "drift_nu",
+                message: format!("must be non-negative, got {}", self.drift_nu),
+            });
+        }
+        if !(self.drift_time >= 1.0 && self.drift_time.is_finite()) {
+            return Err(HwError::BadParameter {
+                name: "drift_time",
+                message: format!(
+                    "is normalized to t0 and must be finite and >= 1, got {}",
+                    self.drift_time
+                ),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.stuck_fraction) || self.stuck_fraction.is_nan() {
+            return Err(HwError::BadParameter {
+                name: "stuck_fraction",
+                message: format!("must be in [0, 1], got {}", self.stuck_fraction),
+            });
+        }
+        if self.program_sigma < 0.0 || self.program_sigma.is_nan() {
+            return Err(HwError::BadParameter {
+                name: "program_sigma",
+                message: format!("must be non-negative, got {}", self.program_sigma),
+            });
+        }
+        Ok(())
     }
 
     /// Multiplicative drift factor at the configured time.
@@ -177,6 +217,45 @@ mod tests {
             ..VariabilityModel::default()
         };
         let _ = m.drift_factor();
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_garbage() {
+        assert!(VariabilityModel::default().validate().is_ok());
+        assert!(VariabilityModel::ideal().validate().is_ok());
+        let cases = [
+            VariabilityModel {
+                drift_nu: f64::NAN,
+                ..VariabilityModel::default()
+            },
+            VariabilityModel {
+                drift_nu: -0.1,
+                ..VariabilityModel::default()
+            },
+            VariabilityModel {
+                drift_time: 0.5,
+                ..VariabilityModel::default()
+            },
+            VariabilityModel {
+                drift_time: f64::INFINITY,
+                ..VariabilityModel::default()
+            },
+            VariabilityModel {
+                stuck_fraction: 1.5,
+                ..VariabilityModel::default()
+            },
+            VariabilityModel {
+                stuck_fraction: -0.01,
+                ..VariabilityModel::default()
+            },
+            VariabilityModel {
+                program_sigma: f64::NAN,
+                ..VariabilityModel::default()
+            },
+        ];
+        for (i, m) in cases.iter().enumerate() {
+            assert!(m.validate().is_err(), "case {i} should be rejected");
+        }
     }
 
     #[test]

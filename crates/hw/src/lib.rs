@@ -10,6 +10,9 @@
 //! * [`backend`] — [`backend::OpcmBackend`], a drop-in
 //!   [`sophie_core::backend::MvmBackend`] that runs the tiled algorithm
 //!   through the device models (quantization + read noise + 8-bit ADC);
+//! * [`fault`] — deterministic transient-fault schedules (drift bursts,
+//!   laser droop, stuck cells, ADC saturation, chiplet dropout) injected
+//!   by the backend at `(round, wave)` granularity;
 //! * [`arch`] — the 2.5D accelerator hierarchy (PE → chiplet → accelerator
 //!   → multi-accelerator machine);
 //! * [`cost`] — timing, energy, area, and EDAP models built from the
@@ -39,6 +42,8 @@ pub mod backend;
 pub mod cost;
 pub mod device;
 mod error;
+pub mod fault;
 
 pub use backend::{OpcmBackend, OpcmBackendConfig};
 pub use error::{HwError, Result};
+pub use fault::{FaultEvent, FaultSchedule};

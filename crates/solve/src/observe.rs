@@ -19,8 +19,11 @@
 //! # Ordering guarantees
 //!
 //! See the crate-level docs: `RunStarted`, then per round
-//! `RoundStarted → PairIterated* → GlobalSync [→ TargetReached]`, then
-//! `RunFinished`. Round 0 denotes the initial synchronized state: solvers
+//! `RoundStarted → PairIterated* → FaultInjected* →
+//! (FaultDetected [→ TileRecovered | RecoveryExhausted])* →
+//! GlobalSync [→ TargetReached]`, then `RunFinished`. The fault and
+//! recovery events only appear on fault-aware runs (drained/probed in
+//! ascending pair order). Round 0 denotes the initial synchronized state: solvers
 //! emit a `GlobalSync { round: 0, .. }` for it (activity 0, setup ops as
 //! the delta) without a preceding `RoundStarted`. All events are emitted
 //! from the thread driving the run in a deterministic order that does not
@@ -78,6 +81,58 @@ pub enum SolveEvent {
         /// Operations attributable to this round (zero for solvers without
         /// an operation model).
         ops_delta: OpCounts,
+    },
+    /// A transient hardware fault took effect on a tile pair's physical
+    /// unit during the round's local iterations. Emitted by the engine
+    /// after the round's `PairIterated` events (the reports are drained
+    /// from the units in ascending pair order, so the stream stays
+    /// deterministic under any thread count); solvers without a fault
+    /// model never emit it.
+    FaultInjected {
+        /// 1-based round during which the fault fired.
+        round: usize,
+        /// Pair index of the affected unit.
+        pair: usize,
+        /// Fault class (`"laser_droop"`, `"chiplet_dropout"`,
+        /// `"stuck_cells"`, `"drift_burst"`, `"adc_saturation"`).
+        kind: &'static str,
+        /// Wave (MVM) within the round at which the fault took effect.
+        wave: u32,
+    },
+    /// A health-monitor calibration probe flagged a unit as faulty.
+    FaultDetected {
+        /// Round whose post-sync probe detected the fault.
+        round: usize,
+        /// Pair index of the faulty unit.
+        pair: usize,
+        /// Relative probe residual that tripped the threshold.
+        residual: f64,
+    },
+    /// A faulty unit was restored to health, with the recovery's cost.
+    TileRecovered {
+        /// Round whose probe-and-recover pass fixed the unit.
+        round: usize,
+        /// Pair index of the recovered unit.
+        pair: usize,
+        /// Recovery attempts consumed (reprograms, plus one if remapped).
+        attempts: u32,
+        /// Whether recovery required remapping onto a spare array.
+        remapped: bool,
+        /// Operations spent on this recovery (probes + reprograms); feed
+        /// to the `sophie-hw` cost models for the energy/time overhead.
+        cost: OpCounts,
+    },
+    /// Recovery gave up on a unit (attempt budget and spares exhausted).
+    RecoveryExhausted {
+        /// Round whose recovery pass gave up.
+        round: usize,
+        /// Pair index of the unrecoverable unit.
+        pair: usize,
+        /// Recovery attempts consumed before giving up.
+        attempts: u32,
+        /// Whether the pair was quarantined (graceful degradation) rather
+        /// than left running through the faulty unit.
+        quarantined: bool,
     },
     /// The target cut was reached for the first time (at most once per
     /// run, immediately after the crossing `GlobalSync`).
@@ -143,6 +198,43 @@ impl SolveEvent {
                  \"activity\":{activity},\"ops_delta\":{}}}",
                 ops_json(ops_delta)
             ),
+            SolveEvent::FaultInjected {
+                round,
+                pair,
+                kind,
+                wave,
+            } => format!(
+                "{{\"event\":\"fault_injected\",\"round\":{round},\"pair\":{pair},\
+                 \"kind\":\"{kind}\",\"wave\":{wave}}}"
+            ),
+            SolveEvent::FaultDetected {
+                round,
+                pair,
+                residual,
+            } => format!(
+                "{{\"event\":\"fault_detected\",\"round\":{round},\"pair\":{pair},\
+                 \"residual\":{residual}}}"
+            ),
+            SolveEvent::TileRecovered {
+                round,
+                pair,
+                attempts,
+                remapped,
+                cost,
+            } => format!(
+                "{{\"event\":\"tile_recovered\",\"round\":{round},\"pair\":{pair},\
+                 \"attempts\":{attempts},\"remapped\":{remapped},\"cost\":{}}}",
+                ops_json(cost)
+            ),
+            SolveEvent::RecoveryExhausted {
+                round,
+                pair,
+                attempts,
+                quarantined,
+            } => format!(
+                "{{\"event\":\"recovery_exhausted\",\"round\":{round},\"pair\":{pair},\
+                 \"attempts\":{attempts},\"quarantined\":{quarantined}}}"
+            ),
             SolveEvent::TargetReached { round, cut } => {
                 format!("{{\"event\":\"target_reached\",\"round\":{round},\"cut\":{cut}}}")
             }
@@ -166,7 +258,9 @@ fn ops_json(ops: &OpCounts) -> String {
         "{{\"tile_mvms_1bit\":{},\"tile_mvms_8bit\":{},\"eo_input_bits\":{},\
          \"adc_1bit_samples\":{},\"adc_8bit_samples\":{},\"noise_injections\":{},\
          \"glue_adds\":{},\"spin_broadcast_bits\":{},\"partial_sum_bits\":{},\
-         \"pairs_executed\":{},\"global_syncs\":{},\"tiles_programmed\":{}}}",
+         \"pairs_executed\":{},\"global_syncs\":{},\"tiles_programmed\":{},\
+         \"probe_mvms\":{},\"recovery_reprograms\":{},\"units_remapped\":{},\
+         \"pairs_quarantined\":{}}}",
         ops.tile_mvms_1bit,
         ops.tile_mvms_8bit,
         ops.eo_input_bits,
@@ -179,6 +273,10 @@ fn ops_json(ops: &OpCounts) -> String {
         ops.pairs_executed,
         ops.global_syncs,
         ops.tiles_programmed,
+        ops.probe_mvms,
+        ops.recovery_reprograms,
+        ops.units_remapped,
+        ops.pairs_quarantined,
     )
 }
 
@@ -326,6 +424,10 @@ impl SolveObserver for TraceRecorder {
                 self.report.ops = *ops;
                 self.finished = true;
             }
+            SolveEvent::FaultInjected { .. } => self.report.faults_injected += 1,
+            SolveEvent::FaultDetected { .. } => self.report.faults_detected += 1,
+            SolveEvent::TileRecovered { .. } => self.report.tiles_recovered += 1,
+            SolveEvent::RecoveryExhausted { .. } => self.report.recoveries_exhausted += 1,
             SolveEvent::RoundStarted { .. } | SolveEvent::PairIterated { .. } => {}
         }
     }

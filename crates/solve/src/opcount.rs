@@ -39,8 +39,24 @@ pub struct OpCounts {
     /// Global synchronizations performed.
     pub global_syncs: u64,
     /// Physical OPCM arrays programmed at initialization (one per
-    /// symmetric tile pair).
+    /// symmetric tile pair) *plus* every recovery reprogram.
     pub tiles_programmed: u64,
+    /// Calibration MVMs issued by the health monitor. These are a memo
+    /// subset of `tile_mvms_8bit` (each probe is also counted there, so
+    /// the dynamic-energy model charges them automatically); this field
+    /// isolates the detection overhead.
+    pub probe_mvms: u64,
+    /// Array programming events performed to recover from a runtime
+    /// fault. A memo subset of `tiles_programmed`; the recovery cost
+    /// helpers in `sophie-hw` (400 ns + per-cell programming energy per
+    /// event) consume this field.
+    pub recovery_reprograms: u64,
+    /// Tile pairs remapped onto spare physical arrays after reprogramming
+    /// failed to clear a fault.
+    pub units_remapped: u64,
+    /// Tile pairs quarantined (contributions zeroed) after recovery was
+    /// exhausted under a graceful-degradation policy.
+    pub pairs_quarantined: u64,
 }
 
 impl OpCounts {
@@ -78,6 +94,10 @@ impl OpCounts {
             pairs_executed: self.pairs_executed + other.pairs_executed,
             global_syncs: self.global_syncs + other.global_syncs,
             tiles_programmed: self.tiles_programmed + other.tiles_programmed,
+            probe_mvms: self.probe_mvms + other.probe_mvms,
+            recovery_reprograms: self.recovery_reprograms + other.recovery_reprograms,
+            units_remapped: self.units_remapped + other.units_remapped,
+            pairs_quarantined: self.pairs_quarantined + other.pairs_quarantined,
         }
     }
 
@@ -100,6 +120,14 @@ impl OpCounts {
             pairs_executed: self.pairs_executed.saturating_sub(other.pairs_executed),
             global_syncs: self.global_syncs.saturating_sub(other.global_syncs),
             tiles_programmed: self.tiles_programmed.saturating_sub(other.tiles_programmed),
+            probe_mvms: self.probe_mvms.saturating_sub(other.probe_mvms),
+            recovery_reprograms: self
+                .recovery_reprograms
+                .saturating_sub(other.recovery_reprograms),
+            units_remapped: self.units_remapped.saturating_sub(other.units_remapped),
+            pairs_quarantined: self
+                .pairs_quarantined
+                .saturating_sub(other.pairs_quarantined),
         }
     }
 }
@@ -120,7 +148,12 @@ impl std::fmt::Display for OpCounts {
         writeln!(f, "  sync traffic bits:       {}", self.sync_traffic_bits())?;
         writeln!(f, "  pairs executed:          {}", self.pairs_executed)?;
         writeln!(f, "  global syncs:            {}", self.global_syncs)?;
-        write!(f, "  tiles programmed:        {}", self.tiles_programmed)
+        writeln!(f, "  tiles programmed:        {}", self.tiles_programmed)?;
+        write!(
+            f,
+            "  health probes/reprograms/remaps/quarantines: {}/{}/{}/{}",
+            self.probe_mvms, self.recovery_reprograms, self.units_remapped, self.pairs_quarantined
+        )
     }
 }
 

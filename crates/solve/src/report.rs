@@ -42,6 +42,15 @@ pub struct SolveReport {
     /// Whole-run operation totals (all-zero for solvers without an
     /// operation model).
     pub ops: OpCounts,
+    /// Transient hardware faults injected during the run (zero for
+    /// solvers without a fault model).
+    pub faults_injected: usize,
+    /// Faults flagged by the health monitor's calibration probes.
+    pub faults_detected: usize,
+    /// Units restored to health by reprogram/remap recovery.
+    pub tiles_recovered: usize,
+    /// Units on which recovery gave up (quarantined or left faulty).
+    pub recoveries_exhausted: usize,
 }
 
 impl SolveReport {

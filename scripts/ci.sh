@@ -5,9 +5,11 @@
 #   scripts/ci.sh --quick  # skip the cross-crate test sweep
 #
 # The first four steps are the ROADMAP tier-1 contract; the full gate
-# additionally runs every crate's unit, property, and compat-shim tests,
+# additionally runs every crate's unit, property, and compat-shim tests
+# (called out below: the fault-injection/recovery and determinism suites),
 # builds the examples, denies rustdoc warnings, and smoke-runs the
-# `repro` binary (bench-summary + a JSONL event trace).
+# `repro` binary (bench-summary, a JSONL event trace, and the robustness
+# sweep on a tiny graph).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +28,10 @@ run cargo test -q
 
 if [[ "$quick" -eq 0 ]]; then
     run cargo test -q --workspace
+    # Fault-aware runtime: injection/recovery behavior and the
+    # thread-count bit-determinism of the fault/recovery event streams.
+    run cargo test -q -p sophie-hw --test fault_injection --test fault_recovery
+    run cargo test -q -p sophie --test fault_determinism --test thread_determinism
     run cargo build --release --examples
     echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --workspace"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -35,6 +41,9 @@ if [[ "$quick" -eq 0 ]]; then
     run cargo run --release -q -p sophie-bench --bin repro -- trace --fast \
         --graph K100 --seed 0 --out "$smoke_dir/trace.jsonl"
     [[ -s "$smoke_dir/trace.jsonl" ]] || { echo "trace smoke test wrote nothing" >&2; exit 1; }
+    run cargo run --release -q -p sophie-bench --bin repro -- robustness --fast --out "$smoke_dir"
+    [[ -s "$smoke_dir/robustness.jsonl" ]] || { echo "robustness smoke test wrote no JSONL" >&2; exit 1; }
+    [[ -s "$smoke_dir/robustness.csv" ]] || { echo "robustness smoke test wrote no CSV" >&2; exit 1; }
 fi
 
 echo "ci.sh: all gates passed"
