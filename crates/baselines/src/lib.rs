@@ -18,7 +18,9 @@
 //! [`tempering::temper_observed`], [`local_search::search_observed`]) that
 //! streams `sophie_solve::SolveEvent`s to a `SolveObserver`, so these
 //! baselines and the SOPHIE engine can be compared through one
-//! instrumentation vocabulary.
+//! instrumentation vocabulary — and a [`sophie_solve::Solver`] adapter
+//! ([`SaSolver`], [`SbSolver`], [`PtSolver`], [`BlsSolver`]) so they run
+//! through the shared registry and batch scheduler.
 //!
 //! # Example
 //!
@@ -43,10 +45,12 @@ pub mod local_search;
 pub mod reference;
 pub mod sa;
 pub mod sb;
+mod solver;
 pub mod tempering;
 
 pub use best_known::{best_known_cut, Effort};
 pub use local_search::{BlsConfig, BlsOutcome};
 pub use sa::{SaConfig, SaOutcome};
 pub use sb::{SbConfig, SbOutcome, SbVariant};
+pub use solver::{BlsSolver, PtSolver, SaSolver, SbSolver};
 pub use tempering::{PtConfig, PtOutcome};

@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sophie_graph::cut::{cut_value, flip_gain, random_spins};
 use sophie_graph::Graph;
-use sophie_solve::{NullObserver, SolveObserver};
+use sophie_solve::{NullObserver, RunControl, SolveObserver};
 
 use crate::instrument::{spin_flips, BaselineEvents};
 
@@ -99,6 +99,21 @@ pub fn search_observed(
     target: Option<f64>,
     observer: &mut dyn SolveObserver,
 ) -> BlsOutcome {
+    search_controlled(graph, config, target, &RunControl::unrestricted(), observer)
+}
+
+/// The controllable core of [`search_observed`]: polls `control` between
+/// perturbation rounds and winds down early (still emitting `RunFinished`,
+/// with `rounds_run` reflecting the rounds actually executed) when it
+/// requests a stop. The first descent (round 1) always runs. With an
+/// unrestricted control this is exactly [`search_observed`].
+pub(crate) fn search_controlled(
+    graph: &Graph,
+    config: &BlsConfig,
+    target: Option<f64>,
+    control: &RunControl,
+    observer: &mut dyn SolveObserver,
+) -> BlsOutcome {
     assert!(config.rounds > 0, "rounds must be positive");
     let n = graph.num_nodes();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -119,7 +134,12 @@ pub fn search_observed(
     events.round(1, cut, spin_flips(&prev_spins, &spins), best_cut, observer);
     prev_spins.copy_from_slice(&spins);
 
+    let mut executed = 1usize;
     for round in 1..config.rounds {
+        if control.should_stop() {
+            break;
+        }
+        executed = round + 1;
         // Breakout: random multi-flip perturbation from the best state.
         spins.copy_from_slice(&best_spins);
         for _ in 0..config.perturbation.min(n) {
@@ -144,7 +164,7 @@ pub fn search_observed(
         );
         prev_spins.copy_from_slice(&spins);
     }
-    events.finish(best_cut, best_round, config.rounds, observer);
+    events.finish(best_cut, best_round, executed, observer);
     BlsOutcome {
         best_cut,
         best_spins,

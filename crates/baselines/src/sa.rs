@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sophie_graph::cut::{cut_value, flip_gain, random_spins};
 use sophie_graph::Graph;
-use sophie_solve::{NullObserver, SolveObserver};
+use sophie_solve::{NullObserver, RunControl, SolveObserver};
 
 use crate::instrument::{spin_flips, BaselineEvents};
 
@@ -85,6 +85,21 @@ pub fn anneal_observed(
     target: Option<f64>,
     observer: &mut dyn SolveObserver,
 ) -> SaOutcome {
+    anneal_controlled(graph, config, target, &RunControl::unrestricted(), observer)
+}
+
+/// The controllable core of [`anneal_observed`]: polls `control` between
+/// sweeps and winds down early (still emitting `RunFinished`, with
+/// `rounds_run` reflecting the sweeps actually executed) when it requests
+/// a stop. With an unrestricted control this is exactly
+/// [`anneal_observed`].
+pub(crate) fn anneal_controlled(
+    graph: &Graph,
+    config: &SaConfig,
+    target: Option<f64>,
+    control: &RunControl,
+    observer: &mut dyn SolveObserver,
+) -> SaOutcome {
     assert!(config.sweeps > 0, "sweeps must be positive");
     assert!(
         config.t_initial >= config.t_final && config.t_final > 0.0,
@@ -108,7 +123,12 @@ pub fn anneal_observed(
     let cooling = (config.t_final / config.t_initial).powf(1.0 / config.sweeps as f64);
     let mut temp = config.t_initial;
 
+    let mut executed = 0usize;
     for sweep in 0..config.sweeps {
+        if control.should_stop() {
+            break;
+        }
+        executed = sweep + 1;
         sweep_start.copy_from_slice(&spins);
         for _ in 0..n {
             let u = rng.gen_range(0..n);
@@ -136,7 +156,7 @@ pub fn anneal_observed(
             observer,
         );
     }
-    events.finish(best_cut, best_round, config.sweeps, observer);
+    events.finish(best_cut, best_round, executed, observer);
     SaOutcome {
         best_cut,
         best_spins,

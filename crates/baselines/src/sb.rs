@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sophie_graph::cut::cut_value;
 use sophie_graph::Graph;
-use sophie_solve::{NullObserver, SolveObserver};
+use sophie_solve::{NullObserver, RunControl, SolveObserver};
 
 use crate::instrument::{spin_flips, BaselineEvents};
 
@@ -101,6 +101,21 @@ pub fn bifurcate_observed(
     target: Option<f64>,
     observer: &mut dyn SolveObserver,
 ) -> SbOutcome {
+    bifurcate_controlled(graph, config, target, &RunControl::unrestricted(), observer)
+}
+
+/// The controllable core of [`bifurcate_observed`]: polls `control`
+/// between integration steps and winds down early (still emitting
+/// `RunFinished`, with `rounds_run` reflecting the steps actually
+/// executed) when it requests a stop. With an unrestricted control this is
+/// exactly [`bifurcate_observed`].
+pub(crate) fn bifurcate_controlled(
+    graph: &Graph,
+    config: &SbConfig,
+    target: Option<f64>,
+    control: &RunControl,
+    observer: &mut dyn SolveObserver,
+) -> SbOutcome {
     assert!(config.steps > 0, "steps must be positive");
     assert!(config.dt > 0.0, "dt must be positive");
     let n = graph.num_nodes();
@@ -134,7 +149,12 @@ pub fn bifurcate_observed(
         BaselineEvents::start("sb", n, config.steps, config.seed, target, cut0, observer);
     let mut prev_spins = spins.clone();
 
+    let mut executed = 0usize;
     for step in 0..config.steps {
+        if control.should_stop() {
+            break;
+        }
+        executed = step + 1;
         let a_t = config.a0 * (step as f64 + 1.0) / config.steps as f64;
         // Force from the coupling: f_i = c0 Σ_j J_ij s_j with J = -w.
         force.fill(0.0);
@@ -185,7 +205,7 @@ pub fn bifurcate_observed(
         );
         prev_spins.copy_from_slice(&spins);
     }
-    events.finish(best_cut, best_step + 1, config.steps, observer);
+    events.finish(best_cut, best_step + 1, executed, observer);
     SbOutcome {
         best_cut,
         best_spins,

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sophie_graph::cut::{cut_value, flip_gain, random_spins};
 use sophie_graph::Graph;
-use sophie_solve::{NullObserver, SolveObserver};
+use sophie_solve::{NullObserver, RunControl, SolveObserver};
 
 use crate::instrument::BaselineEvents;
 
@@ -96,6 +96,21 @@ pub fn temper_observed(
     target: Option<f64>,
     observer: &mut dyn SolveObserver,
 ) -> PtOutcome {
+    temper_controlled(graph, config, target, &RunControl::unrestricted(), observer)
+}
+
+/// The controllable core of [`temper_observed`]: polls `control` between
+/// exchange rounds and winds down early (still emitting `RunFinished`,
+/// with `rounds_run` reflecting the exchanges actually executed) when it
+/// requests a stop. With an unrestricted control this is exactly
+/// [`temper_observed`].
+pub(crate) fn temper_controlled(
+    graph: &Graph,
+    config: &PtConfig,
+    target: Option<f64>,
+    control: &RunControl,
+    observer: &mut dyn SolveObserver,
+) -> PtOutcome {
     assert!(config.replicas >= 2, "need at least 2 replicas");
     assert!(
         config.t_min > 0.0 && config.t_min <= config.t_max,
@@ -146,7 +161,12 @@ pub fn temper_observed(
     );
     let mut best_round = 0usize;
 
+    let mut executed = 0usize;
     for exchange in 0..config.exchanges {
+        if control.should_stop() {
+            break;
+        }
+        executed = exchange + 1;
         // Metropolis sweeps within each replica.
         for rep in &mut replicas {
             for _ in 0..config.sweeps_per_exchange * n {
@@ -184,7 +204,7 @@ pub fn temper_observed(
             .fold(f64::NEG_INFINITY, f64::max);
         events.round(exchange + 1, ensemble_best, 0, best_cut, observer);
     }
-    events.finish(best_cut, best_round, config.exchanges, observer);
+    events.finish(best_cut, best_round, executed, observer);
     PtOutcome {
         best_cut,
         best_spins,

@@ -5,6 +5,7 @@
 //! ```text
 //! repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|all> [--fast] [--out DIR]
 //! repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]
+//! repro solvers
 //! ```
 //!
 //! `--fast` shrinks grids/repetitions for a minutes-scale run; the default
@@ -12,7 +13,10 @@
 //! CSV into the output directory (default `results/`).
 //!
 //! `trace` runs one SOPHIE job and dumps its solve-event stream as JSONL
-//! (schema in EXPERIMENTS.md § "Event traces").
+//! (schema in EXPERIMENTS.md § "Event traces"). `solvers` lists every
+//! solver registered in the workspace [`sophie::default_registry`] with
+//! its capabilities, and smoke-runs each one through the batch scheduler
+//! on a tiny instance.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,7 +24,79 @@ use std::process::ExitCode;
 use sophie_bench::experiments;
 use sophie_bench::{Fidelity, Instances, Report};
 
-const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|all|bench-summary> [--fast] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]";
+const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|all|bench-summary> [--fast] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro solvers";
+
+/// `repro solvers`: one line per registered solver (name, capability
+/// flags, config type, summary), then a scheduler smoke-run of every
+/// default-configured solver on a small complete graph.
+fn list_solvers() -> ExitCode {
+    use std::sync::Arc;
+
+    use sophie_solve::{run_batch, BatchJob, BatchOptions, SolveJob};
+
+    let registry = sophie::default_registry();
+    println!("{} registered solvers:\n", registry.len());
+    for name in registry.names() {
+        let solver = registry
+            .build_default(name)
+            .expect("default configs are valid");
+        let caps = solver.capabilities();
+        let flags = [
+            (caps.tiled, "tiled"),
+            (caps.op_model, "op-model"),
+            (caps.fault_model, "fault-model"),
+        ]
+        .iter()
+        .filter(|(on, _)| *on)
+        .map(|(_, label)| *label)
+        .collect::<Vec<_>>()
+        .join(",");
+        println!(
+            "  {name:<12} [{}] config {} — {}",
+            if flags.is_empty() { "-" } else { &flags },
+            registry.config_type(name).unwrap_or("?"),
+            registry.summary(name).unwrap_or(""),
+        );
+    }
+
+    println!("\nscheduler smoke-run (K16, 2 seeds each):");
+    let graph = match sophie_graph::generate::presets::k_graph(16, 1) {
+        Ok(g) => Arc::new(g),
+        Err(e) => {
+            eprintln!("cannot generate smoke graph: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    let mut labels: Vec<&'static str> = Vec::new();
+    for name in registry.names() {
+        let solver = registry
+            .build_default(name)
+            .expect("default configs are valid");
+        for seed in 0..2u64 {
+            jobs.push(BatchJob::new(
+                Arc::clone(&solver),
+                SolveJob::new(Arc::clone(&graph), seed),
+            ));
+            labels.push(name);
+        }
+    }
+    match run_batch(&jobs, &BatchOptions::default()) {
+        Ok(batch) => {
+            for (label, r) in labels.iter().zip(&batch.reports) {
+                println!(
+                    "  {label:<12} seed {}: best cut {:.1} after {} iterations",
+                    r.seed, r.best_cut, r.iterations_run
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("smoke batch failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut command: Option<String> = None;
@@ -71,6 +147,10 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+
+    if command == "solvers" {
+        return list_solvers();
+    }
 
     if command == "trace" {
         // Single-run event dump: --out names the JSONL file itself.

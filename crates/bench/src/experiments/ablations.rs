@@ -11,10 +11,12 @@
 //! 5. **symmetric tile mapping** — physical arrays with vs without
 //!    transpose sharing (arithmetic, no simulation needed).
 
-use sophie_core::{SophieConfig, SophieSolver};
-use sophie_hw::{OpcmBackend, OpcmBackendConfig};
+use std::sync::Arc;
 
-use crate::experiments::{mean, parallel_reports};
+use sophie_core::{SophieConfig, SophieSolver};
+use sophie_hw::{OpcmBackendConfig, SophieOpcm};
+
+use crate::experiments::batch_reports;
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
 use crate::report::Report;
@@ -49,9 +51,9 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
 
     let quality = |inst: &mut Instances, label: &str, config: &SophieConfig| {
         let solver = inst.solver(GRAPH, config);
-        let outs = parallel_reports(&solver, &graph, runs, None);
-        let avg = mean(outs.iter().map(|o| o.best_cut));
-        let ops = outs[0].ops;
+        let outs = batch_reports(solver, &graph, runs, None);
+        let avg = outs.mean_cut;
+        let ops = outs.reports[0].ops;
         eprintln!("[ablations] {label}: {avg:.1}");
         (avg, ops)
     };
@@ -99,9 +101,9 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
     let (q_dropout, _) = quality(inst, "with eigenvalue dropout", &base(fidelity));
     let raw_quality = {
         let k = sophie_graph::coupling::coupling_matrix(&graph);
-        let solver = SophieSolver::from_transform(&k, base(fidelity)).expect("valid config");
-        let outs = parallel_reports(&solver, &graph, runs, None);
-        mean(outs.iter().map(|o| o.best_cut))
+        let solver =
+            Arc::new(SophieSolver::from_transform(&k, base(fidelity)).expect("valid config"));
+        batch_reports(solver, &graph, runs, None).mean_cut
     };
     rows.push(vec![
         "preprocessing: eigenvalue dropout".into(),
@@ -114,22 +116,20 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
         "recurrence on the raw coupling matrix".into(),
     ]);
 
-    // 4. ADC resolution through the device backend (observed, so the
-    //    reported best comes from the same event stream the other
-    //    variants use).
+    // 4. ADC resolution through the device backend, as a `SophieOpcm`
+    //    solver pinned to the shared engine so only the backend varies
+    //    (each job gets a fresh backend with unit-id counters at zero).
     let solver = inst.solver(GRAPH, &base(fidelity));
     for bits in [4u32, 8, 12] {
-        let backend = OpcmBackend::new(OpcmBackendConfig {
-            adc_bits: bits,
-            ..OpcmBackendConfig::default()
-        });
-        let avg = mean((0..runs as u64).map(|seed| {
-            let mut rec = sophie_solve::TraceRecorder::new();
-            solver
-                .run_with_backend_observed(&backend, &graph, seed, None, &mut rec)
-                .expect("engine run");
-            rec.into_report().best_cut
-        }));
+        let opcm = SophieOpcm::from_engine(
+            Arc::clone(&solver),
+            OpcmBackendConfig {
+                adc_bits: bits,
+                ..OpcmBackendConfig::default()
+            },
+        )
+        .expect("valid backend config");
+        let avg = batch_reports(Arc::new(opcm), &graph, runs, None).mean_cut;
         eprintln!("[ablations] {bits}-bit ADC: {avg:.1}");
         rows.push(vec![
             format!("partial-sum ADC: {bits}-bit"),

@@ -10,7 +10,7 @@ use sophie_core::SophieConfig;
 use sophie_hw::arch::{AcceleratorSpec, ChipletSpec, MachineConfig, PeSpec};
 use sophie_hw::cost::{params::CostParams, timing::batch_time, workload::WorkloadSummary};
 
-use crate::experiments::{mean, parallel_reports};
+use crate::experiments::{batch_reports, mean};
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
 use crate::report::{fmt_time, Report};
@@ -64,8 +64,9 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
                 stochastic_spin_update: true,
             };
             let solver = inst.solver(name, &config);
-            let outs = parallel_reports(&solver, &graph, runs, Some(target));
+            let outs = batch_reports(solver, &graph, runs, Some(target));
             let hits: Vec<f64> = outs
+                .reports
                 .iter()
                 .filter_map(|r| r.iterations_to_target)
                 .map(|g| g as f64)

@@ -3,7 +3,7 @@
 
 use sophie_core::SophieConfig;
 
-use crate::experiments::{mean, parallel_reports};
+use crate::experiments::batch_reports;
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
 use crate::report::Report;
@@ -34,8 +34,8 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
                 stochastic_spin_update: true,
             };
             let solver = inst.solver(name, &config);
-            let outs = parallel_reports(&solver, &graph, fidelity.runs(), None);
-            let avg = mean(outs.iter().map(|o| o.best_cut));
+            let outs = batch_reports(solver, &graph, fidelity.runs(), None);
+            let avg = outs.mean_cut;
             rows.push(vec![
                 local.to_string(),
                 format!("{frac}"),

@@ -3,7 +3,7 @@
 
 use sophie_core::SophieConfig;
 
-use crate::experiments::{mean, parallel_reports};
+use crate::experiments::{batch_reports, mean};
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
 use crate::report::Report;
@@ -35,8 +35,9 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
                 stochastic_spin_update: true,
             };
             let solver = inst.solver(name, &config);
-            let outs = parallel_reports(&solver, &graph, runs, Some(target));
+            let outs = batch_reports(solver, &graph, runs, Some(target));
             let hits: Vec<f64> = outs
+                .reports
                 .iter()
                 .filter_map(|r| r.iterations_to_target)
                 .map(|g| (g * local) as f64)

@@ -13,68 +13,61 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
-use sophie_core::SophieSolver;
-use sophie_graph::Graph;
-use sophie_solve::{SolveReport, TraceRecorder};
+use std::sync::Arc;
 
-/// Runs `runs` independent seeds of `solver` on `graph` in parallel and
-/// returns the per-run [`SolveReport`]s in seed order.
+use sophie_graph::Graph;
+use sophie_solve::{run_seeds, BatchReport, Solver};
+
+// The experiments' statistics helpers are the shared ones from
+// `sophie_solve::stats`, re-exported so every module keeps one import
+// path.
+pub(crate) use sophie_solve::stats::mean;
+
+/// Runs `runs` independent seeds of `solver` on `graph` through the batch
+/// scheduler and returns the aggregate [`BatchReport`] (per-run
+/// [`sophie_solve::SolveReport`]s in seed order plus mean/best/convergence
+/// statistics).
 ///
-/// Each run streams its solve events into a [`TraceRecorder`]; experiments
-/// consume the distilled reports (`best_cut`, `iterations_to_target`,
-/// `ops`, traces) instead of reaching into solver-specific outcome types,
-/// so the same analysis code works for any solver that emits the shared
-/// event vocabulary.
-pub(crate) fn parallel_reports(
-    solver: &SophieSolver,
-    graph: &Graph,
+/// Each run streams its solve events into a recorder on a worker thread;
+/// experiments consume the distilled reports (`best_cut`,
+/// `iterations_to_target`, `ops`, traces) instead of reaching into
+/// solver-specific outcome types, so the same analysis code works for any
+/// [`Solver`] registered in the workspace.
+pub(crate) fn batch_reports(
+    solver: Arc<dyn Solver>,
+    graph: &Arc<Graph>,
     runs: usize,
     target: Option<f64>,
-) -> Vec<SolveReport> {
-    sophie_linalg::par::parallel_map(runs, |seed| {
-        let mut rec = TraceRecorder::new();
-        solver
-            .run_observed(graph, seed as u64, target, &mut rec)
-            .expect("engine runs are infallible after construction");
-        rec.into_report()
-    })
-}
-
-/// Mean of an iterator of f64 values (0 for empty).
-pub(crate) fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
-    let v: Vec<f64> = values.into_iter().collect();
-    if v.is_empty() {
-        0.0
-    } else {
-        v.iter().sum::<f64>() / v.len() as f64
-    }
+) -> BatchReport {
+    run_seeds(&solver, graph, runs, target).expect("benchmark solvers run infallibly once built")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sophie_core::SophieConfig;
+    use sophie_core::{SophieConfig, SophieSolver};
     use sophie_graph::generate::{complete, WeightDist};
 
     #[test]
-    fn parallel_reports_are_seed_ordered_and_deterministic() {
-        let g = complete(24, WeightDist::Unit, 0).unwrap();
+    fn batch_reports_are_seed_ordered_and_deterministic() {
+        let g = Arc::new(complete(24, WeightDist::Unit, 0).unwrap());
         let cfg = SophieConfig {
             tile_size: 8,
             global_iters: 20,
             ..SophieConfig::default()
         };
-        let solver = SophieSolver::from_graph(&g, cfg).unwrap();
-        let a = parallel_reports(&solver, &g, 4, None);
-        let b = parallel_reports(&solver, &g, 4, None);
-        for (x, y) in a.iter().zip(&b) {
+        let solver: Arc<dyn Solver> = Arc::new(SophieSolver::from_graph(&g, cfg).unwrap());
+        let a = batch_reports(Arc::clone(&solver), &g, 4, None);
+        let b = batch_reports(solver, &g, 4, None);
+        for (x, y) in a.reports.iter().zip(&b.reports) {
             assert_eq!(x, y);
         }
-        for (seed, r) in a.iter().enumerate() {
+        for (seed, r) in a.reports.iter().enumerate() {
             assert_eq!(r.seed, seed as u64);
             assert_eq!(r.solver, "sophie");
             assert_eq!(r.cut_trace.len(), 21); // initial state + 20 rounds
         }
+        assert_eq!(a.mean_cut, mean(a.reports.iter().map(|r| r.best_cut)));
     }
 
     #[test]

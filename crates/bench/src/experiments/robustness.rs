@@ -9,14 +9,16 @@
 //! energy/time they add on the cost model. Per-run rows additionally land
 //! in `robustness.jsonl` (written atomically) for downstream analysis.
 
+use std::sync::Arc;
+
 use sophie_core::{HealthConfig, RecoveryPolicy, SophieConfig};
 use sophie_hw::arch::MachineConfig;
 use sophie_hw::cost::energy::{ops_energy_j, recovery_energy_j};
 use sophie_hw::cost::params::CostParams;
 use sophie_hw::cost::timing::recovery_time_s;
 use sophie_hw::device::opcm::OpcmCellSpec;
-use sophie_hw::{FaultSchedule, OpcmBackend, OpcmBackendConfig};
-use sophie_solve::{OpCounts, SolveReport, TraceRecorder};
+use sophie_hw::{FaultSchedule, OpcmBackendConfig, SophieOpcm};
+use sophie_solve::{run_batch, BatchJob, BatchOptions, OpCounts, SolveJob, SolveReport};
 
 use crate::experiments::mean;
 use crate::fidelity::Fidelity;
@@ -86,12 +88,6 @@ fn policies() -> Vec<(&'static str, Option<HealthConfig>)> {
     ]
 }
 
-struct CellResult {
-    best_cut: f64,
-    ops: OpCounts,
-    report: SolveReport,
-}
-
 /// Runs the whole sweep and renders the quality/overhead table.
 ///
 /// # Errors
@@ -116,32 +112,35 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
 
     for &rate in fault_rates(fidelity) {
         for (label, health) in policies() {
-            let results: Vec<CellResult> = (0..runs as u64)
+            // One heterogeneous batch per cell: every seed gets its own
+            // `SophieOpcm` wrapper (pinned to the shared engine, so the
+            // transform is computed once) carrying that seed's fault
+            // schedule, and the scheduler fans the jobs across workers.
+            let jobs: Vec<BatchJob> = (0..runs as u64)
                 .map(|seed| {
-                    let backend = OpcmBackend::new(OpcmBackendConfig {
-                        faults: FaultSchedule::uniform(rate, 0xFA_0715 + seed),
-                        ..OpcmBackendConfig::default()
-                    });
-                    let mut rec = TraceRecorder::new();
-                    let outcome = match &health {
-                        Some(h) => solver
-                            .run_fault_aware(&backend, &graph, seed, None, h, &mut rec)
-                            .expect("validated health configuration"),
-                        None => solver
-                            .run_with_backend_observed(&backend, &graph, seed, None, &mut rec)
-                            .expect("engine runs are infallible after construction"),
-                    };
-                    CellResult {
-                        best_cut: outcome.best_cut,
-                        ops: outcome.ops,
-                        report: rec.into_report(),
+                    let mut opcm = SophieOpcm::from_engine(
+                        Arc::clone(&solver),
+                        OpcmBackendConfig {
+                            faults: FaultSchedule::uniform(rate, 0xFA_0715 + seed),
+                            ..OpcmBackendConfig::default()
+                        },
+                    )
+                    .expect("valid backend config");
+                    if let Some(h) = &health {
+                        opcm = opcm
+                            .with_health(*h)
+                            .expect("validated health configuration");
                     }
+                    BatchJob::new(Arc::new(opcm), SolveJob::new(Arc::clone(&graph), seed))
                 })
                 .collect();
+            let results: Vec<SolveReport> = run_batch(&jobs, &BatchOptions::default())
+                .expect("engine runs are infallible after construction")
+                .reports;
 
             let quality = mean(results.iter().map(|r| r.best_cut)) / best_known;
-            let injected = mean(results.iter().map(|r| r.report.faults_injected as f64));
-            let recovered = mean(results.iter().map(|r| r.report.tiles_recovered as f64));
+            let injected = mean(results.iter().map(|r| r.faults_injected as f64));
+            let recovered = mean(results.iter().map(|r| r.tiles_recovered as f64));
             let overhead_j = mean(results.iter().map(|r| {
                 ops_delta_energy(&machine, &params, &cell, &r.ops)
                     + recovery_energy_j(&params, TILE, &r.ops)
@@ -191,10 +190,10 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
                     label,
                     seed,
                     r.best_cut,
-                    r.report.faults_injected,
-                    r.report.faults_detected,
-                    r.report.tiles_recovered,
-                    r.report.recoveries_exhausted,
+                    r.faults_injected,
+                    r.faults_detected,
+                    r.tiles_recovered,
+                    r.recoveries_exhausted,
                     r.ops.probe_mvms,
                     r.ops.recovery_reprograms,
                     r.ops.units_remapped,

@@ -6,7 +6,7 @@ use sophie_hw::arch::MachineConfig;
 use sophie_hw::cost::{params::CostParams, timing::batch_time, workload::WorkloadSummary};
 use sophie_linalg::TileGrid;
 
-use crate::experiments::{mean, parallel_reports};
+use crate::experiments::{batch_reports, mean};
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
 use crate::report::Report;
@@ -70,19 +70,23 @@ pub fn run(inst: &mut Instances, fidelity: Fidelity, report: &Report) -> std::io
         ..SophieConfig::default()
     };
     let solver = inst.solver(kname, &cfg);
-    let outs = parallel_reports(&solver, &graph, fidelity.runs(), Some(target));
+    let outs = batch_reports(solver, &graph, fidelity.runs(), Some(target));
     let hits: Vec<f64> = outs
+        .reports
         .iter()
         .filter_map(|r| r.iterations_to_target)
         .map(|g| g as f64)
         .collect();
     let cell = if hits.is_empty() {
-        format!("0/{} runs reached 85 % within 200 rounds", outs.len())
+        format!(
+            "0/{} runs reached 85 % within 200 rounds",
+            outs.reports.len()
+        )
     } else {
         format!(
             "{}/{} runs, avg {:.0} rounds to 85 %",
             hits.len(),
-            outs.len(),
+            outs.reports.len(),
             mean(hits.iter().copied())
         )
     };

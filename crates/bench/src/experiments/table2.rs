@@ -12,7 +12,7 @@ use sophie_core::SophieConfig;
 use sophie_hw::arch::MachineConfig;
 use sophie_hw::cost::{params::CostParams, timing::batch_time, workload::WorkloadSummary};
 
-use crate::experiments::{mean, parallel_reports};
+use crate::experiments::batch_reports;
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
 use crate::report::{fmt_time, Report};
@@ -38,18 +38,17 @@ fn measure(
     };
     let solver = inst.solver(name, &config);
     let runs = fidelity.convergence_runs();
-    let outs = parallel_reports(&solver, &graph, runs, Some(target));
+    let outs = batch_reports(solver, &graph, runs, Some(target));
 
     // T90-style statistic: the 90th percentile of iterations-to-target,
-    // counting non-converged runs as the full budget.
-    let mut iters: Vec<usize> = outs
-        .iter()
-        .map(|r| r.iterations_to_target.unwrap_or(config.global_iters))
-        .collect();
-    iters.sort_unstable();
-    let t90_rounds = iters[(iters.len() * 9 / 10).min(iters.len() - 1)].max(1);
+    // counting non-converged runs as the full budget (shared quantile
+    // convention from `sophie_solve::stats`).
+    let t90_rounds = outs
+        .iters_to_target_quantile(0.9, config.global_iters)
+        .expect("runs > 0")
+        .max(1);
 
-    let avg_quality = mean(outs.iter().map(|o| o.best_cut)) / best_known;
+    let avg_quality = outs.mean_cut / best_known;
 
     let timed_config = SophieConfig {
         global_iters: t90_rounds,

@@ -7,7 +7,7 @@
 //! in EXPERIMENTS.md state which fidelity produced them.
 
 /// How faithfully to reproduce an experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Fidelity {
     /// Reduced grids and repetitions for quick runs and CI.
     #[default]

@@ -1,12 +1,13 @@
 //! Benchmark-instance cache.
 //!
 //! The expensive per-graph artifacts — the graph itself, the coupling
-//! matrix's eigendecomposition (≈1 min for G22), and the best-known
-//! reference cut — are computed once and shared across experiments
-//! through `Rc`s.
+//! matrix's eigendecomposition (≈1 min for G22), the best-known reference
+//! cut, and the assembled engine — are computed once and shared across
+//! experiments through `Arc`s (the scheduler layer runs jobs on worker
+//! threads, so everything cached here must be `Send + Sync`).
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sophie_baselines::best_known_cut;
 use sophie_core::{SophieConfig, SophieSolver};
@@ -19,9 +20,10 @@ use crate::fidelity::Fidelity;
 /// Named benchmark instances with cached preprocessing.
 #[derive(Default)]
 pub struct Instances {
-    graphs: HashMap<String, Rc<Graph>>,
-    preprocessors: HashMap<String, Rc<Preprocessor>>,
-    best_known: HashMap<String, f64>,
+    graphs: HashMap<String, Arc<Graph>>,
+    preprocessors: HashMap<String, Arc<Preprocessor>>,
+    best_known: HashMap<(String, Fidelity), f64>,
+    solvers: HashMap<String, (SophieConfig, Arc<SophieSolver>)>,
 }
 
 impl Instances {
@@ -38,9 +40,9 @@ impl Instances {
     ///
     /// Panics on an unknown name or a generator failure (fixed parameters
     /// cannot fail).
-    pub fn graph(&mut self, name: &str) -> Rc<Graph> {
+    pub fn graph(&mut self, name: &str) -> Arc<Graph> {
         if let Some(g) = self.graphs.get(name) {
-            return Rc::clone(g);
+            return Arc::clone(g);
         }
         let graph = match name {
             "G1" => presets::g1_like(1).expect("G1 preset"),
@@ -54,9 +56,9 @@ impl Instances {
                 presets::k_graph(n, 1).expect("K-graph preset")
             }
         };
-        let rc = Rc::new(graph);
-        self.graphs.insert(name.to_string(), Rc::clone(&rc));
-        rc
+        let arc = Arc::new(graph);
+        self.graphs.insert(name.to_string(), Arc::clone(&arc));
+        arc
     }
 
     /// The cached eigenvalue-dropout preprocessor for `name`.
@@ -64,9 +66,9 @@ impl Instances {
     /// # Panics
     ///
     /// Panics if preprocessing fails (symmetric inputs by construction).
-    pub fn preprocessor(&mut self, name: &str) -> Rc<Preprocessor> {
+    pub fn preprocessor(&mut self, name: &str) -> Arc<Preprocessor> {
         if let Some(p) = self.preprocessors.get(name) {
-            return Rc::clone(p);
+            return Arc::clone(p);
         }
         let graph = self.graph(name);
         let k = sophie_graph::coupling::coupling_matrix(&graph);
@@ -76,37 +78,54 @@ impl Instances {
             graph.num_nodes()
         );
         let pre =
-            Rc::new(Preprocessor::new(&k, delta, DeltaVariant::Gershgorin).expect("preprocess"));
-        self.preprocessors.insert(name.to_string(), Rc::clone(&pre));
+            Arc::new(Preprocessor::new(&k, delta, DeltaVariant::Gershgorin).expect("preprocess"));
+        self.preprocessors
+            .insert(name.to_string(), Arc::clone(&pre));
         pre
     }
 
-    /// The best-known reference cut for `name` at the fidelity's effort.
+    /// The best-known reference cut for `name` at the fidelity's effort,
+    /// cached per `(name, fidelity)` — a `Fast` value is never served for
+    /// a `Full` request or vice versa.
     ///
     /// # Panics
     ///
     /// Panics on an unknown instance name.
     pub fn best_known(&mut self, name: &str, fidelity: Fidelity) -> f64 {
-        if let Some(&v) = self.best_known.get(name) {
+        let key = (name.to_string(), fidelity);
+        if let Some(&v) = self.best_known.get(&key) {
             return v;
         }
         let graph = self.graph(name);
         eprintln!("[instances] computing best-known reference for {name}…");
         let v = best_known_cut(&graph, fidelity.reference_effort());
-        self.best_known.insert(name.to_string(), v);
+        self.best_known.insert(key, v);
         v
     }
 
-    /// Builds a solver for `name` under `config`, reusing the cached
-    /// eigendecomposition for the configured `alpha`.
+    /// The engine for `name` under `config`, reusing the cached
+    /// eigendecomposition for the configured `alpha` — and the assembled
+    /// engine itself when `config` matches the last request for `name`.
+    /// A different config evicts the stale entry and rebuilds, so a
+    /// cached engine can never be served for the wrong configuration.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
-    pub fn solver(&mut self, name: &str, config: &SophieConfig) -> SophieSolver {
+    pub fn solver(&mut self, name: &str, config: &SophieConfig) -> Arc<SophieSolver> {
+        if let Some((cached_config, solver)) = self.solvers.get(name) {
+            if cached_config == config {
+                return Arc::clone(solver);
+            }
+        }
         let pre = self.preprocessor(name);
         let c = pre.transform(config.alpha).expect("alpha validated");
-        SophieSolver::from_transform(&c, config.clone()).expect("solver construction")
+        let solver = Arc::new(
+            SophieSolver::from_transform(&c, config.clone()).expect("solver construction"),
+        );
+        self.solvers
+            .insert(name.to_string(), (config.clone(), Arc::clone(&solver)));
+        solver
     }
 }
 
@@ -119,7 +138,7 @@ mod tests {
         let mut inst = Instances::new();
         let a = inst.graph("K100");
         let b = inst.graph("K100");
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.num_nodes(), 100);
     }
 
@@ -151,11 +170,53 @@ mod tests {
     }
 
     #[test]
-    fn best_known_is_cached() {
+    fn identical_configs_share_one_engine() {
         let mut inst = Instances::new();
-        let a = inst.best_known("K100", Fidelity::Fast);
-        let b = inst.best_known("K100", Fidelity::Fast);
+        let cfg = SophieConfig {
+            tile_size: 32,
+            global_iters: 5,
+            ..SophieConfig::default()
+        };
+        let s1 = inst.solver("K100", &cfg);
+        let s2 = inst.solver("K100", &cfg);
+        assert!(Arc::ptr_eq(&s1, &s2));
+    }
+
+    #[test]
+    fn changed_config_rebuilds_instead_of_serving_stale_engine() {
+        // Regression test: the cache must key on the config, not just the
+        // name — a run with global_iters 5 followed by one with 9 must not
+        // reuse the 5-iteration engine.
+        let mut inst = Instances::new();
+        let cfg5 = SophieConfig {
+            tile_size: 32,
+            global_iters: 5,
+            ..SophieConfig::default()
+        };
+        let cfg9 = SophieConfig {
+            global_iters: 9,
+            ..cfg5.clone()
+        };
+        let s5 = inst.solver("K100", &cfg5);
+        let s9 = inst.solver("K100", &cfg9);
+        assert!(!Arc::ptr_eq(&s5, &s9));
+        assert_eq!(s5.config().global_iters, 5);
+        assert_eq!(s9.config().global_iters, 9);
+        // And the eigendecomposition was still computed only once.
+        assert_eq!(inst.preprocessors.len(), 1);
+    }
+
+    #[test]
+    fn best_known_is_cached_per_fidelity() {
+        let mut inst = Instances::new();
+        let a = inst.best_known("K16", Fidelity::Fast);
+        let b = inst.best_known("K16", Fidelity::Fast);
         assert_eq!(a, b);
         assert!(a > 0.0);
+        // A Full request is a distinct cache entry, not the Fast value
+        // replayed at the wrong effort.
+        assert_eq!(inst.best_known.len(), 1);
+        let _ = inst.best_known("K16", Fidelity::Full);
+        assert_eq!(inst.best_known.len(), 2);
     }
 }

@@ -11,8 +11,10 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 
+use std::sync::Arc;
+
 use sophie_core::SophieConfig;
-use sophie_solve::EventWriter;
+use sophie_solve::{EventWriter, SolveJob, Solver};
 
 use crate::fidelity::Fidelity;
 use crate::instances::Instances;
@@ -101,15 +103,15 @@ pub fn write_trace(
     let tmp = tmp_sibling(out);
     let result = (|| {
         let mut writer = EventWriter::new(BufWriter::new(File::create(&tmp)?));
-        let outcome = solver
-            .run_observed(&graph, seed, None, &mut writer)
+        let report = solver
+            .solve(&SolveJob::new(Arc::clone(&graph), seed), &mut writer)
             .expect("engine runs are infallible after construction");
         let events_written = writer.events_written();
         writer.finish()?;
         std::fs::rename(&tmp, out)?;
         Ok(TraceSummary {
             events_written,
-            best_cut: outcome.best_cut,
+            best_cut: report.best_cut,
         })
     })();
     if result.is_err() {

@@ -8,6 +8,7 @@
 //! `T90`-style percentile of iterations-to-target that Table II reports.
 
 use sophie_graph::Graph;
+use sophie_solve::stats::{self, StatsError};
 
 use crate::backend::{IdealBackend, MvmBackend};
 use crate::engine::SophieSolver;
@@ -30,25 +31,22 @@ pub struct BatchOutcome {
 impl BatchOutcome {
     /// The `q`-quantile (0 ≤ q ≤ 1) of global-iterations-to-target, with
     /// non-converged jobs counted at `budget`. `q = 0.9` gives the T90
-    /// statistic of Table II.
+    /// statistic of Table II. Delegates to
+    /// [`sophie_solve::stats::iters_to_target_quantile`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the batch is empty or `q` is outside `[0, 1]`.
-    #[must_use]
-    pub fn iters_to_target_quantile(&self, q: f64, budget: usize) -> usize {
-        assert!(!self.jobs.is_empty(), "batch must contain jobs");
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        let mut iters: Vec<usize> = self
-            .jobs
-            .iter()
-            .map(|j| j.global_iters_to_target.unwrap_or(budget))
-            .collect();
-        iters.sort_unstable();
-        let idx = ((iters.len() as f64 * q).ceil() as usize)
-            .saturating_sub(1)
-            .min(iters.len() - 1);
-        iters[idx]
+    /// [`StatsError`] if the batch is empty or `q` is outside `[0, 1]`.
+    pub fn iters_to_target_quantile(
+        &self,
+        q: f64,
+        budget: usize,
+    ) -> std::result::Result<usize, StatsError> {
+        stats::iters_to_target_quantile(
+            self.jobs.iter().map(|j| j.global_iters_to_target),
+            q,
+            budget,
+        )
     }
 
     /// Fraction of jobs that reached the target.
@@ -147,7 +145,7 @@ mod tests {
         let out = run_batch_ideal(&solver, &g, 5, Some(1e9)).unwrap();
         assert_eq!(out.converged, 0);
         assert_eq!(out.convergence_rate(), 0.0);
-        assert_eq!(out.iters_to_target_quantile(0.9, 60), 60);
+        assert_eq!(out.iters_to_target_quantile(0.9, 60).unwrap(), 60);
     }
 
     #[test]
@@ -156,9 +154,9 @@ mod tests {
         // K24 optimum is 144; 100 is easy.
         let out = run_batch_ideal(&solver, &g, 5, Some(100.0)).unwrap();
         assert!(out.converged >= 4, "converged {}", out.converged);
-        assert!(out.iters_to_target_quantile(0.9, 60) < 60);
-        let t50 = out.iters_to_target_quantile(0.5, 60);
-        let t90 = out.iters_to_target_quantile(0.9, 60);
+        assert!(out.iters_to_target_quantile(0.9, 60).unwrap() < 60);
+        let t50 = out.iters_to_target_quantile(0.5, 60).unwrap();
+        let t90 = out.iters_to_target_quantile(0.9, 60).unwrap();
         assert!(t50 <= t90);
     }
 
@@ -173,10 +171,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quantile")]
-    fn rejects_bad_quantile() {
+    fn rejects_bad_quantile_with_typed_error() {
         let (solver, g) = solver_and_graph();
         let out = run_batch_ideal(&solver, &g, 2, None).unwrap();
-        let _ = out.iters_to_target_quantile(1.5, 10);
+        assert_eq!(
+            out.iters_to_target_quantile(1.5, 10),
+            Err(StatsError::BadQuantile { q: 1.5 })
+        );
     }
 }

@@ -59,7 +59,10 @@ mod tests;
 use sophie_graph::cut::cut_value_binary;
 use sophie_graph::Graph;
 use sophie_linalg::{Matrix, Tile, TileGrid, TilePair};
-use sophie_solve::{NullObserver, SolveEvent, SolveObserver};
+use sophie_solve::{
+    NullObserver, RunControl, SolveError, SolveEvent, SolveJob, SolveObserver, SolveReport, Tee,
+    TraceRecorder,
+};
 
 use crate::backend::{IdealBackend, MvmBackend, MvmUnit};
 use crate::config::SophieConfig;
@@ -362,6 +365,7 @@ impl SophieSolver {
             target_cut,
             initial_bits,
             None,
+            &RunControl::unrestricted(),
             observer,
         )
     }
@@ -407,8 +411,74 @@ impl SophieSolver {
             target_cut,
             None,
             Some(health),
+            &RunControl::unrestricted(),
             observer,
         )
+    }
+
+    /// Runs a [`SolveJob`] on `backend` through the shared
+    /// [`Solver`](sophie_solve::Solver) contract: the job's seed and
+    /// target replace per-call parameters, `budget.max_iterations` caps
+    /// the configured `global_iters`, the job's [`RunControl`] is polled
+    /// between rounds, and the returned [`SolveReport`] is distilled from
+    /// the exact event stream `observer` receives. With no budget or
+    /// cancellation the stream is byte-identical to
+    /// [`Self::run_with_backend_observed`] (or, with `health` set, to
+    /// [`Self::run_fault_aware`]) for the same (graph, seed, target).
+    ///
+    /// This is the backend-generic core of the `Solver` impls: the ideal
+    /// impl on this type fixes the backend to [`IdealBackend`], and the
+    /// OPCM adapter in `sophie-hw` supplies its device model.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::BadJob`] if the job's graph order differs from the
+    /// engine dimension, [`SolveError::BadConfig`] for an invalid
+    /// `health`.
+    pub fn solve_job<B: MvmBackend>(
+        &self,
+        backend: &B,
+        job: &SolveJob,
+        health: Option<&HealthConfig>,
+        observer: &mut dyn SolveObserver,
+    ) -> std::result::Result<SolveReport, SolveError> {
+        if job.graph.num_nodes() != self.n {
+            return Err(SolveError::BadJob {
+                solver: "sophie".to_string(),
+                message: format!(
+                    "graph order {} does not match engine dimension {}",
+                    job.graph.num_nodes(),
+                    self.n
+                ),
+            });
+        }
+        if let Some(h) = health {
+            h.validate().map_err(|e| SolveError::BadConfig {
+                solver: "sophie".to_string(),
+                message: e.to_string(),
+            })?;
+        }
+        let schedule = Schedule::generate(
+            &self.grid,
+            job.budget.cap(self.config.global_iters),
+            self.config.tile_fraction,
+            self.config.stochastic_spin_update,
+            job.seed ^ 0x5c3a_11ed_0b57_aced,
+        );
+        let control = job.control();
+        let mut recorder = TraceRecorder::new();
+        {
+            let mut tee = Tee::new(&mut recorder, observer);
+            self.run_impl(
+                backend, &job.graph, &schedule, job.seed, job.target, None, health, &control,
+                &mut tee,
+            )
+            .map_err(|e| SolveError::Failed {
+                solver: "sophie".to_string(),
+                message: e.to_string(),
+            })?;
+        }
+        Ok(recorder.into_report())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -421,6 +491,7 @@ impl SophieSolver {
         target_cut: Option<f64>,
         initial_bits: Option<&[bool]>,
         health_config: Option<&HealthConfig>,
+        control: &RunControl,
         observer: &mut dyn SolveObserver,
     ) -> Result<SophieOutcome> {
         assert_eq!(graph.num_nodes(), self.n, "graph order mismatch");
@@ -448,8 +519,15 @@ impl SophieSolver {
         let local_iters = self.config.local_iters;
         let mut monitor = health_config.map(|h| health::HealthMonitor::new(*h, self.grid.tile()));
         let mut active: Vec<usize> = Vec::with_capacity(self.pairs.len());
+        let mut rounds_done = 0usize;
         for (g, sched_round) in schedule.rounds().iter().enumerate() {
+            // Cooperative stop (deadline or sibling cancellation): wind
+            // down at round granularity, still emitting `RunFinished`.
+            if control.should_stop() {
+                break;
+            }
             let round_index = g + 1;
+            rounds_done = round_index;
 
             // Stage 2: parallel local iterations over the selected pairs
             // (minus any the health monitor quarantined).
@@ -504,6 +582,6 @@ impl SophieSolver {
             tracker.observe(round_index, &bits, cut, ms.ops, observer);
         }
 
-        Ok(tracker.finish(schedule.rounds().len(), ms.ops, observer))
+        Ok(tracker.finish(rounds_done, ms.ops, observer))
     }
 }

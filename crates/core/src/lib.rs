@@ -51,6 +51,7 @@ mod gaussian;
 mod health;
 mod outcome;
 pub mod schedule;
+mod solver;
 
 pub use batch::{run_batch, run_batch_ideal, BatchOutcome};
 pub use config::SophieConfig;
@@ -60,9 +61,10 @@ pub use gaussian::GaussianSource;
 pub use health::{HealthConfig, RecoveryPolicy};
 pub use outcome::SophieOutcome;
 pub use schedule::{Round, Schedule};
+pub use solver::SophieIsing;
 
-// The instrumentation layer lives in `sophie-solve` so solvers that cannot
-// depend on this crate (e.g. `sophie-pris`) share it; re-exported here so
-// engine users need only one import path.
+// The instrumentation and solver-abstraction layers live in `sophie-solve`
+// so solvers that cannot depend on this crate (e.g. `sophie-pris`) share
+// them; re-exported here so engine users need only one import path.
 pub use sophie_solve::observe;
-pub use sophie_solve::{OpCounts, SolveReport};
+pub use sophie_solve::{OpCounts, SolveJob, SolveReport, Solver};

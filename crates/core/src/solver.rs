@@ -1,0 +1,234 @@
+//! [`Solver`] trait impls for the SOPHIE engine on the ideal backend.
+//!
+//! Two shapes are provided:
+//!
+//! * [`SophieSolver`] itself implements [`Solver`] — the engine is bound
+//!   to one preprocessed transformation matrix, so jobs must match its
+//!   dimension. This is the shape experiment harnesses use: they cache
+//!   the expensive eigendecomposition per instance and hand the prebuilt
+//!   engine to the scheduler.
+//! * [`SophieIsing`] wraps a [`SophieConfig`] only and builds (and
+//!   caches) the engine lazily from each job's graph. This is the shape
+//!   the `SolverRegistry` constructs, where no graph is known at build
+//!   time.
+//!
+//! Both run on the exact floating-point [`IdealBackend`]; the OPCM device
+//! model variant lives in `sophie-hw` (same engine, different backend).
+
+use std::sync::{Arc, Mutex, Weak};
+
+use sophie_graph::Graph;
+use sophie_solve::{Capabilities, SolveError, SolveJob, SolveObserver, SolveReport, Solver};
+
+use crate::backend::IdealBackend;
+use crate::config::SophieConfig;
+use crate::engine::SophieSolver;
+
+impl Solver for SophieSolver {
+    fn name(&self) -> &'static str {
+        "sophie"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            tiled: true,
+            op_model: true,
+            fault_model: false,
+        }
+    }
+
+    fn solve(
+        &self,
+        job: &SolveJob,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, SolveError> {
+        self.solve_job(&IdealBackend::new(), job, None, observer)
+    }
+}
+
+/// Registry-constructible SOPHIE solver: holds only a [`SophieConfig`]
+/// and builds the tiled engine lazily from each job's graph.
+///
+/// Engine construction runs the eigenvalue-dropout preprocessing (an
+/// eigendecomposition), so the last-built engine is cached and reused for
+/// as long as consecutive jobs share the same `Arc<Graph>`. The cache is
+/// identity-based (`Arc` pointer equality via a stored `Weak`), never
+/// content-based, and rebuilding is deterministic — concurrent jobs on
+/// different graphs merely rebuild, they cannot observe a wrong engine.
+#[derive(Debug)]
+pub struct SophieIsing {
+    config: SophieConfig,
+    engine: Mutex<Option<(Weak<Graph>, Arc<SophieSolver>)>>,
+}
+
+impl SophieIsing {
+    /// Validates `config` and wraps it; no engine is built yet.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::BadConfig`] for an invalid configuration.
+    pub fn new(config: SophieConfig) -> Result<Self, SolveError> {
+        config.validate().map_err(|e| SolveError::BadConfig {
+            solver: "sophie".to_string(),
+            message: e.to_string(),
+        })?;
+        Ok(SophieIsing {
+            config,
+            engine: Mutex::new(None),
+        })
+    }
+
+    /// The wrapped configuration.
+    #[must_use]
+    pub fn config(&self) -> &SophieConfig {
+        &self.config
+    }
+
+    /// The cached engine for `graph`, building it on miss.
+    fn engine_for(&self, graph: &Arc<Graph>) -> Result<Arc<SophieSolver>, SolveError> {
+        let mut slot = self.engine.lock().expect("engine cache lock");
+        if let Some((cached_graph, engine)) = slot.as_ref() {
+            if cached_graph
+                .upgrade()
+                .is_some_and(|g| Arc::ptr_eq(&g, graph))
+            {
+                return Ok(Arc::clone(engine));
+            }
+        }
+        let engine = Arc::new(
+            SophieSolver::from_graph(graph, self.config.clone()).map_err(|e| {
+                SolveError::Failed {
+                    solver: "sophie".to_string(),
+                    message: e.to_string(),
+                }
+            })?,
+        );
+        *slot = Some((Arc::downgrade(graph), Arc::clone(&engine)));
+        Ok(engine)
+    }
+}
+
+impl Solver for SophieIsing {
+    fn name(&self) -> &'static str {
+        "sophie"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            tiled: true,
+            op_model: true,
+            fault_model: false,
+        }
+    }
+
+    fn solve(
+        &self,
+        job: &SolveJob,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, SolveError> {
+        self.engine_for(&job.graph)?.solve(job, observer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sophie_graph::generate::{complete, WeightDist};
+    use sophie_solve::{EventLog, JobBudget, NullObserver, TraceRecorder};
+
+    fn test_config() -> SophieConfig {
+        SophieConfig {
+            tile_size: 8,
+            global_iters: 20,
+            ..SophieConfig::default()
+        }
+    }
+
+    fn test_graph() -> Arc<Graph> {
+        Arc::new(complete(24, WeightDist::Unit, 3).unwrap())
+    }
+
+    #[test]
+    fn trait_solve_matches_legacy_run_observed_exactly() {
+        let g = test_graph();
+        let engine = SophieSolver::from_graph(&g, test_config()).unwrap();
+
+        let mut legacy = EventLog::new();
+        let outcome = engine
+            .run_observed(&g, 42, Some(100.0), &mut legacy)
+            .unwrap();
+
+        let mut modern = EventLog::new();
+        let job = SolveJob::new(Arc::clone(&g), 42).with_target(Some(100.0));
+        let report = engine.solve(&job, &mut modern).unwrap();
+
+        assert_eq!(legacy.events(), modern.events());
+        assert_eq!(report.best_cut, outcome.best_cut);
+        assert_eq!(report.iterations_run, outcome.global_iters_run);
+        assert_eq!(report.cut_trace, outcome.cut_trace);
+        assert_eq!(report.ops, outcome.ops);
+    }
+
+    #[test]
+    fn job_budget_caps_global_iters() {
+        let g = test_graph();
+        let engine = SophieSolver::from_graph(&g, test_config()).unwrap();
+        let job = SolveJob::new(g, 1).with_budget(JobBudget {
+            max_iterations: Some(5),
+            time_limit: None,
+        });
+        let report = engine.solve(&job, &mut NullObserver).unwrap();
+        assert_eq!(report.planned_iterations, 5);
+        assert_eq!(report.iterations_run, 5);
+        assert_eq!(report.cut_trace.len(), 6);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_a_bad_job() {
+        let g = test_graph();
+        let engine = SophieSolver::from_graph(&g, test_config()).unwrap();
+        let wrong = Arc::new(complete(12, WeightDist::Unit, 0).unwrap());
+        let err = engine.solve(&SolveJob::new(wrong, 0), &mut NullObserver);
+        assert!(matches!(err, Err(SolveError::BadJob { .. })));
+    }
+
+    #[test]
+    fn lazy_adapter_matches_prebuilt_engine_and_caches() {
+        let g = test_graph();
+        let engine = SophieSolver::from_graph(&g, test_config()).unwrap();
+        let lazy = SophieIsing::new(test_config()).unwrap();
+
+        let job = SolveJob::new(Arc::clone(&g), 7);
+        let mut direct = TraceRecorder::new();
+        let a = engine.solve(&job, &mut direct).unwrap();
+        let b = lazy.solve(&job, &mut NullObserver).unwrap();
+        assert_eq!(a, b);
+
+        // Second job on the same Arc reuses the cached engine.
+        let first = Arc::as_ptr(&lazy.engine_for(&g).unwrap());
+        let second = Arc::as_ptr(&lazy.engine_for(&g).unwrap());
+        assert_eq!(first, second);
+
+        // A different graph rebuilds deterministically.
+        let other = Arc::new(complete(16, WeightDist::Unit, 1).unwrap());
+        let r1 = lazy
+            .solve(&SolveJob::new(Arc::clone(&other), 3), &mut NullObserver)
+            .unwrap();
+        let r2 = lazy
+            .solve(&SolveJob::new(other, 3), &mut NullObserver)
+            .unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_wrap_time() {
+        let bad = SophieConfig {
+            tile_fraction: 0.0,
+            ..SophieConfig::default()
+        };
+        assert!(matches!(
+            SophieIsing::new(bad),
+            Err(SolveError::BadConfig { .. })
+        ));
+    }
+}

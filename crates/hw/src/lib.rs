@@ -43,7 +43,9 @@ pub mod cost;
 pub mod device;
 mod error;
 pub mod fault;
+mod solver;
 
 pub use backend::{OpcmBackend, OpcmBackendConfig};
 pub use error::{HwError, Result};
 pub use fault::{FaultEvent, FaultSchedule};
+pub use solver::SophieOpcm;

@@ -1,0 +1,262 @@
+//! [`Solver`] trait impl for SOPHIE running on the OPCM device models.
+//!
+//! [`SophieOpcm`] is the hardware-backed sibling of
+//! `sophie_core::SophieIsing`: the same tiled engine, but every MVM runs
+//! through the OPCM crossbar model (quantization + read noise + ADC),
+//! optionally with a seeded [`FaultSchedule`](crate::FaultSchedule) and
+//! the fault-aware runtime. Each job constructs a *fresh*
+//! [`OpcmBackend`], so unit noise streams and fault ids derive only from
+//! the backend config and the job — runs are deterministic and safe to
+//! execute concurrently from the batch scheduler.
+
+use std::sync::{Arc, Mutex, Weak};
+
+use sophie_core::{HealthConfig, SophieConfig, SophieSolver};
+use sophie_graph::Graph;
+use sophie_solve::{Capabilities, SolveError, SolveJob, SolveObserver, SolveReport, Solver};
+
+use crate::backend::{OpcmBackend, OpcmBackendConfig};
+
+fn bad_config(message: impl ToString) -> SolveError {
+    SolveError::BadConfig {
+        solver: "sophie-opcm".to_string(),
+        message: message.to_string(),
+    }
+}
+
+/// Registry-constructible SOPHIE-on-OPCM solver: a [`SophieConfig`] plus
+/// an [`OpcmBackendConfig`], with an optional [`HealthConfig`] switching
+/// on the probe/recover fault-aware runtime.
+///
+/// The engine (preprocessing + tiling of the coupling matrix) is built
+/// lazily per graph and cached by `Arc` identity like the other adapters;
+/// [`SophieOpcm::from_engine`] pins a pre-built engine instead so many
+/// adapters (e.g. one per fault seed) can share the expensive transform.
+#[derive(Debug)]
+pub struct SophieOpcm {
+    sophie: SophieConfig,
+    backend: OpcmBackendConfig,
+    health: Option<HealthConfig>,
+    pinned: Option<Arc<SophieSolver>>,
+    engine: Mutex<Option<(Weak<Graph>, Arc<SophieSolver>)>>,
+}
+
+impl SophieOpcm {
+    /// Wraps the configs; no engine is built yet.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::BadConfig`] if either config fails validation.
+    pub fn new(sophie: SophieConfig, backend: OpcmBackendConfig) -> Result<Self, SolveError> {
+        sophie.validate().map_err(bad_config)?;
+        backend.validate().map_err(bad_config)?;
+        Ok(SophieOpcm {
+            sophie,
+            backend,
+            health: None,
+            pinned: None,
+            engine: Mutex::new(None),
+        })
+    }
+
+    /// Pins a pre-built engine instead of building one lazily: jobs must
+    /// use a graph of the engine's dimension. This is how sweeps that vary
+    /// only the backend (fault seeds, ADC resolution) share one transform.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::BadConfig`] if the backend config fails validation.
+    pub fn from_engine(
+        engine: Arc<SophieSolver>,
+        backend: OpcmBackendConfig,
+    ) -> Result<Self, SolveError> {
+        backend.validate().map_err(bad_config)?;
+        Ok(SophieOpcm {
+            sophie: engine.config().clone(),
+            backend,
+            health: None,
+            pinned: Some(engine),
+            engine: Mutex::new(None),
+        })
+    }
+
+    /// Enables the fault-aware runtime (probe-based detection plus the
+    /// configured recovery policy) for every job.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::BadConfig`] if `health` fails validation.
+    pub fn with_health(mut self, health: HealthConfig) -> Result<Self, SolveError> {
+        health.validate().map_err(bad_config)?;
+        self.health = Some(health);
+        Ok(self)
+    }
+
+    /// The wrapped algorithm configuration.
+    #[must_use]
+    pub fn sophie_config(&self) -> &SophieConfig {
+        &self.sophie
+    }
+
+    /// The wrapped backend configuration.
+    #[must_use]
+    pub fn backend_config(&self) -> &OpcmBackendConfig {
+        &self.backend
+    }
+
+    fn engine_for(&self, graph: &Arc<Graph>) -> Result<Arc<SophieSolver>, SolveError> {
+        if let Some(pinned) = &self.pinned {
+            return Ok(Arc::clone(pinned));
+        }
+        let mut slot = self.engine.lock().expect("engine cache lock");
+        if let Some((cached_graph, engine)) = slot.as_ref() {
+            if cached_graph
+                .upgrade()
+                .is_some_and(|g| Arc::ptr_eq(&g, graph))
+            {
+                return Ok(Arc::clone(engine));
+            }
+        }
+        let engine = Arc::new(
+            SophieSolver::from_graph(graph, self.sophie.clone()).map_err(|e| {
+                SolveError::Failed {
+                    solver: "sophie-opcm".to_string(),
+                    message: e.to_string(),
+                }
+            })?,
+        );
+        *slot = Some((Arc::downgrade(graph), Arc::clone(&engine)));
+        Ok(engine)
+    }
+}
+
+impl Solver for SophieOpcm {
+    fn name(&self) -> &'static str {
+        "sophie-opcm"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            tiled: true,
+            op_model: true,
+            fault_model: true,
+        }
+    }
+
+    fn solve(
+        &self,
+        job: &SolveJob,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, SolveError> {
+        let engine = self.engine_for(&job.graph)?;
+        // Fresh backend per job: unit ids (and hence noise/fault streams)
+        // restart from zero, exactly as the legacy per-run entry points
+        // are driven, and concurrent jobs never share mutable state.
+        let backend = OpcmBackend::try_new(self.backend).map_err(bad_config)?;
+        engine.solve_job(&backend, job, self.health.as_ref(), observer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sophie_graph::generate::{complete, WeightDist};
+    use sophie_solve::EventLog;
+
+    use super::*;
+    use crate::fault::FaultSchedule;
+
+    fn small_config() -> SophieConfig {
+        SophieConfig {
+            tile_size: 8,
+            global_iters: 30,
+            phi: 0.1,
+            ..SophieConfig::default()
+        }
+    }
+
+    #[test]
+    fn trait_solve_matches_legacy_run_with_backend_observed_exactly() {
+        let g = Arc::new(complete(24, WeightDist::Unit, 3).unwrap());
+        let cfg = small_config();
+        let hw = OpcmBackendConfig::default();
+
+        let engine = SophieSolver::from_graph(&g, cfg.clone()).unwrap();
+        let mut legacy = EventLog::new();
+        let outcome = engine
+            .run_with_backend_observed(&OpcmBackend::new(hw), &g, 7, Some(100.0), &mut legacy)
+            .unwrap();
+
+        let solver = SophieOpcm::new(cfg, hw).unwrap();
+        let mut modern = EventLog::new();
+        let job = SolveJob::new(Arc::clone(&g), 7).with_target(Some(100.0));
+        let report = solver.solve(&job, &mut modern).unwrap();
+
+        assert_eq!(legacy.events(), modern.events());
+        assert_eq!(report.best_cut, outcome.best_cut);
+        assert_eq!(report.solver, "sophie");
+    }
+
+    #[test]
+    fn health_path_matches_legacy_run_fault_aware_exactly() {
+        let g = Arc::new(complete(24, WeightDist::Unit, 3).unwrap());
+        let cfg = small_config();
+        let hw = OpcmBackendConfig {
+            faults: FaultSchedule::uniform(0.02, 99),
+            ..OpcmBackendConfig::default()
+        };
+        let health = HealthConfig::default();
+
+        let engine = SophieSolver::from_graph(&g, cfg.clone()).unwrap();
+        let mut legacy = EventLog::new();
+        let outcome = engine
+            .run_fault_aware(&OpcmBackend::new(hw), &g, 5, None, &health, &mut legacy)
+            .unwrap();
+
+        let solver = SophieOpcm::new(cfg, hw)
+            .unwrap()
+            .with_health(health)
+            .unwrap();
+        let mut modern = EventLog::new();
+        let report = solver
+            .solve(&SolveJob::new(Arc::clone(&g), 5), &mut modern)
+            .unwrap();
+
+        assert_eq!(legacy.events(), modern.events());
+        assert_eq!(report.best_cut, outcome.best_cut);
+    }
+
+    #[test]
+    fn from_engine_shares_the_transform_and_matches_lazy_build() {
+        let g = Arc::new(complete(16, WeightDist::Unit, 1).unwrap());
+        let cfg = SophieConfig {
+            tile_size: 8,
+            global_iters: 10,
+            ..small_config()
+        };
+        let engine = Arc::new(SophieSolver::from_graph(&g, cfg.clone()).unwrap());
+        let hw = OpcmBackendConfig::default();
+
+        let pinned = SophieOpcm::from_engine(Arc::clone(&engine), hw).unwrap();
+        let lazy = SophieOpcm::new(cfg, hw).unwrap();
+
+        let job = SolveJob::new(Arc::clone(&g), 2);
+        let mut a = EventLog::new();
+        let mut b = EventLog::new();
+        pinned.solve(&job, &mut a).unwrap();
+        lazy.solve(&job, &mut b).unwrap();
+        assert_eq!(a.events(), b.events());
+        assert_eq!(
+            Arc::as_ptr(&pinned.engine_for(&g).unwrap()),
+            Arc::as_ptr(&engine)
+        );
+    }
+
+    #[test]
+    fn invalid_backend_config_is_rejected_at_wrap_time() {
+        let bad = OpcmBackendConfig {
+            adc_bits: 1,
+            ..OpcmBackendConfig::default()
+        };
+        assert!(SophieOpcm::new(small_config(), bad).is_err());
+    }
+}

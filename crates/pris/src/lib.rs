@@ -37,6 +37,7 @@ mod error;
 pub mod noise;
 pub mod runner;
 pub mod sampler;
+mod solver;
 pub mod tuning;
 
 pub use convergence::CutTracker;
@@ -44,4 +45,5 @@ pub use dropout::{DeltaVariant, Preprocessor};
 pub use error::{PrisError, Result};
 pub use runner::{RunConfig, RunOutcome};
 pub use sampler::PrisModel;
+pub use solver::{PrisJobConfig, PrisSolver};
 pub use tuning::{TuningEntry, TuningTable};

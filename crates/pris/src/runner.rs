@@ -4,7 +4,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sophie_graph::cut::cut_value_binary;
 use sophie_graph::Graph;
-use sophie_solve::{NullObserver, OpCounts, SolutionTracker, SolveEvent, SolveObserver};
+use sophie_solve::{
+    NullObserver, OpCounts, RunControl, SolutionTracker, SolveEvent, SolveObserver,
+};
 
 use crate::error::Result;
 use crate::sampler::PrisModel;
@@ -87,6 +89,21 @@ pub fn run_observed(
     config: &RunConfig,
     observer: &mut dyn SolveObserver,
 ) -> Result<RunOutcome> {
+    run_controlled(model, graph, config, &RunControl::unrestricted(), observer)
+}
+
+/// The controllable core of [`run_observed`]: polls `control` between
+/// recurrent steps and winds down early (still emitting `RunFinished`,
+/// with `rounds_run` / `iterations` reflecting the steps actually
+/// executed) when it requests a stop. With an unrestricted control this
+/// is exactly [`run_observed`].
+pub(crate) fn run_controlled(
+    model: &PrisModel,
+    graph: &Graph,
+    config: &RunConfig,
+    control: &RunControl,
+    observer: &mut dyn SolveObserver,
+) -> Result<RunOutcome> {
     assert_eq!(
         model.dim(),
         graph.num_nodes(),
@@ -119,7 +136,12 @@ pub fn run_observed(
         });
     }
 
+    let mut executed = 0usize;
     for it in 1..=config.iterations {
+        if control.should_stop() {
+            break;
+        }
+        executed = it;
         model.step(&mut bits, &noise, &mut rng);
         let cut = cut_value_binary(graph, &bits);
         let obs = tracker.observe(it, &bits, cut);
@@ -137,7 +159,7 @@ pub fn run_observed(
     observer.on_event(&SolveEvent::RunFinished {
         best_cut: tracker.best_cut(),
         best_round: tracker.best_iteration(),
-        rounds_run: config.iterations,
+        rounds_run: executed,
         ops: OpCounts::default(),
     });
 
@@ -148,7 +170,7 @@ pub fn run_observed(
         best_bits,
         best_iteration,
         iterations_to_target: first_hit,
-        iterations: config.iterations,
+        iterations: executed,
     })
 }
 

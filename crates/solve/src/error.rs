@@ -1,0 +1,82 @@
+//! Typed errors for the solver abstraction layer.
+
+use crate::stats::StatsError;
+
+/// Errors surfaced by [`Solver`](crate::Solver) implementations, the
+/// [`SolverRegistry`](crate::SolverRegistry), and the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The registry has no solver under the requested name.
+    UnknownSolver {
+        /// The name that failed to resolve.
+        name: String,
+        /// Names the registry does know, for the error message.
+        known: Vec<String>,
+    },
+    /// A typed config passed to the registry had the wrong concrete type
+    /// for the named solver.
+    ConfigType {
+        /// Solver whose factory rejected the config.
+        solver: String,
+        /// Type name the factory expected.
+        expected: &'static str,
+    },
+    /// A solver rejected its configuration.
+    BadConfig {
+        /// Solver that rejected the configuration.
+        solver: String,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A job is incompatible with the solver instance it was handed to
+    /// (e.g. graph order differs from a prebuilt engine's dimension).
+    BadJob {
+        /// Solver that rejected the job.
+        solver: String,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// Solver execution failed.
+    Failed {
+        /// Solver that failed.
+        solver: String,
+        /// The underlying failure, rendered.
+        message: String,
+    },
+    /// A statistics helper rejected its inputs.
+    Stats(StatsError),
+    /// The scheduler was handed an empty batch.
+    EmptyBatch,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::UnknownSolver { name, known } => {
+                write!(f, "unknown solver {name:?} (known: {})", known.join(", "))
+            }
+            SolveError::ConfigType { solver, expected } => {
+                write!(f, "solver {solver:?} expects a config of type {expected}")
+            }
+            SolveError::BadConfig { solver, message } => {
+                write!(f, "bad config for solver {solver:?}: {message}")
+            }
+            SolveError::BadJob { solver, message } => {
+                write!(f, "bad job for solver {solver:?}: {message}")
+            }
+            SolveError::Failed { solver, message } => {
+                write!(f, "solver {solver:?} failed: {message}")
+            }
+            SolveError::Stats(e) => write!(f, "{e}"),
+            SolveError::EmptyBatch => write!(f, "batch must contain at least one job"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<StatsError> for SolveError {
+    fn from(e: StatsError) -> Self {
+        SolveError::Stats(e)
+    }
+}

@@ -1,0 +1,209 @@
+//! Job descriptions and cooperative run control.
+//!
+//! A [`SolveJob`] is the solver-agnostic unit of work: the instance graph,
+//! the seed, an optional convergence target, and resource limits. Solvers
+//! receive the whole job through [`Solver::solve`](crate::Solver::solve)
+//! and translate it into their own run parameters (the job seed replaces
+//! any seed baked into the solver's config; the iteration budget caps the
+//! configured iteration count).
+//!
+//! Run limits come in two flavors with different determinism guarantees:
+//!
+//! * [`JobBudget::max_iterations`] is enforced *deterministically* — a
+//!   solver plans `min(configured, budget)` iterations up front, so the
+//!   outcome is a pure function of (job, config).
+//! * [`JobBudget::time_limit`] and [`CancelToken`]s are *cooperative*:
+//!   solvers poll [`RunControl::should_stop`] at iteration granularity and
+//!   wind down early. Where the run stops depends on wall-clock timing and
+//!   sibling behavior, so outcomes under these limits are not reproducible
+//!   run-to-run (each executed iteration still is).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sophie_graph::Graph;
+
+/// Resource limits for one job.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JobBudget {
+    /// Cap on solver iterations (global rounds, sweeps, steps — whatever
+    /// the solver's `planned_iterations` unit is). `None` leaves the
+    /// solver's configured count in force; a cap never raises it.
+    pub max_iterations: Option<usize>,
+    /// Wall-clock allowance, measured from the moment the solver starts
+    /// the job. Enforcement is cooperative and timing-dependent.
+    pub time_limit: Option<Duration>,
+}
+
+impl JobBudget {
+    /// The configured iteration count after applying this budget's cap.
+    #[must_use]
+    pub fn cap(&self, configured: usize) -> usize {
+        self.max_iterations
+            .map_or(configured, |m| m.min(configured))
+    }
+}
+
+/// Shared cancellation flag for cooperative early termination.
+///
+/// Clones observe the same flag. The scheduler uses one token per batch to
+/// let the first job that reaches its target cancel its siblings.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; observers stop at their next poll.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// One unit of work for a [`Solver`](crate::Solver).
+#[derive(Debug, Clone)]
+pub struct SolveJob {
+    /// The max-cut instance to solve.
+    pub graph: Arc<Graph>,
+    /// Job seed; overrides any seed in the solver's configuration.
+    pub seed: u64,
+    /// Cut value that counts as converged, if one is set.
+    pub target: Option<f64>,
+    /// Iteration and wall-clock limits.
+    pub budget: JobBudget,
+    /// Cooperative cancellation flag, if the caller wants one.
+    pub cancel: Option<CancelToken>,
+}
+
+impl SolveJob {
+    /// A job with no target, no budget, and no cancellation.
+    #[must_use]
+    pub fn new(graph: Arc<Graph>, seed: u64) -> Self {
+        SolveJob {
+            graph,
+            seed,
+            target: None,
+            budget: JobBudget::default(),
+            cancel: None,
+        }
+    }
+
+    /// Sets the convergence target.
+    #[must_use]
+    pub fn with_target(mut self, target: Option<f64>) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Sets the resource budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: JobBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Resolves the job's cooperative limits into a [`RunControl`],
+    /// starting the wall-clock allowance *now*. Solvers call this once at
+    /// the top of `solve` and poll the result each iteration.
+    #[must_use]
+    pub fn control(&self) -> RunControl {
+        RunControl {
+            cancel: self.cancel.clone(),
+            deadline: self.budget.time_limit.map(|limit| Instant::now() + limit),
+        }
+    }
+}
+
+/// Cooperative stop conditions, polled by solvers at iteration granularity.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl RunControl {
+    /// A control that never requests a stop — the legacy entry points'
+    /// behavior.
+    #[must_use]
+    pub fn unrestricted() -> Self {
+        RunControl::default()
+    }
+
+    /// Whether the run should wind down before its next iteration (token
+    /// cancelled or deadline passed).
+    #[must_use]
+    pub fn should_stop(&self) -> bool {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return true;
+            }
+        }
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sophie_graph::generate::{complete, WeightDist};
+
+    #[test]
+    fn budget_caps_but_never_raises() {
+        let b = JobBudget {
+            max_iterations: Some(10),
+            time_limit: None,
+        };
+        assert_eq!(b.cap(100), 10);
+        assert_eq!(b.cap(5), 5);
+        assert_eq!(JobBudget::default().cap(100), 100);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn unrestricted_control_never_stops() {
+        assert!(!RunControl::unrestricted().should_stop());
+    }
+
+    #[test]
+    fn control_observes_cancellation_and_deadline() {
+        let g = Arc::new(complete(4, WeightDist::Unit, 0).unwrap());
+        let token = CancelToken::new();
+        let job = SolveJob::new(Arc::clone(&g), 7).with_cancel(token.clone());
+        let control = job.control();
+        assert!(!control.should_stop());
+        token.cancel();
+        assert!(control.should_stop());
+
+        let expired = SolveJob::new(g, 7).with_budget(JobBudget {
+            max_iterations: None,
+            time_limit: Some(Duration::ZERO),
+        });
+        assert!(expired.control().should_stop());
+    }
+}

@@ -1,4 +1,4 @@
-//! Solver-agnostic instrumentation shared by every solver in the workspace.
+//! Solver-agnostic instrumentation and the shared solver abstraction.
 //!
 //! The paper's entire evaluation (Figs. 6–10, Tables I–III) is built from
 //! per-iteration trajectories: cut traces, spin-flip activity, operation
@@ -13,14 +13,25 @@
 //!   time-to-target, and trace bookkeeping (Fig. 6–8 statistics);
 //! * [`observe`] — the [`SolveObserver`] trait with typed [`SolveEvent`]s
 //!   plus provided sinks ([`NullObserver`], [`TraceRecorder`],
-//!   [`EventWriter`]);
+//!   [`EventWriter`], [`Tee`]);
 //! * [`SolveReport`] — the uniform run summary a [`TraceRecorder`]
 //!   distills from any solver's event stream.
 //!
-//! The SOPHIE engine (`sophie-core`), the PRIS reference sampler
-//! (`sophie-pris`), and the SA/SB/tempering/local-search baselines
-//! (`sophie-baselines`) all emit these events, so experiment harnesses can
-//! compare heterogeneous solvers through a single interface.
+//! On top of the vocabulary sits the solver abstraction:
+//!
+//! * [`Solver`] — the uniform run interface (`solve(job, observer)`),
+//!   implemented by the SOPHIE engine (`sophie-core`, plus the OPCM
+//!   variant in `sophie-hw`), the PRIS reference sampler (`sophie-pris`),
+//!   and the SA/SB/tempering/local-search baselines (`sophie-baselines`);
+//! * [`SolveJob`] — the unit of work: graph, seed, target, and a
+//!   [`JobBudget`] with deterministic iteration caps plus cooperative
+//!   wall-clock/[`CancelToken`] limits polled through [`RunControl`];
+//! * [`SolverRegistry`] — name-indexed construction from typed configs
+//!   (the `sophie` facade crate registers every solver in the workspace);
+//! * [`scheduler`] — heterogeneous batches over the worker pool with
+//!   per-job seeded determinism and aggregate [`BatchReport`] statistics;
+//! * [`stats`] — the shared mean/quantile helpers behind those
+//!   aggregates, with typed [`StatsError`]s.
 //!
 //! # Event ordering contract
 //!
@@ -32,16 +43,32 @@
 //! [`SolveEvent::TargetReached`]; finally one [`SolveEvent::RunFinished`].
 //! Events are emitted from the thread driving the run, never from worker
 //! threads, so streams are bit-identical for every `SOPHIE_THREADS` value.
+//! [`Solver::solve`] emits exactly the stream the solver's legacy
+//! `*_observed` entry point emits for the same (graph, seed, target).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod error;
+mod job;
 pub mod observe;
 mod opcount;
+mod registry;
 mod report;
+pub mod scheduler;
+mod solver;
+pub mod stats;
 pub mod track;
 
-pub use observe::{EventLog, EventWriter, NullObserver, SolveEvent, SolveObserver, TraceRecorder};
+pub use error::SolveError;
+pub use job::{CancelToken, JobBudget, RunControl, SolveJob};
+pub use observe::{
+    EventLog, EventWriter, NullObserver, SolveEvent, SolveObserver, Tee, TraceRecorder,
+};
 pub use opcount::OpCounts;
+pub use registry::SolverRegistry;
 pub use report::SolveReport;
+pub use scheduler::{run_batch, run_seeds, BatchJob, BatchOptions, BatchReport};
+pub use solver::{Capabilities, Solver};
+pub use stats::StatsError;
 pub use track::{CutTracker, SolutionTracker};

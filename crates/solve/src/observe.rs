@@ -298,6 +298,37 @@ impl SolveObserver for NullObserver {
     fn on_event(&mut self, _event: &SolveEvent) {}
 }
 
+/// Forwards every event to two observers, in order.
+///
+/// The [`Solver`](crate::Solver) trait impls use this to feed the caller's
+/// observer and a private [`TraceRecorder`] (which distills the returned
+/// [`SolveReport`]) from one emission, guaranteeing the stream a caller
+/// sees and the report it receives describe the same run.
+pub struct Tee<'a, 'b> {
+    first: &'a mut dyn SolveObserver,
+    second: &'b mut dyn SolveObserver,
+}
+
+impl std::fmt::Debug for Tee<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tee").finish_non_exhaustive()
+    }
+}
+
+impl<'a, 'b> Tee<'a, 'b> {
+    /// Pairs two observers; `first` sees each event before `second`.
+    pub fn new(first: &'a mut dyn SolveObserver, second: &'b mut dyn SolveObserver) -> Self {
+        Tee { first, second }
+    }
+}
+
+impl SolveObserver for Tee<'_, '_> {
+    fn on_event(&mut self, event: &SolveEvent) {
+        self.first.on_event(event);
+        self.second.on_event(event);
+    }
+}
+
 /// Records every event verbatim (for tests and offline analysis).
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {

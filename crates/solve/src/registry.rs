@@ -1,0 +1,258 @@
+//! Name-indexed solver construction from typed configs.
+//!
+//! The registry maps a stable solver name to a factory taking that
+//! solver's own config type, erased behind [`std::any::Any`] so callers
+//! can drive heterogeneous construction through one interface:
+//!
+//! ```
+//! use sophie_solve::{Capabilities, SolveError, SolveJob, SolveObserver};
+//! use sophie_solve::{Solver, SolverRegistry};
+//! # use sophie_solve::SolveReport;
+//!
+//! #[derive(Default)]
+//! struct EchoConfig { iterations: usize }
+//! struct Echo(usize);
+//! impl Solver for Echo {
+//!     fn name(&self) -> &'static str { "echo" }
+//!     fn capabilities(&self) -> Capabilities { Capabilities::default() }
+//!     fn solve(&self, _: &SolveJob, _: &mut dyn SolveObserver)
+//!         -> Result<SolveReport, SolveError> {
+//!         Ok(SolveReport { planned_iterations: self.0, ..SolveReport::default() })
+//!     }
+//! }
+//!
+//! let mut reg = SolverRegistry::new();
+//! reg.register("echo", "toy example", |c: &EchoConfig| Ok(Echo(c.iterations)));
+//! let solver = reg.build("echo", &EchoConfig { iterations: 5 }).unwrap();
+//! assert_eq!(solver.name(), "echo");
+//! assert!(reg.build("echo", &42_u32).is_err()); // wrong config type
+//! ```
+//!
+//! Registration order is irrelevant: names list in sorted order. The
+//! `sophie` facade crate provides `default_registry()` with every solver
+//! in the workspace pre-registered.
+
+use std::any::{type_name, Any};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::SolveError;
+use crate::solver::Solver;
+
+type BuildFn = Box<dyn Fn(&dyn Any) -> Result<Arc<dyn Solver>, SolveError> + Send + Sync>;
+type DefaultFn = Box<dyn Fn() -> Result<Arc<dyn Solver>, SolveError> + Send + Sync>;
+
+struct Entry {
+    summary: &'static str,
+    config_type: &'static str,
+    build: BuildFn,
+    build_default: DefaultFn,
+}
+
+/// Constructs any registered [`Solver`] by name from a typed config.
+#[derive(Default)]
+pub struct SolverRegistry {
+    entries: BTreeMap<&'static str, Entry>,
+}
+
+impl SolverRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        SolverRegistry::default()
+    }
+
+    /// Registers `factory` under `name`. The factory's config type `C`
+    /// must implement `Default` (used by [`Self::build_default`]); a
+    /// previous registration under the same name is replaced.
+    pub fn register<C, S, F>(&mut self, name: &'static str, summary: &'static str, factory: F)
+    where
+        C: Any + Default,
+        S: Solver + 'static,
+        F: Fn(&C) -> Result<S, SolveError> + Send + Sync + 'static,
+    {
+        let factory = Arc::new(factory);
+        let for_default = Arc::clone(&factory);
+        let build: BuildFn = Box::new(move |config: &dyn Any| {
+            let config = config
+                .downcast_ref::<C>()
+                .ok_or_else(|| SolveError::ConfigType {
+                    solver: name.to_string(),
+                    expected: type_name::<C>(),
+                })?;
+            factory(config).map(|s| Arc::new(s) as Arc<dyn Solver>)
+        });
+        let build_default: DefaultFn =
+            Box::new(move || for_default(&C::default()).map(|s| Arc::new(s) as Arc<dyn Solver>));
+        self.entries.insert(
+            name,
+            Entry {
+                summary,
+                config_type: type_name::<C>(),
+                build,
+                build_default,
+            },
+        );
+    }
+
+    /// Builds the named solver from `config`, which must be the concrete
+    /// config type its factory was registered with.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::UnknownSolver`] for unregistered names,
+    /// [`SolveError::ConfigType`] for a config of the wrong type, plus
+    /// whatever the factory returns.
+    pub fn build(&self, name: &str, config: &dyn Any) -> Result<Arc<dyn Solver>, SolveError> {
+        (self.entry(name)?.build)(config)
+    }
+
+    /// Builds the named solver from its config type's `Default`.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::UnknownSolver`] for unregistered names, plus whatever
+    /// the factory returns.
+    pub fn build_default(&self, name: &str) -> Result<Arc<dyn Solver>, SolveError> {
+        (self.entry(name)?.build_default)()
+    }
+
+    /// Registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// One-line summary of the named solver, if registered.
+    #[must_use]
+    pub fn summary(&self, name: &str) -> Option<&'static str> {
+        self.entries.get(name).map(|e| e.summary)
+    }
+
+    /// Type name of the named solver's config, if registered.
+    #[must_use]
+    pub fn config_type(&self, name: &str) -> Option<&'static str> {
+        self.entries.get(name).map(|e| e.config_type)
+    }
+
+    /// Whether `name` is registered.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Number of registered solvers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn entry(&self, name: &str) -> Result<&Entry, SolveError> {
+        self.entries
+            .get(name)
+            .ok_or_else(|| SolveError::UnknownSolver {
+                name: name.to_string(),
+                known: self.names().iter().map(ToString::to_string).collect(),
+            })
+    }
+}
+
+impl std::fmt::Debug for SolverRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::SolveJob;
+    use crate::observe::SolveObserver;
+    use crate::report::SolveReport;
+    use crate::solver::Capabilities;
+
+    #[derive(Default)]
+    struct ToyConfig {
+        fail: bool,
+    }
+
+    struct Toy;
+
+    impl Solver for Toy {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::default()
+        }
+        fn solve(
+            &self,
+            _job: &SolveJob,
+            _observer: &mut dyn SolveObserver,
+        ) -> Result<SolveReport, SolveError> {
+            Ok(SolveReport::default())
+        }
+    }
+
+    fn registry() -> SolverRegistry {
+        let mut reg = SolverRegistry::new();
+        reg.register("toy", "toy solver", |c: &ToyConfig| {
+            if c.fail {
+                Err(SolveError::BadConfig {
+                    solver: "toy".to_string(),
+                    message: "fail requested".to_string(),
+                })
+            } else {
+                Ok(Toy)
+            }
+        });
+        reg
+    }
+
+    #[test]
+    fn builds_by_name_with_typed_config() {
+        let reg = registry();
+        assert_eq!(reg.names(), vec!["toy"]);
+        assert!(reg.contains("toy"));
+        assert_eq!(reg.summary("toy"), Some("toy solver"));
+        let s = reg.build("toy", &ToyConfig { fail: false }).unwrap();
+        assert_eq!(s.name(), "toy");
+        assert_eq!(reg.build_default("toy").unwrap().name(), "toy");
+    }
+
+    #[test]
+    fn unknown_names_and_wrong_config_types_are_typed_errors() {
+        let reg = registry();
+        match reg.build_default("nope").err() {
+            Some(SolveError::UnknownSolver { name, known }) => {
+                assert_eq!(name, "nope");
+                assert_eq!(known, vec!["toy".to_string()]);
+            }
+            other => panic!("expected UnknownSolver, got {other:?}"),
+        }
+        match reg.build("toy", &12_u64).err() {
+            Some(SolveError::ConfigType { solver, expected }) => {
+                assert_eq!(solver, "toy");
+                assert!(expected.contains("ToyConfig"));
+            }
+            other => panic!("expected ConfigType, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn factory_errors_propagate() {
+        let reg = registry();
+        assert!(matches!(
+            reg.build("toy", &ToyConfig { fail: true }),
+            Err(SolveError::BadConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared batch statistics.
+//!
+//! One home for the aggregation every experiment needs — means over run
+//! qualities and the `T90`-style quantile of iterations-to-target that
+//! Table II reports — so the per-experiment modules and the legacy batch
+//! layer in `sophie-core` do not each grow a local clone.
+
+/// Errors from the statistics helpers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsError {
+    /// A quantile was requested over an empty sample.
+    EmptySample,
+    /// The requested quantile is outside `[0, 1]`.
+    BadQuantile {
+        /// The offending quantile.
+        q: f64,
+    },
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "quantile requires a non-empty sample"),
+            StatsError::BadQuantile { q } => write!(f, "quantile must be in [0, 1], got {q}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Mean of an iterator of values (0 for an empty iterator).
+#[must_use]
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Index of the `q`-quantile in an ascending-sorted sample of length `len`:
+/// the smallest index such that at least a `q` fraction of the sample is at
+/// or below it (`ceil(len·q) - 1`, clamped to the sample).
+///
+/// # Errors
+///
+/// [`StatsError::EmptySample`] if `len == 0`, [`StatsError::BadQuantile`]
+/// if `q` is outside `[0, 1]`.
+pub fn quantile_index(len: usize, q: f64) -> Result<usize, StatsError> {
+    if len == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::BadQuantile { q });
+    }
+    Ok(((len as f64 * q).ceil() as usize)
+        .saturating_sub(1)
+        .min(len - 1))
+}
+
+/// The `q`-quantile of iterations-to-target over a batch, with
+/// non-converged jobs (`None`) counted at `budget`. `q = 0.9` gives the
+/// T90 statistic of Table II.
+///
+/// # Errors
+///
+/// [`StatsError::EmptySample`] for an empty batch,
+/// [`StatsError::BadQuantile`] for `q` outside `[0, 1]`.
+pub fn iters_to_target_quantile(
+    iters_to_target: impl IntoIterator<Item = Option<usize>>,
+    q: f64,
+    budget: usize,
+) -> Result<usize, StatsError> {
+    let mut iters: Vec<usize> = iters_to_target
+        .into_iter()
+        .map(|i| i.unwrap_or(budget))
+        .collect();
+    let idx = quantile_index(iters.len(), q)?;
+    iters.sort_unstable();
+    Ok(iters[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_handles_empty_and_values() {
+        assert_eq!(mean([]), 0.0);
+        assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn quantile_index_matches_ceil_convention() {
+        assert_eq!(quantile_index(10, 0.9).unwrap(), 8);
+        assert_eq!(quantile_index(10, 0.0).unwrap(), 0);
+        assert_eq!(quantile_index(10, 1.0).unwrap(), 9);
+        assert_eq!(quantile_index(1, 0.5).unwrap(), 0);
+    }
+
+    #[test]
+    fn quantile_errors_are_typed() {
+        assert_eq!(quantile_index(0, 0.5), Err(StatsError::EmptySample));
+        assert_eq!(
+            quantile_index(4, 1.5),
+            Err(StatsError::BadQuantile { q: 1.5 })
+        );
+        assert!(iters_to_target_quantile([], 0.9, 100).is_err());
+    }
+
+    #[test]
+    fn nonconverged_jobs_count_at_budget() {
+        let iters = [Some(5), None, Some(3)];
+        assert_eq!(iters_to_target_quantile(iters, 1.0, 60).unwrap(), 60);
+        assert_eq!(iters_to_target_quantile(iters, 0.0, 60).unwrap(), 3);
+    }
+}

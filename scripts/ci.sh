@@ -8,8 +8,8 @@
 # additionally runs every crate's unit, property, and compat-shim tests
 # (called out below: the fault-injection/recovery and determinism suites),
 # builds the examples, denies rustdoc warnings, and smoke-runs the
-# `repro` binary (bench-summary, a JSONL event trace, and the robustness
-# sweep on a tiny graph).
+# `repro` binary (the solver-registry listing, bench-summary, a JSONL
+# event trace, and the robustness sweep on a tiny graph).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +26,15 @@ run cargo clippy --all-targets --workspace -- -D warnings
 run cargo build --release
 run cargo test -q
 
+# Layering gate: experiment modules go through the Solver trait and the
+# batch scheduler, never through a solver's legacy `*_observed` entry
+# points (those remain only as shims under the trait impls).
+echo "==> grep gate: no *_observed calls under crates/bench/src/experiments/"
+if grep -rn "_observed(" crates/bench/src/experiments/; then
+    echo "experiment modules must use the Solver trait / batch scheduler, not legacy *_observed APIs" >&2
+    exit 1
+fi
+
 if [[ "$quick" -eq 0 ]]; then
     run cargo test -q --workspace
     # Fault-aware runtime: injection/recovery behavior and the
@@ -37,6 +46,9 @@ if [[ "$quick" -eq 0 ]]; then
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
     smoke_dir=$(mktemp -d)
     trap 'rm -rf "$smoke_dir"' EXIT
+    # Registry smoke: lists all seven solvers and runs each through the
+    # batch scheduler on a tiny instance.
+    run cargo run --release -q -p sophie-bench --bin repro -- solvers
     run cargo run --release -q -p sophie-bench --bin repro -- bench-summary --out "$smoke_dir"
     run cargo run --release -q -p sophie-bench --bin repro -- trace --fast \
         --graph K100 --seed 0 --out "$smoke_dir/trace.jsonl"

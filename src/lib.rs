@@ -19,6 +19,11 @@
 //! * [`baselines`] — simulated annealing/bifurcation, local search, and
 //!   published competitor numbers ([`sophie_baselines`]).
 //!
+//! Every solver implements [`solve::Solver`]; [`solvers::default_registry`]
+//! constructs any of the seven configurations by name, and
+//! [`solve::run_batch`] runs heterogeneous job batches over the shared
+//! worker pool.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -38,6 +43,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod solvers;
+
 pub use sophie_baselines as baselines;
 pub use sophie_core as core;
 pub use sophie_graph as graph;
@@ -45,3 +52,5 @@ pub use sophie_hw as hw;
 pub use sophie_linalg as linalg;
 pub use sophie_pris as pris;
 pub use sophie_solve as solve;
+
+pub use solvers::default_registry;

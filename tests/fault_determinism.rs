@@ -8,13 +8,14 @@
 //! `recovery_exhausted` lines, must be byte-identical for every
 //! `SOPHIE_THREADS` value.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use sophie::core::observe::EventLog;
 use sophie::core::{HealthConfig, RecoveryPolicy, SophieConfig, SophieSolver};
 use sophie::graph::generate::{gnm, WeightDist};
 use sophie::graph::Graph;
-use sophie::hw::{FaultSchedule, OpcmBackend, OpcmBackendConfig};
+use sophie::hw::{FaultSchedule, OpcmBackend, OpcmBackendConfig, SophieOpcm};
+use sophie::solve::{SolveJob, Solver};
 
 /// `SOPHIE_THREADS` is process-global; serialize the tests that set it.
 static ENV_LOCK: Mutex<()> = Mutex::new(());
@@ -105,4 +106,37 @@ fn remap_and_quarantine_streams_match_across_thread_counts() {
         let (four, _) = run_stream(&solver, &g, &health, "4");
         assert_eq!(serial, four, "policy {policy:?}");
     }
+}
+
+#[test]
+fn trait_object_fault_aware_stream_matches_legacy_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (g, solver) = test_instance();
+    let graph = Arc::new(g);
+    let health = HealthConfig::default();
+    let backend_config = OpcmBackendConfig {
+        seed: 7,
+        faults: FaultSchedule::uniform(0.08, 99),
+        ..OpcmBackendConfig::default()
+    };
+    let opcm: Arc<dyn Solver> = Arc::new(
+        SophieOpcm::new(solver.config().clone(), backend_config)
+            .unwrap()
+            .with_health(health)
+            .unwrap(),
+    );
+    let trait_stream = |threads: &str| {
+        with_threads(threads, || {
+            let mut log = EventLog::new();
+            opcm.solve(&SolveJob::new(Arc::clone(&graph), 42), &mut log)
+                .unwrap();
+            let jsonl: Vec<String> = log.events().iter().map(|e| e.to_json()).collect();
+            jsonl.join("\n")
+        })
+    };
+    let (legacy_1, _) = run_stream(&solver, &graph, &health, "1");
+    let trait_1 = trait_stream("1");
+    let trait_4 = trait_stream("4");
+    assert_eq!(legacy_1, trait_1, "trait vs legacy, 1 thread");
+    assert_eq!(trait_1, trait_4, "trait stream thread-dependent");
 }

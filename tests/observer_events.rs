@@ -8,12 +8,12 @@
 //! through its own outcome type. These tests pin all three properties for
 //! the SOPHIE engine, the PRIS runner, and the SA/SB baselines.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use sophie::core::{SophieConfig, SophieSolver};
 use sophie::graph::generate::{gnm, WeightDist};
 use sophie::graph::Graph;
-use sophie::solve::{EventLog, SolveEvent, TraceRecorder};
+use sophie::solve::{EventLog, SolveEvent, SolveJob, Solver, TraceRecorder};
 
 /// `SOPHIE_THREADS` is process-global; serialize the tests that set it.
 static ENV_LOCK: Mutex<()> = Mutex::new(());
@@ -192,4 +192,30 @@ fn pris_and_baselines_emit_well_formed_streams() {
         .run_observed(&graph2, 0, Some(600.0), &mut log)
         .unwrap();
     assert_well_formed(log.events(), "sophie");
+}
+
+#[test]
+fn trait_solve_emits_the_same_stream_as_run_observed() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (g, solver) = test_instance();
+    let graph = Arc::new(g);
+    let legacy = {
+        let mut log = EventLog::new();
+        solver
+            .run_observed(&graph, 42, Some(600.0), &mut log)
+            .unwrap();
+        log.into_events()
+    };
+    let via_trait = {
+        let mut log = EventLog::new();
+        Solver::solve(
+            &solver,
+            &SolveJob::new(Arc::clone(&graph), 42).with_target(Some(600.0)),
+            &mut log,
+        )
+        .unwrap();
+        log.into_events()
+    };
+    assert!(!legacy.is_empty());
+    assert_eq!(legacy, via_trait);
 }

@@ -9,12 +9,13 @@
 //! matter what `SOPHIE_THREADS` is set to, on both the exact backend and
 //! the OPCM device model.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use sophie::core::{SophieConfig, SophieOutcome, SophieSolver};
 use sophie::graph::generate::{gnm, WeightDist};
 use sophie::graph::Graph;
 use sophie::hw::{OpcmBackend, OpcmBackendConfig};
+use sophie::solve::{run_seeds, Solver};
 
 /// `SOPHIE_THREADS` is process-global; serialize the tests that set it.
 static ENV_LOCK: Mutex<()> = Mutex::new(());
@@ -107,4 +108,19 @@ fn opcm_backend_outcome_is_identical_across_thread_counts() {
     let eight = with_threads("8", run);
     assert_identical(&serial, &four, "opcm, 4 threads");
     assert_identical(&serial, &eight, "opcm, 8 threads");
+}
+
+#[test]
+fn scheduler_batches_over_the_trait_object_are_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (g, solver) = test_instance();
+    let graph = Arc::new(g);
+    let solver: Arc<dyn Solver> = Arc::new(solver);
+    let run = || run_seeds(&solver, &graph, 3, None).unwrap();
+    let serial = with_threads("1", run);
+    let four = with_threads("4", run);
+    let eight = with_threads("8", run);
+    assert_eq!(serial.reports, four.reports, "1 vs 4 threads");
+    assert_eq!(serial.reports, eight.reports, "1 vs 8 threads");
+    assert_eq!(serial.ops, four.ops, "aggregate op counts");
 }
