@@ -6,6 +6,10 @@
 //! repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|all> [--fast] [--out DIR]
 //! repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]
 //! repro solvers
+//! repro serve [--addr HOST:PORT] [--queue N] [--conns N] [--workers N] [--port-file PATH]
+//! repro submit --addr HOST:PORT --solver NAME [--graph NAME] [--stream] ...
+//! repro ctl <stats|solvers|ping|shutdown> --addr HOST:PORT
+//! repro loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--rate RPS] [--out PATH.jsonl] ...
 //! ```
 //!
 //! `--fast` shrinks grids/repetitions for a minutes-scale run; the default
@@ -24,7 +28,7 @@ use std::process::ExitCode;
 use sophie_bench::experiments;
 use sophie_bench::{Fidelity, Instances, Report};
 
-const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|all|bench-summary> [--fast] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro solvers";
+const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|all|bench-summary> [--fast] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro solvers\n       repro <serve|submit|ctl|loadgen> ... (serving layer; wrong flags print the full usage)";
 
 /// `repro solvers`: one line per registered solver (name, capability
 /// flags, config type, summary), then a scheduler smoke-run of every
@@ -99,13 +103,23 @@ fn list_solvers() -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Serving subcommands own their flag vocabulary (--addr, --clients, ...)
+    // which the experiment flag loop below would reject — dispatch them on
+    // the raw tail first.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(first) = raw.first() {
+        if sophie_bench::serving::is_serving_command(first) {
+            return sophie_bench::serving::cli(first, &raw[1..]);
+        }
+    }
+
     let mut command: Option<String> = None;
     let mut fast = false;
     let mut out_dir: Option<PathBuf> = None;
     let mut graph_name = "K100".to_string();
     let mut seed = 0u64;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => fast = true,

@@ -18,6 +18,8 @@
 //! | `power`  | (extension)    | steady-state machine power budget |
 //! | `robustness` | (extension) | fault rate × recovery policy sweep with recovery-cost accounting |
 //! | `trace`  | (extension)    | JSONL solve-event dump of one run ([`trace`]) |
+//! | `serve`/`submit`/`ctl` | (extension) | networked solve daemon + client ([`serving`]) |
+//! | `loadgen`| (extension)    | closed/open-loop serving load generator ([`loadgen`]) |
 //!
 //! Every experiment honors [`fidelity::Fidelity`]: `--fast` shrinks grids
 //! and repetitions; the default reproduces the paper's settings.
@@ -28,8 +30,10 @@
 pub mod experiments;
 pub mod fidelity;
 pub mod instances;
+pub mod loadgen;
 pub mod micro;
 pub mod report;
+pub mod serving;
 pub mod trace;
 
 pub use fidelity::Fidelity;

@@ -188,10 +188,14 @@ pub fn all_suites(c: &mut Criterion) {
 }
 
 /// Serializes bench results as the `BENCH_sophie.json` document tracked
-/// across PRs: one record per kernel plus the intra-round scaling block
-/// derived from the [`engine_scaling`] suite.
+/// across PRs: one record per kernel, the intra-round scaling block
+/// derived from the [`engine_scaling`] suite, and (when provided) the
+/// serving block from an in-process loadgen run.
 #[must_use]
-pub fn summary_json(results: &[BenchResult]) -> String {
+pub fn summary_json(
+    results: &[BenchResult],
+    serving: Option<&crate::loadgen::LoadgenSummary>,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"sophie-bench-v1\",");
     let _ = writeln!(
@@ -235,6 +239,17 @@ pub fn summary_json(results: &[BenchResult]) -> String {
         let _ = writeln!(out, "  }},");
     }
 
+    if let Some(s) = serving {
+        let _ = writeln!(out, "  \"serving\": {{");
+        let _ = writeln!(out, "    \"mode\": \"{}\",", s.mode);
+        let _ = writeln!(out, "    \"requests\": {},", s.requests);
+        let _ = writeln!(out, "    \"done\": {},", s.done);
+        let _ = writeln!(out, "    \"throughput_rps\": {:.2},", s.throughput_rps);
+        let _ = writeln!(out, "    \"rtt_p50_ms\": {:.3},", s.rtt_p50_ms);
+        let _ = writeln!(out, "    \"rtt_p99_ms\": {:.3}", s.rtt_p99_ms);
+        let _ = writeln!(out, "  }},");
+    }
+
     let _ = writeln!(out, "  \"results\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
@@ -251,7 +266,10 @@ pub fn summary_json(results: &[BenchResult]) -> String {
 /// Runs all suites in quick mode and writes `BENCH_sophie.json` at `path`.
 ///
 /// Unless the caller already configured `SOPHIE_BENCH_QUICK`, quick mode is
-/// forced so the whole sweep finishes in seconds.
+/// forced so the whole sweep finishes in seconds. A small closed-loop
+/// loadgen run against an in-process daemon contributes the `serving`
+/// block; if the daemon cannot start the block is simply omitted (the
+/// kernel numbers are still worth writing).
 ///
 /// # Errors
 ///
@@ -262,5 +280,8 @@ pub fn write_bench_summary(path: &Path) -> std::io::Result<()> {
     }
     let mut c = Criterion::default();
     all_suites(&mut c);
-    std::fs::write(path, summary_json(c.results()))
+    let serving = crate::loadgen::run(&crate::loadgen::LoadgenOptions::default())
+        .map_err(|e| eprintln!("serving block skipped: {e}"))
+        .ok();
+    std::fs::write(path, summary_json(c.results(), serving.as_ref()))
 }

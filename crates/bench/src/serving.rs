@@ -1,0 +1,276 @@
+//! CLI entry points for the serving layer: `repro serve`, `repro submit`,
+//! `repro ctl`, and `repro loadgen`.
+//!
+//! These commands have their own flag vocabulary (`--addr`, `--clients`,
+//! ...) and are dispatched by the `repro` binary *before* its experiment
+//! flag loop; [`cli`] receives the raw argument tail and owns parsing from
+//! there. All output that machines might consume (submit frames, loadgen
+//! records) is JSONL on stdout; progress goes to stderr.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sophie_serve::{Client, GraphSpec, Json, ServeConfig, Server, SubmitArgs};
+
+use crate::loadgen::{self, LoadgenOptions};
+
+/// Usage text for the serving subcommands (appended to the main usage).
+pub const USAGE: &str = "       repro serve [--addr HOST:PORT] [--queue N] [--conns N] [--workers N] [--port-file PATH]\n       repro submit --addr HOST:PORT --solver NAME [--graph NAME] [--gset-file PATH] [--seed N] [--deadline-ms N] [--stream] [--config JSON]\n       repro ctl <stats|solvers|ping|shutdown> --addr HOST:PORT\n       repro loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--solver NAME] [--graph NAME] [--config JSON] [--rate RPS] [--deadline-ms N] [--out PATH.jsonl]";
+
+/// True if `command` is one of the serving subcommands handled by [`cli`].
+#[must_use]
+pub fn is_serving_command(command: &str) -> bool {
+    matches!(command, "serve" | "submit" | "ctl" | "loadgen")
+}
+
+/// Runs one serving subcommand with its raw argument tail.
+#[must_use]
+pub fn cli(command: &str, args: &[String]) -> ExitCode {
+    let result = match command {
+        "serve" => cmd_serve(args),
+        "submit" => cmd_submit(args),
+        "ctl" => cmd_ctl(args),
+        "loadgen" => cmd_loadgen(args),
+        other => Err(format!("unknown serving command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Tiny flag cursor over the argument tail.
+struct Flags<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { args, pos: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let arg = self.args.get(self.pos)?;
+        self.pos += 1;
+        Some(arg)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        self.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        self.value(flag)?
+            .parse()
+            .map_err(|_| format!("{flag} requires a valid value"))
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut port_file: Option<PathBuf> = None;
+    let mut config = ServeConfig::default();
+    let mut flags = Flags::new(args);
+    while let Some(arg) = flags.next() {
+        match arg {
+            "--addr" => addr = flags.value("--addr")?.to_string(),
+            "--port-file" => port_file = Some(PathBuf::from(flags.value("--port-file")?)),
+            "--queue" => config.queue_capacity = flags.parsed("--queue")?,
+            "--conns" => config.max_connections = flags.parsed("--conns")?,
+            "--workers" => config.workers = flags.parsed("--workers")?,
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let config = config
+        .with_env_overrides()
+        .map_err(|e| format!("bad serve config: {e}"))?;
+    let handle = Server::start(config, sophie::default_registry(), addr.as_str())
+        .map_err(|e| format!("cannot start daemon on {addr}: {e}"))?;
+    let bound = handle.local_addr();
+    eprintln!("sophie-serve listening on {bound}");
+    if let Some(path) = port_file {
+        // Ephemeral-port discovery for scripts: write the bound address
+        // atomically enough for a same-host reader (write then rename).
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, format!("{bound}\n"))
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| format!("cannot write port file {}: {e}", path.display()))?;
+    }
+    // Blocks until a client issues the protocol `shutdown` command.
+    handle.join();
+    eprintln!("sophie-serve stopped");
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut solver: Option<String> = None;
+    let mut graph = GraphSpec::Named("K100".to_string());
+    let mut seed = 0u64;
+    let mut deadline_ms: Option<u64> = None;
+    let mut target: Option<f64> = None;
+    let mut stream = false;
+    let mut config_json: Option<String> = None;
+    let mut flags = Flags::new(args);
+    while let Some(arg) = flags.next() {
+        match arg {
+            "--addr" => addr = Some(flags.value("--addr")?.to_string()),
+            "--solver" => solver = Some(flags.value("--solver")?.to_string()),
+            "--graph" => graph = GraphSpec::Named(flags.value("--graph")?.to_string()),
+            "--gset-file" => {
+                let path = flags.value("--gset-file")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                graph = GraphSpec::Inline(text);
+            }
+            "--seed" => seed = flags.parsed("--seed")?,
+            "--deadline-ms" => deadline_ms = Some(flags.parsed("--deadline-ms")?),
+            "--target" => target = Some(flags.parsed("--target")?),
+            "--stream" => stream = true,
+            "--config" => config_json = Some(flags.value("--config")?.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let addr = addr.ok_or("submit requires --addr")?;
+    let solver = solver.ok_or("submit requires --solver")?;
+    let mut submit = SubmitArgs::new(&solver, graph);
+    submit.seed = seed;
+    submit.deadline_ms = deadline_ms;
+    submit.target = target;
+    submit.stream = stream;
+    submit.config_json = config_json;
+
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let admission = client
+        .submit("cli", &submit)
+        .map_err(|e| format!("submit failed: {e}"))?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "{admission}").map_err(|e| e.to_string())?;
+    if admission.get("type").and_then(Json::as_str) != Some("accepted") {
+        return Err("job was not accepted".to_string());
+    }
+    let outcome = client
+        .wait_result("cli")
+        .map_err(|e| format!("waiting for result failed: {e}"))?;
+    for event in &outcome.events {
+        writeln!(out, "{event}").map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "{}", outcome.frame).map_err(|e| e.to_string())?;
+    if outcome.status == "done" {
+        Ok(())
+    } else {
+        Err(format!("job finished with status {:?}", outcome.status))
+    }
+}
+
+fn cmd_ctl(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut action: Option<String> = None;
+    let mut flags = Flags::new(args);
+    while let Some(arg) = flags.next() {
+        match arg {
+            "--addr" => addr = Some(flags.value("--addr")?.to_string()),
+            other if action.is_none() && !other.starts_with('-') => {
+                action = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let addr = addr.ok_or("ctl requires --addr")?;
+    let action = action.ok_or("ctl requires an action (stats|solvers|ping|shutdown)")?;
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match action.as_str() {
+        "stats" => {
+            let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+            println!("{stats}");
+            Ok(())
+        }
+        "solvers" => {
+            let solvers = client
+                .list_solvers()
+                .map_err(|e| format!("list-solvers failed: {e}"))?;
+            println!("{solvers}");
+            Ok(())
+        }
+        "ping" => {
+            client.ping().map_err(|e| format!("ping failed: {e}"))?;
+            println!("{{\"type\":\"pong\"}}");
+            Ok(())
+        }
+        "shutdown" => {
+            client
+                .shutdown()
+                .map_err(|e| format!("shutdown failed: {e}"))?;
+            eprintln!("daemon at {addr} acknowledged shutdown");
+            Ok(())
+        }
+        other => Err(format!("unknown ctl action {other:?}")),
+    }
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let mut opts = LoadgenOptions::default();
+    let mut flags = Flags::new(args);
+    while let Some(arg) = flags.next() {
+        match arg {
+            "--addr" => opts.addr = Some(flags.value("--addr")?.to_string()),
+            "--clients" => opts.clients = flags.parsed("--clients")?,
+            "--requests" => opts.requests = flags.parsed("--requests")?,
+            "--solver" => opts.solver = flags.value("--solver")?.to_string(),
+            "--graph" => opts.graph = flags.value("--graph")?.to_string(),
+            "--config" => opts.config_json = Some(flags.value("--config")?.to_string()),
+            "--rate" => opts.rate = Some(flags.parsed("--rate")?),
+            "--deadline-ms" => opts.deadline_ms = Some(flags.parsed("--deadline-ms")?),
+            "--out" => opts.out = Some(PathBuf::from(flags.value("--out")?)),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if opts.clients == 0 || opts.requests == 0 {
+        return Err("--clients and --requests must be positive".to_string());
+    }
+    eprintln!(
+        "loadgen: {} clients x {} requests, solver {} on {}, {} loop{}",
+        opts.clients,
+        opts.requests,
+        opts.solver,
+        opts.graph,
+        if opts.rate.is_some() {
+            "open"
+        } else {
+            "closed"
+        },
+        opts.addr
+            .as_deref()
+            .map(|a| format!(" against {a}"))
+            .unwrap_or_else(|| " against in-process daemon".to_string()),
+    );
+    let start = std::time::Instant::now();
+    let summary = loadgen::run(&opts).map_err(|e| format!("loadgen failed: {e}"))?;
+    println!("{}", summary.to_json());
+    eprintln!(
+        "loadgen done in {:.1?}: {}/{} done, {} rejected, {} errored, {:.1} req/s, p50 {:.1} ms",
+        start.elapsed(),
+        summary.done,
+        summary.requests,
+        summary.rejected,
+        summary.errored,
+        summary.throughput_rps,
+        summary.rtt_p50_ms,
+    );
+    if let Some(path) = &opts.out {
+        eprintln!("per-request records in {}", path.display());
+    }
+    if summary.done == 0 {
+        return Err("no request completed".to_string());
+    }
+    Ok(())
+}

@@ -361,6 +361,7 @@ impl SophieSolver {
             backend,
             graph,
             schedule,
+            schedule.rounds().len(),
             seed,
             target_cut,
             initial_bits,
@@ -407,6 +408,7 @@ impl SophieSolver {
             backend,
             graph,
             &schedule,
+            schedule.rounds().len(),
             seed,
             target_cut,
             None,
@@ -458,20 +460,27 @@ impl SophieSolver {
                 message: e.to_string(),
             })?;
         }
-        let schedule = Schedule::generate(
+        let planned = job.budget.cap(self.config.global_iters);
+        let control = job.control();
+        // Cooperative generation: schedule setup is O(global_iters) work
+        // before the first round, so it honors cancellation and deadlines
+        // too. Truncation is unobservable — a run stopped during setup
+        // would never execute the missing rounds — and `planned` still
+        // reports the requested count.
+        let schedule = Schedule::generate_while(
             &self.grid,
-            job.budget.cap(self.config.global_iters),
+            planned,
             self.config.tile_fraction,
             self.config.stochastic_spin_update,
             job.seed ^ 0x5c3a_11ed_0b57_aced,
+            || !control.should_stop(),
         );
-        let control = job.control();
         let mut recorder = TraceRecorder::new();
         {
             let mut tee = Tee::new(&mut recorder, observer);
             self.run_impl(
-                backend, &job.graph, &schedule, job.seed, job.target, None, health, &control,
-                &mut tee,
+                backend, &job.graph, &schedule, planned, job.seed, job.target, None, health,
+                &control, &mut tee,
             )
             .map_err(|e| SolveError::Failed {
                 solver: "sophie".to_string(),
@@ -487,6 +496,7 @@ impl SophieSolver {
         backend: &B,
         graph: &Graph,
         schedule: &Schedule,
+        planned: usize,
         seed: u64,
         target_cut: Option<f64>,
         initial_bits: Option<&[bool]>,
@@ -504,7 +514,7 @@ impl SophieSolver {
         observer.on_event(&SolveEvent::RunStarted {
             solver: "sophie",
             dimension: self.n,
-            planned_iterations: schedule.rounds().len(),
+            planned_iterations: planned,
             seed,
             target: target_cut,
         });

@@ -149,8 +149,48 @@ impl Schedule {
         stochastic_spin: bool,
         seed: u64,
     ) -> Self {
+        Self::generate_while(grid, global_iters, fraction, stochastic_spin, seed, || true)
+    }
+
+    /// How many rounds [`Schedule::generate_while`] produces between polls
+    /// of its `keep_going` predicate.
+    pub const STOP_POLL_INTERVAL: usize = 256;
+
+    /// Like [`Schedule::generate`], but polls `keep_going` every
+    /// [`STOP_POLL_INTERVAL`](Self::STOP_POLL_INTERVAL) rounds and stops
+    /// generating once it returns `false`, yielding a truncated schedule.
+    ///
+    /// Generation is a pure prefix: for the rounds it does produce, the
+    /// output is identical to the full schedule for the same seed. This is
+    /// how the engine keeps schedule setup — O(`global_iters`) work that
+    /// happens before the first iteration — responsive to cooperative
+    /// cancellation and deadlines: a run cancelled during setup would
+    /// execute none of the later rounds anyway, so truncating them is
+    /// unobservable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]` (validated earlier by
+    /// [`crate::SophieConfig::validate`]).
+    #[must_use]
+    pub fn generate_while(
+        grid: &TileGrid,
+        global_iters: usize,
+        fraction: f64,
+        stochastic_spin: bool,
+        seed: u64,
+        mut keep_going: impl FnMut() -> bool,
+    ) -> Self {
         let mut gen = RoundGenerator::new(grid, fraction, stochastic_spin, seed);
-        let rounds = (0..global_iters).map(|_| gen.next_round()).collect();
+        // Capacity is a hint, not a promise: generation may stop early, and
+        // a hostile iteration count must not size an allocation up front.
+        let mut rounds = Vec::with_capacity(global_iters.min(1 << 16));
+        for g in 0..global_iters {
+            if g % Self::STOP_POLL_INTERVAL == 0 && !keep_going() {
+                break;
+            }
+            rounds.push(gen.next_round());
+        }
         Schedule {
             pairs: gen.pairs,
             blocks: grid.blocks(),
@@ -218,6 +258,29 @@ mod tests {
             // Every column has a donor when every pair is selected.
             assert!(r.donors.iter().all(Option::is_some));
         }
+    }
+
+    #[test]
+    fn generate_while_truncates_to_an_identical_prefix() {
+        let g = grid(256, 64);
+        let full = Schedule::generate(&g, 2 * Schedule::STOP_POLL_INTERVAL, 0.6, true, 9);
+        // Allow exactly one poll to pass: generation stops at the second
+        // poll boundary, after STOP_POLL_INTERVAL rounds.
+        let mut polls = 0;
+        let truncated =
+            Schedule::generate_while(&g, 2 * Schedule::STOP_POLL_INTERVAL, 0.6, true, 9, || {
+                polls += 1;
+                polls <= 1
+            });
+        assert_eq!(truncated.rounds().len(), Schedule::STOP_POLL_INTERVAL);
+        assert_eq!(
+            truncated.rounds(),
+            &full.rounds()[..Schedule::STOP_POLL_INTERVAL],
+            "truncated schedule must be a pure prefix of the full one"
+        );
+        // An immediately-stopped generation yields no rounds at all.
+        let none = Schedule::generate_while(&g, 100, 0.6, true, 9, || false);
+        assert!(none.rounds().is_empty());
     }
 
     #[test]

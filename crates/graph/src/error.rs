@@ -42,6 +42,25 @@ pub enum GraphError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A GSET header declared a graph larger than the caller's
+    /// [`ParseLimits`](crate::io::ParseLimits) allow. Untrusted inputs
+    /// (service uploads) are rejected here *before* any allocation sized
+    /// by the header.
+    Oversized {
+        /// Which header quantity exceeded its limit (`"nodes"`/`"edges"`).
+        what: &'static str,
+        /// The declared value.
+        got: usize,
+        /// The configured limit it exceeded.
+        limit: usize,
+    },
+    /// An error reading a named graph file, annotated with its path.
+    File {
+        /// Path of the file that failed to read or parse.
+        path: std::path::PathBuf,
+        /// The underlying error.
+        source: Box<GraphError>,
+    },
     /// An underlying I/O error while reading or writing a graph file.
     Io(std::io::Error),
 }
@@ -67,6 +86,15 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            GraphError::Oversized { what, got, limit } => {
+                write!(
+                    f,
+                    "header declares {got} {what}, above the limit of {limit}"
+                )
+            }
+            GraphError::File { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -76,6 +104,7 @@ impl Error for GraphError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
+            GraphError::File { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -105,6 +134,24 @@ mod tests {
             capacity: 10,
         };
         assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn oversized_and_file_errors_render_context() {
+        let e = GraphError::Oversized {
+            what: "nodes",
+            got: 1_000_000,
+            limit: 4096,
+        };
+        assert!(e.to_string().contains("1000000"));
+        assert!(e.to_string().contains("4096"));
+        let wrapped = GraphError::File {
+            path: std::path::PathBuf::from("graphs/G99.txt"),
+            source: Box::new(e),
+        };
+        assert!(wrapped.to_string().contains("graphs/G99.txt"));
+        assert!(wrapped.to_string().contains("nodes"));
+        assert!(wrapped.source().is_some());
     }
 
     #[test]

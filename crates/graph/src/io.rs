@@ -4,21 +4,73 @@
 //! `<u> <v> <w>` line per edge with **1-based** node ids and integer
 //! weights. Real GSET instances parsed with [`read_graph`] can replace the
 //! regenerated presets anywhere in the benchmark harness.
+//!
+//! # Untrusted input
+//!
+//! The serve layer feeds socket payloads directly into this parser, so
+//! every malformed input must produce a typed, line-annotated
+//! [`GraphError`] — never a panic and never an allocation sized by an
+//! attacker-controlled header. [`read_graph_limited`] additionally
+//! enforces caller-supplied [`ParseLimits`] on the declared node and edge
+//! counts, rejecting oversized instances before any per-edge work happens.
 
 use crate::error::{GraphError, Result};
 use crate::graph::{Graph, GraphBuilder};
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Size caps applied to a GSET header before anything is allocated.
+///
+/// The default is unlimited (trusted, local files). Services parsing
+/// uploads pick explicit caps; exceeding either produces
+/// [`GraphError::Oversized`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum declared node count.
+    pub max_nodes: usize,
+    /// Maximum declared edge count.
+    pub max_edges: usize,
+}
+
+impl ParseLimits {
+    /// No limits — the behavior of plain [`read_graph`].
+    #[must_use]
+    pub fn none() -> Self {
+        ParseLimits {
+            max_nodes: usize::MAX,
+            max_edges: usize::MAX,
+        }
+    }
+
+    /// Explicit caps on declared node and edge counts.
+    #[must_use]
+    pub fn new(max_nodes: usize, max_edges: usize) -> Self {
+        ParseLimits {
+            max_nodes,
+            max_edges,
+        }
+    }
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits::none()
+    }
+}
 
 /// Parses a graph in GSET format from a reader.
 ///
 /// A `&[u8]`/`File` can be passed directly; pass `&mut reader` to keep
-/// ownership.
+/// ownership. Equivalent to [`read_graph_limited`] with
+/// [`ParseLimits::none`].
 ///
 /// # Errors
 ///
-/// Returns [`GraphError::Parse`] for malformed content, [`GraphError::Io`]
-/// for read failures, and graph-construction errors (duplicate edges,
-/// out-of-range endpoints) verbatim.
+/// Returns [`GraphError::Parse`] for malformed content (missing or
+/// non-numeric fields, non-finite weights, out-of-range or 0-based node
+/// ids, edge-count mismatches, trailing tokens), [`GraphError::Io`] for
+/// read failures, and graph-construction errors (duplicate edges,
+/// self-loops) verbatim.
 ///
 /// ```
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,6 +82,23 @@ use std::io::{BufRead, BufReader, Read, Write};
 /// # }
 /// ```
 pub fn read_graph<R: Read>(reader: R) -> Result<Graph> {
+    read_graph_limited(reader, &ParseLimits::none())
+}
+
+/// Parses a graph in GSET format, enforcing `limits` on the header.
+///
+/// This is the entry point for untrusted input: the declared node and edge
+/// counts are validated against `limits` before any allocation sized by
+/// them, every edge line is validated (finite weight, in-range 1-based
+/// ids, no trailing tokens), and a stream that supplies more edge lines
+/// than its header declared is rejected as soon as the excess line is
+/// seen rather than buffered to the end.
+///
+/// # Errors
+///
+/// As [`read_graph`], plus [`GraphError::Oversized`] when the header
+/// exceeds `limits`.
+pub fn read_graph_limited<R: Read>(reader: R, limits: &ParseLimits) -> Result<Graph> {
     let mut lines = BufReader::new(reader).lines();
     let header = loop {
         match lines.next() {
@@ -50,8 +119,25 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph> {
     let mut parts = header.split_whitespace();
     let nodes: usize = parse_field(&mut parts, 1, "node count")?;
     let edges: usize = parse_field(&mut parts, 1, "edge count")?;
+    reject_trailing(&mut parts, 1)?;
+    if nodes > limits.max_nodes {
+        return Err(GraphError::Oversized {
+            what: "nodes",
+            got: nodes,
+            limit: limits.max_nodes,
+        });
+    }
+    if edges > limits.max_edges {
+        return Err(GraphError::Oversized {
+            what: "edges",
+            got: edges,
+            limit: limits.max_edges,
+        });
+    }
 
-    let mut b = GraphBuilder::with_edge_capacity(nodes, edges);
+    // The capacity hint is clamped so a lying header (huge `edges`, tiny
+    // body) cannot force a giant allocation even without explicit limits.
+    let mut b = GraphBuilder::with_edge_capacity(nodes, edges.min(1 << 20));
     let mut line_no = 1usize;
     let mut seen_edges = 0usize;
     for line in lines {
@@ -61,17 +147,48 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph> {
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
         }
+        if seen_edges == edges {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("header promised {edges} edges but more follow"),
+            });
+        }
         let mut parts = trimmed.split_whitespace();
         let u: usize = parse_field(&mut parts, line_no, "endpoint u")?;
         let v: usize = parse_field(&mut parts, line_no, "endpoint v")?;
         let w: f64 = parse_field(&mut parts, line_no, "weight")?;
+        reject_trailing(&mut parts, line_no)?;
         if u == 0 || v == 0 {
             return Err(GraphError::Parse {
                 line: line_no,
                 message: "gset node ids are 1-based; found 0".into(),
             });
         }
-        b.add_edge(u - 1, v - 1, w)?;
+        if u > nodes || v > nodes {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("endpoint {} out of range for {nodes}-node graph", u.max(v)),
+            });
+        }
+        if !w.is_finite() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("non-finite weight {w}"),
+            });
+        }
+        b.add_edge(u - 1, v - 1, w).map_err(|e| match e {
+            // Construction errors that depend on the offending line get
+            // its annotation; the bounds cases were already handled above.
+            GraphError::SelfLoop { node } => GraphError::Parse {
+                line: line_no,
+                message: format!("self-loop on node {}", node + 1),
+            },
+            GraphError::DuplicateEdge { u, v } => GraphError::Parse {
+                line: line_no,
+                message: format!("duplicate edge ({}, {})", u + 1, v + 1),
+            },
+            other => other,
+        })?;
         seen_edges += 1;
     }
     if seen_edges != edges {
@@ -90,6 +207,23 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph> {
 /// Same as [`read_graph`].
 pub fn parse_graph(text: &str) -> Result<Graph> {
     read_graph(text.as_bytes())
+}
+
+/// Reads a GSET graph from a file, annotating any error with the path.
+///
+/// # Errors
+///
+/// [`GraphError::File`] wrapping the underlying I/O or parse error.
+pub fn read_graph_file<P: AsRef<Path>>(path: P, limits: &ParseLimits) -> Result<Graph> {
+    let path = path.as_ref();
+    let annotate = |e: GraphError| GraphError::File {
+        path: path.to_path_buf(),
+        source: Box::new(e),
+    };
+    let file = std::fs::File::open(path)
+        .map_err(GraphError::Io)
+        .map_err(annotate)?;
+    read_graph_limited(file, limits).map_err(annotate)
 }
 
 /// Writes a graph in GSET format (1-based ids, `%g`-style weights).
@@ -130,6 +264,16 @@ fn parse_field<'a, T: std::str::FromStr>(
         line,
         message: format!("invalid {what}: {tok:?}"),
     })
+}
+
+fn reject_trailing<'a>(parts: &mut impl Iterator<Item = &'a str>, line: usize) -> Result<()> {
+    match parts.next() {
+        None => Ok(()),
+        Some(tok) => Err(GraphError::Parse {
+            line,
+            message: format!("unexpected trailing token {tok:?}"),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -173,15 +317,109 @@ mod tests {
     }
 
     #[test]
+    fn rejects_excess_edge_lines_eagerly() {
+        let err = parse_graph("3 1\n1 2 1\n2 3 1\n1 3 1\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, ref message } => {
+                assert_eq!(line, 3, "rejected at the first excess line");
+                assert!(message.contains("more follow"));
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_garbage_weight() {
         let err = parse_graph("2 1\n1 2 banana\n").unwrap_err();
         assert!(err.to_string().contains("invalid weight"));
     }
 
     #[test]
-    fn propagates_duplicate_edges() {
+    fn rejects_non_finite_weights() {
+        for bad in ["NaN", "inf", "-inf", "infinity"] {
+            let doc = format!("2 1\n1 2 {bad}\n");
+            let err = parse_graph(&doc).unwrap_err();
+            match err {
+                GraphError::Parse { line, ref message } => {
+                    assert_eq!(line, 2);
+                    assert!(message.contains("non-finite"), "{bad}: {message}");
+                }
+                other => panic!("{bad}: expected Parse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids_with_line_annotation() {
+        let err = parse_graph("3 2\n1 2 1\n2 9 1\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, ref message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("endpoint 9"));
+                assert!(message.contains("3-node"));
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse_graph("2 1 junk\n1 2 1\n").unwrap_err();
+        assert!(err.to_string().contains("trailing token"));
+        let err = parse_graph("2 1\n1 2 1 junk\n").unwrap_err();
+        assert!(err.to_string().contains("trailing token"));
+    }
+
+    #[test]
+    fn limits_reject_oversized_headers() {
+        let limits = ParseLimits::new(100, 1000);
+        let err = read_graph_limited("101 1\n1 2 1\n".as_bytes(), &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::Oversized {
+                what: "nodes",
+                got: 101,
+                limit: 100,
+            }
+        ));
+        let err = read_graph_limited("3 10000 \n".as_bytes(), &limits).unwrap_err();
+        assert!(matches!(err, GraphError::Oversized { what: "edges", .. }));
+        // At the limit is fine.
+        assert!(read_graph_limited("100 1\n1 2 1\n".as_bytes(), &limits).is_ok());
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_are_line_annotated() {
+        let err = parse_graph("3 1\n2 2 1\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, ref message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("self-loop on node 2"));
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
         let err = parse_graph("3 2\n1 2 1\n2 1 1\n").unwrap_err();
-        assert!(matches!(err, GraphError::DuplicateEdge { u: 0, v: 1 }));
+        match err {
+            GraphError::Parse { line, ref message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("duplicate edge (1, 2)"));
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_reader_annotates_path() {
+        let dir = std::env::temp_dir().join("sophie_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.gset");
+        std::fs::write(&path, "2 1\n1 2 NaN\n").unwrap();
+        let err = read_graph_file(&path, &ParseLimits::none()).unwrap_err();
+        assert!(err.to_string().contains("bad.gset"));
+        assert!(err.to_string().contains("non-finite"));
+        let err = read_graph_file(dir.join("absent.gset"), &ParseLimits::none()).unwrap_err();
+        assert!(err.to_string().contains("absent.gset"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

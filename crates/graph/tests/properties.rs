@@ -4,11 +4,26 @@ use proptest::prelude::*;
 use sophie_graph::coupling::{coupling_matrix, delta_diagonal, hamiltonian};
 use sophie_graph::cut::{cut_value, flip_gain, ising_energy};
 use sophie_graph::generate::{complete, gnm};
-use sophie_graph::io::{format_graph, parse_graph};
+use sophie_graph::io::{format_graph, parse_graph, read_graph_limited, ParseLimits};
 use sophie_graph::WeightDist;
 
 fn spins(n: usize) -> impl Strategy<Value = Vec<i8>> {
     proptest::collection::vec(prop_oneof![Just(1i8), Just(-1i8)], n)
+}
+
+/// Characters that stress the GSET parser: digits, signs, separators,
+/// comment markers, and letters spelling `NaN`/`inf`.
+fn gset_chars(n: usize) -> impl Strategy<Value = Vec<char>> {
+    let alphabet = " \t\n0123456789.+-#%naifNIe";
+    let arms: Vec<_> = alphabet.chars().map(Just).collect();
+    proptest::collection::vec(
+        proptest::strategy::OneOf::new(
+            arms.into_iter()
+                .map(proptest::strategy::Strategy::boxed)
+                .collect(),
+        ),
+        n,
+    )
 }
 
 proptest! {
@@ -68,6 +83,40 @@ proptest! {
         let g = gnm(n, m, WeightDist::UniformInt { lo: -9, hi: 9 }, seed).unwrap();
         let back = parse_graph(&format_graph(&g)).unwrap();
         prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn malformed_gset_never_panics(
+        chars in gset_chars(200),
+        len in 0_usize..200,
+    ) {
+        // Untrusted-input hardening: arbitrary text (including things that
+        // look numeric) must parse or fail with a typed error, never panic.
+        let doc: String = chars[..len.min(chars.len())].iter().collect();
+        let _ = parse_graph(&doc);
+        let limits = ParseLimits::new(64, 256);
+        let _ = read_graph_limited(doc.as_bytes(), &limits);
+    }
+
+    #[test]
+    fn corrupted_valid_gset_never_panics(
+        n in 2_usize..20,
+        extra in 0_usize..40,
+        seed in 0u64..500,
+        cut_at in 0_usize..400,
+        junk in gset_chars(12),
+        junk_len in 0_usize..12,
+    ) {
+        // Start from a well-formed document, truncate it mid-stream, and
+        // splice in junk: the parser must return Err or Ok, never panic.
+        let cap = n * (n - 1) / 2;
+        let g = gnm(n, extra.min(cap), WeightDist::UniformInt { lo: -9, hi: 9 }, seed).unwrap();
+        let text = format_graph(&g);
+        let cut = cut_at.min(text.len());
+        let mut mangled = text[..cut].to_string();
+        mangled.extend(&junk[..junk_len.min(junk.len())]);
+        let _ = parse_graph(&mangled);
+        let _ = read_graph_limited(mangled.as_bytes(), &ParseLimits::new(16, 64));
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Blocking JSONL client for the solve daemon.
+//!
+//! Used by `repro submit`/`repro ctl`, the load generator, the CI smoke
+//! test, and the integration suite. One [`Client`] owns one connection;
+//! frames about different jobs may interleave on it, so the client keeps
+//! an internal pending buffer and [`Client::wait_result`] hands back
+//! exactly the frames that belong to the requested job id.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::error::{Result, ServeError};
+use crate::json::{escape, Json};
+use crate::protocol::{read_line_bounded, GraphSpec, PROTOCOL_VERSION};
+
+/// Reply cap mirroring the server's request cap; server frames are small
+/// except streamed reports, which stay far below this.
+const MAX_REPLY_BYTES: usize = 16 << 20;
+
+/// What to submit; mirrors the submit frame minus the id.
+#[derive(Debug, Clone)]
+pub struct SubmitArgs {
+    /// Registry solver name.
+    pub solver: String,
+    /// Instance to solve.
+    pub graph: GraphSpec,
+    /// Job seed.
+    pub seed: u64,
+    /// Optional convergence target.
+    pub target: Option<f64>,
+    /// Optional deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Optional iteration cap.
+    pub max_iterations: Option<usize>,
+    /// Stream `SolveEvent` frames while running.
+    pub stream: bool,
+    /// Raw JSON for the `config` field (already valid JSON), if any.
+    pub config_json: Option<String>,
+}
+
+impl SubmitArgs {
+    /// A minimal job: named solver on a named instance, defaults elsewhere.
+    #[must_use]
+    pub fn new(solver: &str, graph: GraphSpec) -> Self {
+        SubmitArgs {
+            solver: solver.to_string(),
+            graph,
+            seed: 0,
+            target: None,
+            deadline_ms: None,
+            max_iterations: None,
+            stream: false,
+            config_json: None,
+        }
+    }
+
+    fn to_frame(&self, id: &str) -> String {
+        let mut frame = format!(
+            "{{\"cmd\":\"submit\",\"id\":\"{}\",\"solver\":\"{}\"",
+            escape(id),
+            escape(&self.solver)
+        );
+        match &self.graph {
+            GraphSpec::Named(name) => {
+                frame.push_str(&format!(",\"graph\":{{\"named\":\"{}\"}}", escape(name)));
+            }
+            GraphSpec::Inline(gset) => {
+                frame.push_str(&format!(",\"graph\":{{\"gset\":\"{}\"}}", escape(gset)));
+            }
+        }
+        frame.push_str(&format!(",\"seed\":{}", self.seed));
+        if let Some(t) = self.target {
+            frame.push_str(&format!(",\"target\":{t}"));
+        }
+        if let Some(d) = self.deadline_ms {
+            frame.push_str(&format!(",\"deadline_ms\":{d}"));
+        }
+        if let Some(m) = self.max_iterations {
+            frame.push_str(&format!(",\"max_iterations\":{m}"));
+        }
+        if self.stream {
+            frame.push_str(",\"stream\":true");
+        }
+        if let Some(cfg) = &self.config_json {
+            frame.push_str(&format!(",\"config\":{cfg}"));
+        }
+        frame.push('}');
+        frame
+    }
+}
+
+/// The terminal outcome of one job, as the wire reported it.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// `done`, `cancelled`, or `failed`.
+    pub status: String,
+    /// Submit-to-result latency measured server-side, in milliseconds.
+    pub latency_ms: f64,
+    /// The full `result` frame.
+    pub frame: Json,
+    /// Streamed `event` frames for this job, in emission order.
+    pub events: Vec<Json>,
+}
+
+/// A blocking connection to a solve daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    pending: VecDeque<Json>,
+    /// The server's `hello` frame.
+    pub hello: Json,
+}
+
+impl Client {
+    /// Connects and consumes the `hello` frame, refusing protocol
+    /// mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors, a missing/invalid greeting, or a protocol
+    /// version the client doesn't speak.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+            pending: VecDeque::new(),
+            hello: Json::Null,
+        };
+        let hello = client.read_frame()?;
+        match hello.get("type").and_then(Json::as_str) {
+            Some("hello") => {}
+            Some("rejected") => {
+                return Err(ServeError::Rejected {
+                    reason: "too_many_connections",
+                })
+            }
+            _ => {
+                return Err(ServeError::Protocol {
+                    message: "server did not send a hello frame".into(),
+                })
+            }
+        }
+        let version = hello.get("protocol").and_then(Json::as_u64);
+        if version != Some(PROTOCOL_VERSION) {
+            return Err(ServeError::Protocol {
+                message: format!("unsupported protocol version {version:?}"),
+            });
+        }
+        client.hello = hello;
+        Ok(client)
+    }
+
+    /// Sets a read timeout for subsequent frames (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket error, if any.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one raw line.
+    ///
+    /// # Errors
+    ///
+    /// Socket write errors.
+    pub fn send_line(&mut self, line: &str) -> Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next frame (buffered frames first).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, EOF, or an unparsable frame.
+    pub fn read_frame(&mut self) -> Result<Json> {
+        if let Some(frame) = self.pending.pop_front() {
+            return Ok(frame);
+        }
+        self.read_frame_from_socket()
+    }
+
+    fn read_frame_from_socket(&mut self) -> Result<Json> {
+        match read_line_bounded(&mut self.reader, MAX_REPLY_BYTES)? {
+            None => Err(ServeError::Protocol {
+                message: "server closed the connection".into(),
+            }),
+            Some(line) => Json::parse(&line),
+        }
+    }
+
+    /// Submits a job and returns the admission frame (`accepted`,
+    /// `rejected`, or `error`).
+    ///
+    /// # Errors
+    ///
+    /// Socket and framing errors; admission *rejections* are returned as
+    /// frames, not errors.
+    pub fn submit(&mut self, id: &str, args: &SubmitArgs) -> Result<Json> {
+        self.send_line(&args.to_frame(id))?;
+        // The admission reply is written under the server's writer lock
+        // before any worker frame, but frames for *other* jobs may arrive
+        // first; buffer those.
+        loop {
+            let frame = self.read_frame_from_socket()?;
+            let about_this = frame.get("id").and_then(Json::as_str) == Some(id)
+                && matches!(
+                    frame.get("type").and_then(Json::as_str),
+                    Some("accepted" | "rejected" | "error")
+                );
+            if about_this {
+                return Ok(frame);
+            }
+            self.pending.push_back(frame);
+        }
+    }
+
+    /// Blocks until job `id`'s terminal `result` frame, collecting its
+    /// streamed events along the way. Frames for other jobs are buffered
+    /// for later calls.
+    ///
+    /// # Errors
+    ///
+    /// Socket and framing errors, or an `error` frame about this job.
+    pub fn wait_result(&mut self, id: &str) -> Result<JobOutcome> {
+        let mut events = Vec::new();
+        // Scan buffered frames first.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].get("id").and_then(Json::as_str) == Some(id) {
+                let frame = self.pending.remove(i).expect("index in range");
+                if let Some(outcome) = Self::absorb(frame, &mut events)? {
+                    return Ok(outcome);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        loop {
+            let frame = self.read_frame_from_socket()?;
+            if frame.get("id").and_then(Json::as_str) == Some(id) {
+                if let Some(outcome) = Self::absorb(frame, &mut events)? {
+                    return Ok(outcome);
+                }
+            } else {
+                self.pending.push_back(frame);
+            }
+        }
+    }
+
+    /// Folds one frame about a job into its event list, or completes it.
+    fn absorb(frame: Json, events: &mut Vec<Json>) -> Result<Option<JobOutcome>> {
+        match frame.get("type").and_then(Json::as_str) {
+            Some("event") => {
+                events.push(frame);
+                Ok(None)
+            }
+            Some("result") => {
+                let status = frame
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                let latency_ms = frame
+                    .get("latency_ms")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN);
+                Ok(Some(JobOutcome {
+                    status,
+                    latency_ms,
+                    frame,
+                    events: std::mem::take(events),
+                }))
+            }
+            Some("error") => Err(ServeError::Protocol {
+                message: frame
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified server error")
+                    .to_string(),
+            }),
+            // accepted frames can land here when submit was issued raw
+            Some("accepted" | "rejected" | "cancel_ok") => Ok(None),
+            _ => Ok(None),
+        }
+    }
+
+    /// Requests cancellation of job `id`; returns whether the server knew
+    /// the job.
+    ///
+    /// # Errors
+    ///
+    /// Socket and framing errors.
+    pub fn cancel(&mut self, id: &str) -> Result<bool> {
+        self.send_line(&format!("{{\"cmd\":\"cancel\",\"id\":\"{}\"}}", escape(id)))?;
+        loop {
+            let frame = self.read_frame_from_socket()?;
+            if frame.get("type").and_then(Json::as_str) == Some("cancel_ok") {
+                return Ok(frame.get("found").and_then(Json::as_bool).unwrap_or(false));
+            }
+            self.pending.push_back(frame);
+        }
+    }
+
+    /// Fetches the `stats` frame.
+    ///
+    /// # Errors
+    ///
+    /// Socket and framing errors.
+    pub fn stats(&mut self) -> Result<Json> {
+        self.send_line("{\"cmd\":\"stats\"}")?;
+        self.wait_type("stats")
+    }
+
+    /// Fetches the `solvers` listing frame.
+    ///
+    /// # Errors
+    ///
+    /// Socket and framing errors.
+    pub fn list_solvers(&mut self) -> Result<Json> {
+        self.send_line("{\"cmd\":\"list-solvers\"}")?;
+        self.wait_type("solvers")
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Socket and framing errors.
+    pub fn ping(&mut self) -> Result<()> {
+        self.send_line("{\"cmd\":\"ping\"}")?;
+        self.wait_type("pong").map(|_| ())
+    }
+
+    /// Asks the daemon to shut down gracefully; returns after the ack.
+    ///
+    /// # Errors
+    ///
+    /// Socket and framing errors.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.send_line("{\"cmd\":\"shutdown\"}")?;
+        self.wait_type("shutdown_ack").map(|_| ())
+    }
+
+    fn wait_type(&mut self, frame_type: &str) -> Result<Json> {
+        loop {
+            let frame = self.read_frame_from_socket()?;
+            if frame.get("type").and_then(Json::as_str) == Some(frame_type) {
+                return Ok(frame);
+            }
+            self.pending.push_back(frame);
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_frames_round_trip_through_the_parser() {
+        let mut args = SubmitArgs::new("sa", GraphSpec::Named("K100".into()));
+        args.seed = 9;
+        args.target = Some(42.5);
+        args.deadline_ms = Some(100);
+        args.max_iterations = Some(7);
+        args.stream = true;
+        args.config_json = Some(r#"{"sweeps":5}"#.into());
+        let frame = args.to_frame("job-1");
+        match crate::protocol::parse_request(&frame).unwrap() {
+            crate::protocol::Request::Submit(req) => {
+                assert_eq!(req.id, "job-1");
+                assert_eq!(req.seed, 9);
+                assert_eq!(req.target, Some(42.5));
+                assert_eq!(req.max_iterations, Some(7));
+                assert!(req.stream);
+                assert!(req.config.is_some());
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+
+        let inline = SubmitArgs::new("sa", GraphSpec::Inline("2 1\n1 2 1\n".into()));
+        let frame = inline.to_frame("j2");
+        match crate::protocol::parse_request(&frame).unwrap() {
+            crate::protocol::Request::Submit(req) => {
+                assert_eq!(req.graph, GraphSpec::Inline("2 1\n1 2 1\n".into()));
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for the serve layer.
+
+use std::error::Error;
+use std::fmt;
+
+use sophie_graph::GraphError;
+use sophie_solve::SolveError;
+
+/// Errors produced by the serve layer: configuration validation, protocol
+/// violations, and wrapped solver/graph/I/O failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A [`ServeConfig`](crate::ServeConfig) field (or its environment
+    /// override) failed validation. Named after the first offending field,
+    /// matching the `HealthConfig` validation style.
+    BadConfig {
+        /// The offending field or environment variable.
+        field: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A client frame violated the wire protocol (bad JSON, missing or
+    /// mistyped fields, unknown command or config key).
+    Protocol {
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The server rejected a request for capacity reasons; `reason` is the
+    /// wire-level rejection code (`queue_full`, `too_many_connections`,
+    /// `shutting_down`).
+    Rejected {
+        /// Wire-level rejection code.
+        reason: &'static str,
+    },
+    /// A graph upload or named-instance lookup failed.
+    Graph(GraphError),
+    /// A solver build or run failed.
+    Solve(SolveError),
+    /// An underlying socket or file I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadConfig { field, message } => {
+                write!(f, "invalid serve config `{field}`: {message}")
+            }
+            ServeError::Protocol { message } => write!(f, "protocol error: {message}"),
+            ServeError::Rejected { reason } => write!(f, "request rejected: {reason}"),
+            ServeError::Graph(e) => write!(f, "graph error: {e}"),
+            ServeError::Solve(e) => write!(f, "solve error: {e}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Graph(e) => Some(e),
+            ServeError::Solve(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ServeError {
+    fn from(e: GraphError) -> Self {
+        ServeError::Graph(e)
+    }
+}
+
+impl From<SolveError> for ServeError {
+    fn from(e: SolveError) -> Self {
+        ServeError::Solve(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_field() {
+        let e = ServeError::BadConfig {
+            field: "queue_capacity",
+            message: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("queue_capacity"));
+        let e = ServeError::Protocol {
+            message: "missing `cmd`".into(),
+        };
+        assert!(e.to_string().contains("missing `cmd`"));
+        let e = ServeError::Rejected {
+            reason: "queue_full",
+        };
+        assert!(e.to_string().contains("queue_full"));
+    }
+
+    #[test]
+    fn wrapped_errors_expose_source() {
+        let e = ServeError::from(std::io::Error::other("x"));
+        assert!(e.source().is_some());
+        let e = ServeError::from(GraphError::Empty);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

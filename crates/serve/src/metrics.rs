@@ -1,0 +1,132 @@
+//! Service counters and per-solver latency quantiles.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sophie_solve::stats;
+
+/// Lifetime counters plus per-solver latency samples for one daemon.
+///
+/// Counters are atomics bumped from connection and worker threads; the
+/// `stats` command renders a consistent-enough snapshot (each counter is
+/// individually exact, the set is read without a global lock).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted into the admission queue.
+    pub accepted: AtomicU64,
+    /// Jobs rejected (`queue_full` or `shutting_down`), plus connections
+    /// turned away at the connection cap.
+    pub rejected: AtomicU64,
+    /// Jobs that ran to completion (converged or budget-exhausted).
+    pub completed: AtomicU64,
+    /// Jobs cancelled before or during execution.
+    pub cancelled: AtomicU64,
+    /// Jobs whose solver returned an error.
+    pub failed: AtomicU64,
+    /// Jobs currently executing on a worker.
+    pub in_flight: AtomicU64,
+    latencies_ms: Mutex<BTreeMap<String, Vec<f64>>>,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one completed job's submit-to-result latency.
+    pub fn record_latency(&self, solver: &str, ms: f64) {
+        self.latencies_ms
+            .lock()
+            .expect("metrics lock")
+            .entry(solver.to_string())
+            .or_default()
+            .push(ms);
+    }
+
+    /// Renders the `stats` response payload (without the frame `type`).
+    ///
+    /// Latency quantiles reuse the workspace quantile convention
+    /// ([`sophie_solve::stats::quantile_index`], ceil index on the sorted
+    /// sample) per solver name, in sorted name order.
+    #[must_use]
+    pub fn snapshot_json(&self, queue_depth: usize) -> String {
+        let mut out = format!(
+            "\"queue_depth\":{},\"in_flight\":{},\"accepted\":{},\"completed\":{},\"rejected\":{},\"cancelled\":{},\"failed\":{}",
+            queue_depth,
+            self.in_flight.load(Ordering::Relaxed),
+            self.accepted.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.cancelled.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+        );
+        out.push_str(",\"latency_ms\":{");
+        let latencies = self.latencies_ms.lock().expect("metrics lock");
+        let mut first = true;
+        for (solver, samples) in latencies.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"mean\":{:.3},\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3}}}",
+                crate::json::escape(solver),
+                sorted.len(),
+                stats::mean(sorted.iter().copied()),
+                quantile(&sorted, 0.50),
+                quantile(&sorted, 0.90),
+                quantile(&sorted, 0.99),
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Quantile of an already-sorted, non-empty sample.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    match stats::quantile_index(sorted.len(), q) {
+        Ok(i) => sorted[i],
+        Err(_) => f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_renders_counters_and_quantiles() {
+        let m = Metrics::new();
+        m.accepted.store(5, Ordering::Relaxed);
+        m.completed.store(3, Ordering::Relaxed);
+        for ms in [10.0, 20.0, 30.0, 40.0] {
+            m.record_latency("sa", ms);
+        }
+        m.record_latency("sophie", 99.0);
+        let json = format!("{{{}}}", m.snapshot_json(2));
+        let parsed = crate::json::Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("queue_depth").unwrap().as_u64(), Some(2));
+        assert_eq!(parsed.get("accepted").unwrap().as_u64(), Some(5));
+        let sa = parsed.get("latency_ms").unwrap().get("sa").unwrap();
+        assert_eq!(sa.get("count").unwrap().as_u64(), Some(4));
+        assert_eq!(sa.get("p50").unwrap().as_f64(), Some(20.0));
+        assert_eq!(sa.get("p99").unwrap().as_f64(), Some(40.0));
+        // Solvers list in sorted name order.
+        let obj = parsed.get("latency_ms").unwrap().as_obj().unwrap();
+        let names: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["sa", "sophie"]);
+    }
+
+    #[test]
+    fn empty_metrics_render_valid_json() {
+        let m = Metrics::new();
+        let json = format!("{{{}}}", m.snapshot_json(0));
+        assert!(crate::json::Json::parse(&json).is_ok());
+    }
+}

@@ -1,0 +1,418 @@
+//! The versioned JSON-lines wire protocol.
+//!
+//! Every frame — in both directions — is one JSON object on one line.
+//! Requests carry a `cmd` discriminator; responses carry `type`. The
+//! server greets each connection with a `hello` frame naming
+//! [`PROTOCOL_VERSION`] so clients can refuse servers they don't
+//! understand. See `EXPERIMENTS.md` for the full schema and example
+//! transcripts.
+
+use std::io::BufRead;
+
+use crate::error::{Result, ServeError};
+use crate::json::{escape, Json};
+
+/// Wire protocol version announced in the `hello` frame. Bumped on any
+/// incompatible change to frame shapes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Where a submitted job's instance comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpec {
+    /// A benchmark instance by name (`"G1"`, `"G22"`, `"K100"`, `"K<n>"`),
+    /// generated server-side with the benchmark harness's seed and cached.
+    Named(String),
+    /// An inline GSET document, parsed under the server's size limits.
+    Inline(String),
+}
+
+/// One `submit` command, parsed and validated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen job id; echoed on every frame about this job.
+    pub id: String,
+    /// Registry name of the solver to run.
+    pub solver: String,
+    /// The instance to solve.
+    pub graph: GraphSpec,
+    /// Job seed (default 0).
+    pub seed: u64,
+    /// Optional convergence target (cut value).
+    pub target: Option<f64>,
+    /// Optional deadline, mapped to `JobBudget::time_limit`.
+    pub deadline_ms: Option<u64>,
+    /// Optional iteration cap, mapped to `JobBudget::max_iterations`.
+    pub max_iterations: Option<usize>,
+    /// Stream `SolveEvent`s back as `event` frames while the job runs.
+    pub stream: bool,
+    /// Solver-specific config overrides (applied to the config type's
+    /// defaults); `None` runs the registry default.
+    pub config: Option<Json>,
+}
+
+/// Any client command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job for execution.
+    Submit(Box<SubmitRequest>),
+    /// Cancel a previously submitted job on this connection.
+    Cancel {
+        /// Id of the job to cancel.
+        id: String,
+    },
+    /// List registered solvers.
+    ListSolvers,
+    /// Service counters and latency quantiles.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Gracefully shut the daemon down.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for syntactically invalid JSON, a missing or
+/// unknown `cmd`, missing required fields, or mistyped optional ones.
+pub fn parse_request(line: &str) -> Result<Request> {
+    let doc = Json::parse(line)?;
+    let cmd = require_str(&doc, "cmd")?;
+    match cmd {
+        "submit" => parse_submit(&doc).map(Box::new).map(Request::Submit),
+        "cancel" => Ok(Request::Cancel {
+            id: require_str(&doc, "id")?.to_string(),
+        }),
+        "list-solvers" => Ok(Request::ListSolvers),
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ServeError::Protocol {
+            message: format!("unknown cmd {other:?}"),
+        }),
+    }
+}
+
+fn parse_submit(doc: &Json) -> Result<SubmitRequest> {
+    let id = require_str(doc, "id")?.to_string();
+    if id.is_empty() {
+        return Err(ServeError::Protocol {
+            message: "`id` must be non-empty".into(),
+        });
+    }
+    let solver = require_str(doc, "solver")?.to_string();
+    let graph = match doc.get("graph") {
+        Some(g) => {
+            if let Some(name) = g.get("named").and_then(Json::as_str) {
+                GraphSpec::Named(name.to_string())
+            } else if let Some(gset) = g.get("gset").and_then(Json::as_str) {
+                GraphSpec::Inline(gset.to_string())
+            } else {
+                return Err(ServeError::Protocol {
+                    message: "`graph` must be {\"named\": ...} or {\"gset\": ...}".into(),
+                });
+            }
+        }
+        None => {
+            return Err(ServeError::Protocol {
+                message: "submit requires `graph`".into(),
+            })
+        }
+    };
+    Ok(SubmitRequest {
+        id,
+        solver,
+        graph,
+        seed: optional_u64(doc, "seed")?.unwrap_or(0),
+        target: optional_f64(doc, "target")?,
+        deadline_ms: optional_u64(doc, "deadline_ms")?,
+        max_iterations: optional_u64(doc, "max_iterations")?.map(|n| n as usize),
+        stream: match doc.get("stream") {
+            None => false,
+            Some(v) => v.as_bool().ok_or_else(|| ServeError::Protocol {
+                message: "`stream` must be a boolean".into(),
+            })?,
+        },
+        config: doc.get("config").cloned(),
+    })
+}
+
+fn require_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::Protocol {
+            message: format!("missing or non-string `{key}`"),
+        })
+}
+
+fn optional_u64(doc: &Json, key: &str) -> Result<Option<u64>> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| ServeError::Protocol {
+            message: format!("`{key}` must be a non-negative integer"),
+        }),
+    }
+}
+
+fn optional_f64(doc: &Json, key: &str) -> Result<Option<f64>> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| ServeError::Protocol {
+            message: format!("`{key}` must be a number"),
+        }),
+    }
+}
+
+// ---- response frame builders (single-line JSON strings) ----
+
+/// The greeting the server writes on every new connection.
+#[must_use]
+pub fn hello_frame(solvers: &[&str]) -> String {
+    let list: Vec<String> = solvers
+        .iter()
+        .map(|s| format!("\"{}\"", escape(s)))
+        .collect();
+    format!(
+        "{{\"type\":\"hello\",\"protocol\":{PROTOCOL_VERSION},\"solvers\":[{}]}}",
+        list.join(",")
+    )
+}
+
+/// Job admitted; `queue_depth` is the depth after admission.
+#[must_use]
+pub fn accepted_frame(id: &str, queue_depth: usize) -> String {
+    format!(
+        "{{\"type\":\"accepted\",\"id\":\"{}\",\"queue_depth\":{queue_depth}}}",
+        escape(id)
+    )
+}
+
+/// Job refused; `reason` is one of `queue_full`, `too_many_connections`,
+/// `shutting_down`.
+#[must_use]
+pub fn rejected_frame(id: &str, reason: &str) -> String {
+    format!(
+        "{{\"type\":\"rejected\",\"id\":\"{}\",\"reason\":\"{reason}\"}}",
+        escape(id)
+    )
+}
+
+/// A malformed or unserviceable request (`id` empty when unknown).
+#[must_use]
+pub fn error_frame(id: &str, message: &str) -> String {
+    format!(
+        "{{\"type\":\"error\",\"id\":\"{}\",\"message\":\"{}\"}}",
+        escape(id),
+        escape(message)
+    )
+}
+
+/// One streamed `SolveEvent`; `event_json` is the event's own
+/// single-line rendering.
+#[must_use]
+pub fn event_frame(id: &str, event_json: &str) -> String {
+    format!(
+        "{{\"type\":\"event\",\"id\":\"{}\",\"event\":{event_json}}}",
+        escape(id)
+    )
+}
+
+/// Terminal frame for a job that produced a report; `status` is `done`
+/// or `cancelled`, `report_json` the report's rendering.
+#[must_use]
+pub fn result_frame(id: &str, status: &str, latency_ms: f64, report_json: &str) -> String {
+    format!(
+        "{{\"type\":\"result\",\"id\":\"{}\",\"status\":\"{status}\",\"latency_ms\":{latency_ms:.3},\"report\":{report_json}}}",
+        escape(id)
+    )
+}
+
+/// Terminal frame for a job whose solver failed.
+#[must_use]
+pub fn failed_frame(id: &str, latency_ms: f64, message: &str) -> String {
+    format!(
+        "{{\"type\":\"result\",\"id\":\"{}\",\"status\":\"failed\",\"latency_ms\":{latency_ms:.3},\"error\":\"{}\"}}",
+        escape(id),
+        escape(message)
+    )
+}
+
+/// Acknowledges a `cancel`; `found` says whether the id named a live job
+/// on this connection.
+#[must_use]
+pub fn cancel_ok_frame(id: &str, found: bool) -> String {
+    format!(
+        "{{\"type\":\"cancel_ok\",\"id\":\"{}\",\"found\":{found}}}",
+        escape(id)
+    )
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than `max`
+/// bytes, the guard that keeps untrusted sockets from ballooning memory.
+///
+/// Returns `Ok(None)` on clean EOF before any byte of a new line.
+///
+/// # Errors
+///
+/// I/O errors from the reader; [`std::io::ErrorKind::InvalidData`] when a
+/// line exceeds `max` bytes or is not UTF-8.
+pub fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+) -> std::io::Result<Option<String>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            break; // EOF terminates the final unterminated line
+        }
+        let (consumed, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                line.extend_from_slice(&chunk[..pos]);
+                (pos + 1, true)
+            }
+            None => {
+                line.extend_from_slice(chunk);
+                (chunk.len(), false)
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > max {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line exceeds {max} bytes"),
+            ));
+        }
+        if done {
+            break;
+        }
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "line is not utf-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_submit() {
+        let line = r#"{"cmd":"submit","id":"j1","solver":"sa","graph":{"named":"K100"},
+            "seed":7,"target":190.5,"deadline_ms":250,"max_iterations":50,"stream":true,
+            "config":{"sweeps":10}}"#
+            .replace('\n', " ");
+        match parse_request(&line).unwrap() {
+            Request::Submit(req) => {
+                assert_eq!(req.id, "j1");
+                assert_eq!(req.solver, "sa");
+                assert_eq!(req.graph, GraphSpec::Named("K100".into()));
+                assert_eq!(req.seed, 7);
+                assert_eq!(req.target, Some(190.5));
+                assert_eq!(req.deadline_ms, Some(250));
+                assert_eq!(req.max_iterations, Some(50));
+                assert!(req.stream);
+                assert!(req.config.is_some());
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_defaults_are_minimal() {
+        let line = r#"{"cmd":"submit","id":"j","solver":"sa","graph":{"gset":"2 1\n1 2 1\n"}}"#;
+        match parse_request(line).unwrap() {
+            Request::Submit(req) => {
+                assert_eq!(req.seed, 0);
+                assert!(!req.stream);
+                assert!(req.target.is_none() && req.deadline_ms.is_none());
+                assert!(matches!(req.graph, GraphSpec::Inline(_)));
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn other_commands_parse() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"cancel","id":"x"}"#).unwrap(),
+            Request::Cancel { id: "x".into() }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"list-solvers"}"#).unwrap(),
+            Request::ListSolvers
+        );
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"cmd":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_protocol_errors() {
+        for bad in [
+            "not json",
+            r#"{"cmd":"warp"}"#,
+            r#"{"id":"j"}"#,
+            r#"{"cmd":"submit","id":"","solver":"sa","graph":{"named":"G1"}}"#,
+            r#"{"cmd":"submit","id":"j","solver":"sa"}"#,
+            r#"{"cmd":"submit","id":"j","solver":"sa","graph":{}}"#,
+            r#"{"cmd":"submit","id":"j","solver":"sa","graph":{"named":"G1"},"seed":-1}"#,
+            r#"{"cmd":"submit","id":"j","solver":"sa","graph":{"named":"G1"},"stream":1}"#,
+        ] {
+            assert!(
+                matches!(parse_request(bad), Err(ServeError::Protocol { .. })),
+                "{bad} should be a protocol error"
+            );
+        }
+    }
+
+    #[test]
+    fn frames_are_single_line_valid_json() {
+        let frames = [
+            hello_frame(&["sa", "sophie"]),
+            accepted_frame("j\"1", 3),
+            rejected_frame("j", "queue_full"),
+            error_frame("", "bad \"stuff\"\non two lines"),
+            event_frame("j", r#"{"type":"run_started"}"#),
+            result_frame("j", "done", 12.5, r#"{"best_cut":10}"#),
+            failed_frame("j", 0.1, "solver exploded"),
+            cancel_ok_frame("j", true),
+        ];
+        for frame in frames {
+            assert!(!frame.contains('\n'), "{frame}");
+            Json::parse(&frame).unwrap_or_else(|e| panic!("{frame}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bounded_reader_enforces_the_cap() {
+        let mut input = std::io::BufReader::new("short\nlonger line\n".as_bytes());
+        assert_eq!(
+            read_line_bounded(&mut input, 64).unwrap().as_deref(),
+            Some("short")
+        );
+        assert_eq!(
+            read_line_bounded(&mut input, 64).unwrap().as_deref(),
+            Some("longer line")
+        );
+        assert_eq!(read_line_bounded(&mut input, 64).unwrap(), None);
+
+        let mut oversized = std::io::BufReader::new([b'a'; 100].as_slice());
+        let err = read_line_bounded(&mut oversized, 10).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // EOF without a trailing newline still yields the last line.
+        let mut tailless = std::io::BufReader::new("no newline".as_bytes());
+        assert_eq!(
+            read_line_bounded(&mut tailless, 64).unwrap().as_deref(),
+            Some("no newline")
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Bounded admission queue with explicit backpressure.
+//!
+//! The daemon never buffers unboundedly: a submit that would exceed the
+//! configured capacity is *rejected* (typed `queue_full` frame), not
+//! parked. Workers block on [`AdmissionQueue::pop`]; closing the queue
+//! wakes them all and hands back whatever was still queued so the caller
+//! can fail those jobs deterministically during shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should reject with
+    /// `queue_full`.
+    Full,
+    /// The queue was closed (daemon shutting down); reject with
+    /// `shutting_down`.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue: producers try-push (never block), consumers
+/// block on pop until an item arrives or the queue closes.
+pub struct AdmissionQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue holding at most `capacity` items.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `item` if there is room, returning the queue depth after the
+    /// push.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`AdmissionQueue::close`]; the item is dropped in either case (the
+    /// caller still owns the request context needed to reject it).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// closed *and* empty (returning `None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail `Closed`, blocked `pop`s
+    /// wake and drain, and every item still queued is returned to the
+    /// caller (shutdown fails them explicitly rather than dropping them).
+    pub fn close(&self) -> Vec<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = true;
+        let drained = state.items.drain(..).collect();
+        drop(state);
+        self.ready.notify_all();
+        drained
+    }
+
+    /// Items currently queued (racy the instant it returns; for stats).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+}
+
+impl<T> std::fmt::Debug for AdmissionQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionQueue")
+            .field("capacity", &self.capacity)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_is_fifo_and_bounded() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_and_wakes_blocked_consumers() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(item) = q.pop() {
+                    got.push(item);
+                }
+                got
+            })
+        };
+        // Give the consumer a chance to drain and block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let leftover = q.close();
+        let consumed = consumer.join().unwrap();
+        assert_eq!(q.try_push(99), Err(PushError::Closed));
+        // Every item ends up exactly once in `consumed` or `leftover`.
+        let mut all: Vec<i32> = consumed.into_iter().chain(leftover).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![10, 11]);
+    }
+
+    #[test]
+    fn concurrent_producers_never_exceed_capacity() {
+        let q = Arc::new(AdmissionQueue::new(8));
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut accepted = 0;
+                    for i in 0..100 {
+                        if q.try_push(t * 1000 + i).is_ok() {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        let accepted: usize = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        let depth = q.depth();
+        assert!(depth <= 8);
+        assert_eq!(depth, accepted.min(8));
+        assert_eq!(q.close().len(), depth);
+    }
+}

@@ -1,0 +1,565 @@
+//! The solve daemon: acceptor, connection threads, and job workers.
+//!
+//! # Thread model
+//!
+//! All concurrency is hand-rolled on `std` threads and channels — the
+//! build environment vendors no async runtime, and none is needed:
+//!
+//! * one **supervisor** thread owns the (non-blocking) listener, accepts
+//!   connections, and performs the teardown sequence on shutdown;
+//! * one **connection thread** per client reads request lines, performs
+//!   admission (graph resolution, solver construction, queue push), and
+//!   answers control commands; writes to the shared socket writer are
+//!   serialized through a mutex so frames never interleave;
+//! * `workers` **worker threads** block on the admission queue and run
+//!   jobs; streaming jobs get a socket-backed
+//!   [`FnObserver`] sink that emits `event`
+//!   frames as the solver produces them.
+//!
+//! The admitted-frame guarantee: the connection thread holds the writer
+//! lock across queue push *and* `accepted` write, so a worker can never
+//! emit this job's `result` before the client saw `accepted`.
+//!
+//! # Shutdown
+//!
+//! `shutdown` (the protocol command, or [`ServerHandle::shutdown`])
+//! closes the admission queue — queued jobs get `cancelled` results
+//! without running — cancels every in-flight job's token (solvers wind
+//! down within one iteration), joins the workers, then shuts every client
+//! socket down and joins the connection threads. The build environment
+//! has no signal-handling crate, so SIGINT is *not* trapped; the protocol
+//! command is the one graceful path.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sophie_graph::generate::presets;
+use sophie_graph::io::{read_graph_limited, ParseLimits};
+use sophie_graph::Graph;
+use sophie_solve::{
+    CancelToken, FnObserver, JobBudget, NullObserver, SolveJob, Solver, SolverRegistry,
+};
+
+use crate::config::ServeConfig;
+use crate::configs::build_solver;
+use crate::error::{Result, ServeError};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    accepted_frame, cancel_ok_frame, error_frame, event_frame, failed_frame, hello_frame,
+    parse_request, read_line_bounded, rejected_frame, result_frame, GraphSpec, Request,
+    SubmitRequest,
+};
+use crate::queue::{AdmissionQueue, PushError};
+
+/// One client connection's shared write half.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl Conn {
+    /// Writes one frame line; a failed write latches the connection dead
+    /// so later frames (and streaming observers) stop trying.
+    fn send(&self, frame: &str) {
+        if !self.alive.load(Ordering::Acquire) {
+            return;
+        }
+        let mut w = self.writer.lock().expect("conn writer lock");
+        if writeln!(w, "{frame}").and_then(|()| w.flush()).is_err() {
+            self.alive.store(false, Ordering::Release);
+        }
+    }
+
+    /// Half-closes the socket so the connection thread's blocking read
+    /// returns; used by the shutdown sequence.
+    fn close(&self) {
+        self.alive.store(false, Ordering::Release);
+        if let Ok(w) = self.writer.lock() {
+            let _ = w.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A job admitted to the queue, carrying everything a worker needs.
+struct QueuedJob {
+    request: SubmitRequest,
+    graph: Arc<Graph>,
+    solver: Arc<dyn Solver>,
+    cancel: CancelToken,
+    conn: Arc<Conn>,
+    submitted_at: Instant,
+}
+
+/// State shared by every thread of one daemon.
+struct Shared {
+    config: ServeConfig,
+    registry: SolverRegistry,
+    metrics: Metrics,
+    queue: AdmissionQueue<QueuedJob>,
+    shutdown: AtomicBool,
+    conn_count: AtomicUsize,
+    job_serial: AtomicU64,
+    /// Cancel tokens of jobs currently executing, keyed by a worker-side
+    /// serial; shutdown cancels them all.
+    active: Mutex<HashMap<u64, CancelToken>>,
+    /// Named-instance cache: `Arc` identity makes the engine adapters'
+    /// per-graph caches hit across jobs.
+    graphs: Mutex<BTreeMap<String, Arc<Graph>>>,
+    /// Write halves of live connections, for the shutdown sweep.
+    conns: Mutex<Vec<std::sync::Weak<Conn>>>,
+    /// Connection threads, joined by the supervisor during teardown.
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Entry point: binds and runs a daemon in background threads.
+pub struct Server;
+
+/// A running daemon. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::shutdown`] (or send the protocol command and
+/// [`ServerHandle::join`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the daemon with `registry`'s solvers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] if `config` fails validation,
+    /// [`ServeError::Io`] if the bind fails.
+    pub fn start(
+        config: ServeConfig,
+        registry: SolverRegistry,
+        addr: impl ToSocketAddrs,
+    ) -> Result<ServerHandle> {
+        config.validate()?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(config.queue_capacity),
+            config,
+            registry,
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            conn_count: AtomicUsize::new(0),
+            job_serial: AtomicU64::new(0),
+            active: Mutex::new(HashMap::new()),
+            graphs: Mutex::new(BTreeMap::new()),
+            conns: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        let workers: Vec<JoinHandle<()>> = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-supervisor".into())
+                .spawn(move || supervise(&shared, &listener, workers))
+                .expect("spawn supervisor")
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            supervisor: Some(supervisor),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether shutdown has been triggered (by either side).
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Triggers graceful shutdown and blocks until teardown completes.
+    pub fn shutdown(mut self) {
+        trigger_shutdown(&self.shared);
+        if let Some(t) = self.supervisor.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until a client-triggered shutdown completes teardown.
+    pub fn join(mut self) {
+        if let Some(t) = self.supervisor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("shutting_down", &self.is_shutting_down())
+            .finish()
+    }
+}
+
+/// Flips the shutdown flag once: closes the queue (failing queued jobs as
+/// `cancelled`) and cancels every in-flight token.
+fn trigger_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    for job in shared.queue.close() {
+        shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+        let latency = job.submitted_at.elapsed().as_secs_f64() * 1e3;
+        job.conn
+            .send(&result_frame(&job.request.id, "cancelled", latency, "null"));
+    }
+    for token in shared.active.lock().expect("active lock").values() {
+        token.cancel();
+    }
+}
+
+/// Accept loop plus the ordered teardown sequence.
+fn supervise(shared: &Arc<Shared>, listener: &TcpListener, workers: Vec<JoinHandle<()>>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => accept_conn(shared, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Queue is closed; workers finish their current job and exit. Joining
+    // them *before* closing sockets lets final result frames flush.
+    for w in workers {
+        let _ = w.join();
+    }
+    let conns: Vec<_> = shared.conns.lock().expect("conns lock").drain(..).collect();
+    for conn in conns.iter().filter_map(std::sync::Weak::upgrade) {
+        conn.close();
+    }
+    let threads: Vec<_> = shared
+        .conn_threads
+        .lock()
+        .expect("conn threads lock")
+        .drain(..)
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+}
+
+fn accept_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Reads must not block forever once shutdown closes the socket; a
+    // blocking read on a shut-down socket returns promptly, so plain
+    // blocking mode is fine here (the listener alone is non-blocking).
+    let _ = stream.set_nonblocking(false);
+    if shared.conn_count.load(Ordering::Acquire) >= shared.config.max_connections {
+        shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        let mut stream = stream;
+        let _ = writeln!(stream, "{}", rejected_frame("", "too_many_connections"));
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    shared.conn_count.fetch_add(1, Ordering::AcqRel);
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name("serve-conn".into())
+        .spawn(move || {
+            handle_conn(&shared2, stream);
+            shared2.conn_count.fetch_sub(1, Ordering::AcqRel);
+        })
+        .expect("spawn connection thread");
+    shared
+        .conn_threads
+        .lock()
+        .expect("conn threads lock")
+        .push(handle);
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(writer),
+        alive: AtomicBool::new(true),
+    });
+    shared
+        .conns
+        .lock()
+        .expect("conns lock")
+        .push(Arc::downgrade(&conn));
+    conn.send(&hello_frame(&shared.registry.names()));
+    let mut reader = BufReader::new(stream);
+    // Jobs this connection submitted; dropping the connection cancels them.
+    let mut jobs: HashMap<String, CancelToken> = HashMap::new();
+    loop {
+        let line = match read_line_bounded(&mut reader, shared.config.max_line_bytes) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(e) => {
+                conn.send(&error_frame("", &e.to_string()));
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(e) => conn.send(&error_frame("", &e.to_string())),
+            Ok(Request::Submit(req)) => handle_submit(shared, &conn, &mut jobs, *req),
+            Ok(Request::Cancel { id }) => {
+                let found = jobs.get(&id).map(CancelToken::cancel).is_some();
+                conn.send(&cancel_ok_frame(&id, found));
+            }
+            Ok(Request::ListSolvers) => conn.send(&solvers_frame(shared)),
+            Ok(Request::Stats) => conn.send(&stats_frame(shared)),
+            Ok(Request::Ping) => conn.send("{\"type\":\"pong\"}"),
+            Ok(Request::Shutdown) => {
+                conn.send("{\"type\":\"shutdown_ack\"}");
+                trigger_shutdown(shared);
+                break;
+            }
+        }
+        if !conn.alive.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    // Connection gone (or shutting down): cancel everything it submitted.
+    for token in jobs.values() {
+        token.cancel();
+    }
+    conn.alive.store(false, Ordering::Release);
+}
+
+fn handle_submit(
+    shared: &Arc<Shared>,
+    conn: &Arc<Conn>,
+    jobs: &mut HashMap<String, CancelToken>,
+    request: SubmitRequest,
+) {
+    let graph = match resolve_graph(shared, &request.graph) {
+        Ok(g) => g,
+        Err(e) => {
+            conn.send(&error_frame(&request.id, &e.to_string()));
+            return;
+        }
+    };
+    let solver = match build_solver(&shared.registry, &request.solver, request.config.as_ref()) {
+        Ok(s) => s,
+        Err(e) => {
+            conn.send(&error_frame(&request.id, &e.to_string()));
+            return;
+        }
+    };
+    let cancel = CancelToken::new();
+    let id = request.id.clone();
+    let job = QueuedJob {
+        request,
+        graph,
+        solver,
+        cancel: cancel.clone(),
+        conn: Arc::clone(conn),
+        submitted_at: Instant::now(),
+    };
+    // Hold the writer lock across push + ack: the worker that picks the
+    // job up cannot write its frames before the client sees `accepted`.
+    let mut w = conn.writer.lock().expect("conn writer lock");
+    let frame = match shared.queue.try_push(job) {
+        Ok(depth) => {
+            shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            jobs.insert(id.clone(), cancel);
+            accepted_frame(&id, depth)
+        }
+        Err(PushError::Full) => {
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            rejected_frame(&id, "queue_full")
+        }
+        Err(PushError::Closed) => {
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            rejected_frame(&id, "shutting_down")
+        }
+    };
+    if writeln!(w, "{frame}").and_then(|()| w.flush()).is_err() {
+        conn.alive.store(false, Ordering::Release);
+    }
+}
+
+/// Resolves a submit's instance: a cached named benchmark graph, or an
+/// inline GSET document parsed under the configured size limits.
+fn resolve_graph(shared: &Shared, spec: &GraphSpec) -> Result<Arc<Graph>> {
+    let limits = ParseLimits::new(
+        shared.config.max_instance_nodes,
+        shared.config.max_instance_edges,
+    );
+    match spec {
+        GraphSpec::Inline(gset) => {
+            let graph = read_graph_limited(gset.as_bytes(), &limits)?;
+            Ok(Arc::new(graph))
+        }
+        GraphSpec::Named(name) => {
+            if let Some(g) = shared.graphs.lock().expect("graphs lock").get(name) {
+                return Ok(Arc::clone(g));
+            }
+            // Benchmark-harness instances, generated with its seed (1).
+            let graph = match name.as_str() {
+                "G1" => presets::g1_like(1)?,
+                "G22" => presets::g22_like(1)?,
+                "K100" => presets::k100(1)?,
+                k if k.starts_with('K') => {
+                    let n: usize = k[1..].parse().map_err(|_| ServeError::Protocol {
+                        message: format!("unknown named instance {name:?}"),
+                    })?;
+                    if n > shared.config.max_instance_nodes {
+                        return Err(ServeError::Graph(sophie_graph::GraphError::Oversized {
+                            what: "nodes",
+                            got: n,
+                            limit: shared.config.max_instance_nodes,
+                        }));
+                    }
+                    presets::k_graph(n, 1)?
+                }
+                _ => {
+                    return Err(ServeError::Protocol {
+                        message: format!("unknown named instance {name:?}"),
+                    })
+                }
+            };
+            let graph = Arc::new(graph);
+            shared
+                .graphs
+                .lock()
+                .expect("graphs lock")
+                .insert(name.clone(), Arc::clone(&graph));
+            Ok(graph)
+        }
+    }
+}
+
+fn solvers_frame(shared: &Shared) -> String {
+    let entries: Vec<String> = shared
+        .registry
+        .names()
+        .iter()
+        .map(|name| {
+            format!(
+                "{{\"name\":\"{}\",\"summary\":\"{}\",\"config\":\"{}\"}}",
+                crate::json::escape(name),
+                crate::json::escape(shared.registry.summary(name).unwrap_or("")),
+                crate::json::escape(shared.registry.config_type(name).unwrap_or("")),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"type\":\"solvers\",\"solvers\":[{}]}}",
+        entries.join(",")
+    )
+}
+
+fn stats_frame(shared: &Shared) -> String {
+    format!(
+        "{{\"type\":\"stats\",\"protocol\":{},\"shutting_down\":{},{}}}",
+        crate::protocol::PROTOCOL_VERSION,
+        shared.shutdown.load(Ordering::Acquire),
+        shared.metrics.snapshot_json(shared.queue.depth()),
+    )
+}
+
+/// Worker: pops admitted jobs and runs them to completion.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        run_job(shared, job);
+    }
+}
+
+fn run_job(shared: &Shared, job: QueuedJob) {
+    let id = job.request.id.clone();
+    if job.cancel.is_cancelled() || !job.conn.alive.load(Ordering::Acquire) {
+        // Cancelled while queued (explicit cancel or connection drop).
+        shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+        let latency = job.submitted_at.elapsed().as_secs_f64() * 1e3;
+        job.conn
+            .send(&result_frame(&id, "cancelled", latency, "null"));
+        return;
+    }
+    let serial = shared.job_serial.fetch_add(1, Ordering::Relaxed);
+    shared
+        .active
+        .lock()
+        .expect("active lock")
+        .insert(serial, job.cancel.clone());
+    shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+
+    let budget = JobBudget {
+        max_iterations: job.request.max_iterations,
+        time_limit: job.request.deadline_ms.map(Duration::from_millis),
+    };
+    let solve_job = SolveJob::new(Arc::clone(&job.graph), job.request.seed)
+        .with_target(job.request.target)
+        .with_budget(budget)
+        .with_cancel(job.cancel.clone());
+
+    let outcome = if job.request.stream {
+        let conn = Arc::clone(&job.conn);
+        let cancel = job.cancel.clone();
+        let stream_id = id.clone();
+        let mut sink = FnObserver::new(move |event: &sophie_solve::SolveEvent| {
+            conn.send(&event_frame(&stream_id, &event.to_json()));
+            // A dead socket means nobody is listening: stop the run
+            // instead of streaming into the void.
+            if !conn.alive.load(Ordering::Acquire) {
+                cancel.cancel();
+            }
+        });
+        job.solver.solve(&solve_job, &mut sink)
+    } else {
+        job.solver.solve(&solve_job, &mut NullObserver)
+    };
+
+    let latency_ms = job.submitted_at.elapsed().as_secs_f64() * 1e3;
+    match outcome {
+        Ok(report) => {
+            let status = if job.cancel.is_cancelled() {
+                shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                "cancelled"
+            } else {
+                shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .record_latency(&job.request.solver, latency_ms);
+                "done"
+            };
+            job.conn
+                .send(&result_frame(&id, status, latency_ms, &report.to_json()));
+        }
+        Err(e) => {
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            job.conn
+                .send(&failed_frame(&id, latency_ms, &e.to_string()));
+        }
+    }
+    shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    shared.active.lock().expect("active lock").remove(&serial);
+}

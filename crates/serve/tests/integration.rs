@@ -1,0 +1,242 @@
+//! End-to-end daemon test over real localhost TCP.
+//!
+//! One server, concurrent clients, heterogeneous solvers: a long SA job
+//! cancelled mid-run, a queued job that completes after the cancel frees
+//! the worker, a submit rejected by the full admission queue, a streaming
+//! SOPHIE job whose event frames arrive before its result, and a
+//! graceful shutdown whose final stats counters account for every job.
+
+use std::time::Duration;
+
+use sophie_serve::{Client, GraphSpec, Json, ServeConfig, Server, SubmitArgs};
+
+fn start_server(queue_capacity: usize, workers: usize) -> sophie_serve::ServerHandle {
+    let config = ServeConfig {
+        queue_capacity,
+        workers,
+        max_connections: 8,
+        ..ServeConfig::default()
+    };
+    Server::start(config, sophie::default_registry(), "127.0.0.1:0").expect("server starts")
+}
+
+/// Polls `stats` until `pred` holds (daemon state transitions are
+/// asynchronous; tests must wait for them, not assume them).
+fn wait_stats(client: &mut Client, pred: impl Fn(&Json) -> bool) -> Json {
+    for _ in 0..600 {
+        let stats = client.stats().expect("stats");
+        if pred(&stats) {
+            return stats;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("stats condition not reached within 6s");
+}
+
+fn counter(stats: &Json, key: &str) -> u64 {
+    stats.get(key).and_then(Json::as_u64).unwrap_or(u64::MAX)
+}
+
+#[test]
+fn full_service_lifecycle_over_tcp() {
+    let server = start_server(/* queue */ 1, /* workers */ 1);
+    let addr = server.local_addr();
+
+    let mut alice = Client::connect(addr).expect("alice connects");
+    let mut bob = Client::connect(addr).expect("bob connects");
+
+    // Protocol greeting names every registered solver.
+    let solvers = alice.list_solvers().expect("list-solvers");
+    let names: Vec<&str> = solvers
+        .get("solvers")
+        .and_then(Json::as_arr)
+        .expect("solvers array")
+        .iter()
+        .map(|s| s.get("name").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        names,
+        vec!["bls", "pris", "pt", "sa", "sb", "sophie", "sophie-opcm"]
+    );
+    alice.ping().expect("ping");
+
+    // Job 1 (alice): an SA run far too long to finish, to be cancelled
+    // mid-run. The deadline is a backstop so a cancellation bug cannot
+    // hang the test forever.
+    let mut long_job = SubmitArgs::new("sa", GraphSpec::Named("K60".into()));
+    long_job.config_json = Some(r#"{"sweeps": 100000000}"#.into());
+    long_job.deadline_ms = Some(30_000);
+    long_job.seed = 1;
+    let admission = alice.submit("long", &long_job).expect("submit long");
+    assert_eq!(
+        admission.get("type").and_then(Json::as_str),
+        Some("accepted")
+    );
+
+    // Wait until it is actually executing so the next two submissions
+    // deterministically hit the queue (capacity 1) and then the rejection.
+    wait_stats(&mut bob, |s| counter(s, "in_flight") == 1);
+
+    // Job 2 (alice): queued behind the long job.
+    let mut quick = SubmitArgs::new("sa", GraphSpec::Inline("3 2\n1 2 1\n2 3 1\n".into()));
+    quick.config_json = Some(r#"{"sweeps": 20}"#.into());
+    let admission = alice.submit("quick", &quick).expect("submit quick");
+    assert_eq!(
+        admission.get("type").and_then(Json::as_str),
+        Some("accepted")
+    );
+
+    // Job 3 (bob): the queue (capacity 1) is full — typed rejection.
+    let rejected = bob.submit("overflow", &quick).expect("submit overflow");
+    assert_eq!(
+        rejected.get("type").and_then(Json::as_str),
+        Some("rejected")
+    );
+    assert_eq!(
+        rejected.get("reason").and_then(Json::as_str),
+        Some("queue_full")
+    );
+
+    // Cancel the long job mid-run; cooperative cancellation stops the
+    // solver within one sweep.
+    assert!(alice.cancel("long").expect("cancel long"));
+    let outcome = alice.wait_result("long").expect("long result");
+    assert_eq!(outcome.status, "cancelled");
+    let report = outcome.frame.get("report").expect("report");
+    let planned = report
+        .get("planned_iterations")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let ran = report.get("iterations_run").and_then(Json::as_u64).unwrap();
+    assert!(
+        ran < planned,
+        "cancelled run must stop early ({ran} of {planned})"
+    );
+
+    // The queued job now runs to completion.
+    let outcome = alice.wait_result("quick").expect("quick result");
+    assert_eq!(outcome.status, "done");
+    assert_eq!(
+        outcome
+            .frame
+            .get("report")
+            .and_then(|r| r.get("best_cut"))
+            .and_then(Json::as_f64),
+        Some(2.0)
+    );
+
+    // Job 4 (bob): streaming SOPHIE job — heterogeneous solver, event
+    // frames precede the result and carry the engine's event vocabulary.
+    let mut streaming = SubmitArgs::new("sophie", GraphSpec::Named("K40".into()));
+    streaming.stream = true;
+    streaming.config_json =
+        Some(r#"{"global_iters": 4, "tile_size": 20, "local_iters": 2}"#.into());
+    streaming.seed = 3;
+    let admission = bob.submit("stream", &streaming).expect("submit stream");
+    assert_eq!(
+        admission.get("type").and_then(Json::as_str),
+        Some("accepted")
+    );
+    let outcome = bob.wait_result("stream").expect("stream result");
+    assert_eq!(outcome.status, "done");
+    assert!(!outcome.events.is_empty(), "streaming job must emit events");
+    let kinds: Vec<&str> = outcome
+        .events
+        .iter()
+        .map(|e| {
+            e.get("event")
+                .and_then(|ev| ev.get("event"))
+                .and_then(Json::as_str)
+                .expect("event kind")
+        })
+        .collect();
+    assert_eq!(kinds.first(), Some(&"run_started"));
+    assert_eq!(kinds.last(), Some(&"run_finished"));
+    assert!(kinds.contains(&"global_sync"));
+
+    // A malformed request gets a typed error frame, not a dropped
+    // connection.
+    bob.send_line(r#"{"cmd":"submit","id":"bad","solver":"sa"}"#)
+        .expect("send malformed");
+    let err = bob.read_frame().expect("error frame");
+    assert_eq!(err.get("type").and_then(Json::as_str), Some("error"));
+
+    // Final counters: 3 accepted (long, quick, stream), 1 completed +
+    // 1 via quick = 2 done, 1 cancelled, 1 rejected.
+    let stats = wait_stats(&mut bob, |s| {
+        counter(s, "in_flight") == 0 && counter(s, "queue_depth") == 0
+    });
+    assert_eq!(counter(&stats, "accepted"), 3);
+    assert_eq!(counter(&stats, "completed"), 2);
+    assert_eq!(counter(&stats, "cancelled"), 1);
+    assert_eq!(counter(&stats, "rejected"), 1);
+    assert_eq!(counter(&stats, "failed"), 0);
+    let sa_latency = stats
+        .get("latency_ms")
+        .and_then(|l| l.get("sa"))
+        .expect("sa latency bucket");
+    assert_eq!(sa_latency.get("count").and_then(Json::as_u64), Some(1));
+
+    // Graceful shutdown via the protocol; join() returns only after full
+    // teardown.
+    bob.shutdown().expect("shutdown ack");
+    server.join();
+
+    // The daemon is really gone.
+    assert!(Client::connect(addr).is_err());
+}
+
+#[test]
+fn connection_drop_cancels_in_flight_jobs() {
+    let server = start_server(4, 1);
+    let addr = server.local_addr();
+
+    let mut doomed = Client::connect(addr).expect("doomed connects");
+    let mut watcher = Client::connect(addr).expect("watcher connects");
+
+    let mut long_job = SubmitArgs::new("sa", GraphSpec::Named("K60".into()));
+    long_job.config_json = Some(r#"{"sweeps": 100000000}"#.into());
+    long_job.deadline_ms = Some(30_000);
+    let admission = doomed.submit("orphan", &long_job).expect("submit");
+    assert_eq!(
+        admission.get("type").and_then(Json::as_str),
+        Some("accepted")
+    );
+    wait_stats(&mut watcher, |s| counter(s, "in_flight") == 1);
+
+    // Drop the submitting connection; the server cancels its jobs.
+    drop(doomed);
+    let stats = wait_stats(&mut watcher, |s| counter(s, "in_flight") == 0);
+    assert_eq!(counter(&stats, "cancelled"), 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_fails_queued_jobs_and_rejects_new_ones() {
+    let server = start_server(8, 1);
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let mut long_job = SubmitArgs::new("sa", GraphSpec::Named("K60".into()));
+    long_job.config_json = Some(r#"{"sweeps": 100000000}"#.into());
+    long_job.deadline_ms = Some(30_000);
+    client.submit("running", &long_job).expect("submit running");
+    let mut queued_job = SubmitArgs::new("sa", GraphSpec::Named("K40".into()));
+    queued_job.config_json = Some(r#"{"sweeps": 100000000}"#.into());
+    queued_job.deadline_ms = Some(30_000);
+    let mut sidecar = Client::connect(addr).expect("sidecar connects");
+    wait_stats(&mut sidecar, |s| counter(s, "in_flight") == 1);
+    client.submit("parked", &queued_job).expect("submit parked");
+
+    // Trigger shutdown from the sidecar; the parked job is failed as
+    // cancelled without running, the running one is cancelled
+    // cooperatively, and the daemon tears down.
+    sidecar.shutdown().expect("shutdown ack");
+    let running = client.wait_result("running").expect("running result");
+    assert_eq!(running.status, "cancelled");
+    let parked = client.wait_result("parked").expect("parked result");
+    assert_eq!(parked.status, "cancelled");
+    assert_eq!(parked.frame.get("report"), Some(&Json::Null));
+    server.join();
+}

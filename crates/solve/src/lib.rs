@@ -63,12 +63,12 @@ pub mod track;
 pub use error::SolveError;
 pub use job::{CancelToken, JobBudget, RunControl, SolveJob};
 pub use observe::{
-    EventLog, EventWriter, NullObserver, SolveEvent, SolveObserver, Tee, TraceRecorder,
+    EventLog, EventWriter, FnObserver, NullObserver, SolveEvent, SolveObserver, Tee, TraceRecorder,
 };
 pub use opcount::OpCounts;
 pub use registry::SolverRegistry;
 pub use report::SolveReport;
-pub use scheduler::{run_batch, run_seeds, BatchJob, BatchOptions, BatchReport};
+pub use scheduler::{run_batch, run_seeds, BatchJob, BatchOptions, BatchReport, SolverAggregate};
 pub use solver::{Capabilities, Solver};
 pub use stats::StatsError;
 pub use track::{CutTracker, SolutionTracker};

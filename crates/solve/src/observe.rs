@@ -254,30 +254,7 @@ impl SolveEvent {
 
 /// JSON object for an [`OpCounts`] (field names match the struct).
 fn ops_json(ops: &OpCounts) -> String {
-    format!(
-        "{{\"tile_mvms_1bit\":{},\"tile_mvms_8bit\":{},\"eo_input_bits\":{},\
-         \"adc_1bit_samples\":{},\"adc_8bit_samples\":{},\"noise_injections\":{},\
-         \"glue_adds\":{},\"spin_broadcast_bits\":{},\"partial_sum_bits\":{},\
-         \"pairs_executed\":{},\"global_syncs\":{},\"tiles_programmed\":{},\
-         \"probe_mvms\":{},\"recovery_reprograms\":{},\"units_remapped\":{},\
-         \"pairs_quarantined\":{}}}",
-        ops.tile_mvms_1bit,
-        ops.tile_mvms_8bit,
-        ops.eo_input_bits,
-        ops.adc_1bit_samples,
-        ops.adc_8bit_samples,
-        ops.noise_injections,
-        ops.glue_adds,
-        ops.spin_broadcast_bits,
-        ops.partial_sum_bits,
-        ops.pairs_executed,
-        ops.global_syncs,
-        ops.tiles_programmed,
-        ops.probe_mvms,
-        ops.recovery_reprograms,
-        ops.units_remapped,
-        ops.pairs_quarantined,
-    )
+    ops.to_json()
 }
 
 /// Receiver of [`SolveEvent`]s.
@@ -326,6 +303,46 @@ impl SolveObserver for Tee<'_, '_> {
     fn on_event(&mut self, event: &SolveEvent) {
         self.first.on_event(event);
         self.second.on_event(event);
+    }
+}
+
+/// Adapts any closure into a [`SolveObserver`].
+///
+/// This is the building block for ad-hoc sinks that do not deserve a named
+/// type: the serve layer wraps each event into a wire frame and pushes it
+/// to a socket writer, tests trip [`CancelToken`](crate::CancelToken)s at
+/// a chosen round, and so on.
+///
+/// ```
+/// use sophie_solve::{FnObserver, SolveEvent, SolveObserver};
+///
+/// let mut seen = 0usize;
+/// {
+///     let mut obs = FnObserver::new(|_e: &SolveEvent| seen += 1);
+///     obs.on_event(&SolveEvent::TargetReached { round: 1, cut: 2.0 });
+/// }
+/// assert_eq!(seen, 1);
+/// ```
+pub struct FnObserver<F: FnMut(&SolveEvent)> {
+    callback: F,
+}
+
+impl<F: FnMut(&SolveEvent)> FnObserver<F> {
+    /// Wraps `callback`; it is invoked once per event.
+    pub fn new(callback: F) -> Self {
+        FnObserver { callback }
+    }
+}
+
+impl<F: FnMut(&SolveEvent)> std::fmt::Debug for FnObserver<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnObserver").finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(&SolveEvent)> SolveObserver for FnObserver<F> {
+    fn on_event(&mut self, event: &SolveEvent) {
+        (self.callback)(event);
     }
 }
 

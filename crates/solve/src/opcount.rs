@@ -66,6 +66,37 @@ impl OpCounts {
         OpCounts::default()
     }
 
+    /// Serializes the counter as one JSON object (field names match the
+    /// struct) — the representation embedded in the `repro trace` event
+    /// schema and the serve wire protocol.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"tile_mvms_1bit\":{},\"tile_mvms_8bit\":{},\"eo_input_bits\":{},\
+             \"adc_1bit_samples\":{},\"adc_8bit_samples\":{},\"noise_injections\":{},\
+             \"glue_adds\":{},\"spin_broadcast_bits\":{},\"partial_sum_bits\":{},\
+             \"pairs_executed\":{},\"global_syncs\":{},\"tiles_programmed\":{},\
+             \"probe_mvms\":{},\"recovery_reprograms\":{},\"units_remapped\":{},\
+             \"pairs_quarantined\":{}}}",
+            self.tile_mvms_1bit,
+            self.tile_mvms_8bit,
+            self.eo_input_bits,
+            self.adc_1bit_samples,
+            self.adc_8bit_samples,
+            self.noise_injections,
+            self.glue_adds,
+            self.spin_broadcast_bits,
+            self.partial_sum_bits,
+            self.pairs_executed,
+            self.global_syncs,
+            self.tiles_programmed,
+            self.probe_mvms,
+            self.recovery_reprograms,
+            self.units_remapped,
+            self.pairs_quarantined,
+        )
+    }
+
     /// Total tile MVMs of either precision.
     #[must_use]
     pub fn total_tile_mvms(&self) -> u64 {

@@ -229,6 +229,22 @@ mod tests {
     }
 
     #[test]
+    fn listing_order_is_independent_of_registration_order() {
+        // Regression test for deterministic CLI/service listings: `names()`
+        // sorts by name, never by insertion order.
+        let mut fwd = SolverRegistry::new();
+        fwd.register("alpha", "a", |_: &ToyConfig| Ok(Toy));
+        fwd.register("zeta", "z", |_: &ToyConfig| Ok(Toy));
+        fwd.register("mid", "m", |_: &ToyConfig| Ok(Toy));
+        let mut rev = SolverRegistry::new();
+        rev.register("mid", "m", |_: &ToyConfig| Ok(Toy));
+        rev.register("zeta", "z", |_: &ToyConfig| Ok(Toy));
+        rev.register("alpha", "a", |_: &ToyConfig| Ok(Toy));
+        assert_eq!(fwd.names(), vec!["alpha", "mid", "zeta"]);
+        assert_eq!(fwd.names(), rev.names());
+    }
+
+    #[test]
     fn unknown_names_and_wrong_config_types_are_typed_errors() {
         let reg = registry();
         match reg.build_default("nope").err() {

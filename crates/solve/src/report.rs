@@ -54,6 +54,42 @@ pub struct SolveReport {
 }
 
 impl SolveReport {
+    /// Serializes the report as one JSON object (no trailing newline).
+    ///
+    /// This is the `report` payload of the serve wire protocol's `result`
+    /// frames. The full cut/activity traces are summarized by their
+    /// lengths rather than inlined — a trace can hold tens of thousands of
+    /// points, and streaming consumers that want the trajectory subscribe
+    /// to the event stream instead (`stream: true`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let target = self.target.map_or("null".to_string(), |t| format!("{t}"));
+        let iters_to_target = self
+            .iterations_to_target
+            .map_or("null".to_string(), |i| format!("{i}"));
+        format!(
+            "{{\"solver\":\"{}\",\"dimension\":{},\"planned_iterations\":{},\"seed\":{},\
+             \"target\":{target},\"best_cut\":{},\"best_iteration\":{},\"iterations_run\":{},\
+             \"iterations_to_target\":{iters_to_target},\"cut_trace_len\":{},\
+             \"activity_trace_len\":{},\"faults_injected\":{},\"faults_detected\":{},\
+             \"tiles_recovered\":{},\"recoveries_exhausted\":{},\"ops\":{}}}",
+            self.solver,
+            self.dimension,
+            self.planned_iterations,
+            self.seed,
+            self.best_cut,
+            self.best_iteration,
+            self.iterations_run,
+            self.cut_trace.len(),
+            self.activity_trace.len(),
+            self.faults_injected,
+            self.faults_detected,
+            self.tiles_recovered,
+            self.recoveries_exhausted,
+            self.ops.to_json(),
+        )
+    }
+
     /// Ratio of the best cut to a positive reference (best-known) cut.
     ///
     /// Quality ratios are only meaningful against a positive reference:
@@ -79,6 +115,27 @@ mod tests {
             best_cut: 95.0,
             ..SolveReport::default()
         }
+    }
+
+    #[test]
+    fn to_json_emits_balanced_single_line_object() {
+        let mut r = sample();
+        r.target = Some(90.0);
+        r.iterations_to_target = Some(12);
+        r.cut_trace = vec![0.0, 50.0, 95.0];
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"solver\":\"test\""));
+        assert!(json.contains("\"best_cut\":95"));
+        assert!(json.contains("\"target\":90"));
+        assert!(json.contains("\"iterations_to_target\":12"));
+        assert!(json.contains("\"cut_trace_len\":3"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Absent optionals serialize as null.
+        let json = sample().to_json();
+        assert!(json.contains("\"target\":null"));
+        assert!(json.contains("\"iterations_to_target\":null"));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 # (called out below: the fault-injection/recovery and determinism suites),
 # builds the examples, denies rustdoc warnings, and smoke-runs the
 # `repro` binary (the solver-registry listing, bench-summary, a JSONL
-# event trace, and the robustness sweep on a tiny graph).
+# event trace, the robustness sweep on a tiny graph, and the serving
+# layer: an ephemeral-port daemon driven through submit/ctl/loadgen).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +57,55 @@ if [[ "$quick" -eq 0 ]]; then
     run cargo run --release -q -p sophie-bench --bin repro -- robustness --fast --out "$smoke_dir"
     [[ -s "$smoke_dir/robustness.jsonl" ]] || { echo "robustness smoke test wrote no JSONL" >&2; exit 1; }
     [[ -s "$smoke_dir/robustness.csv" ]] || { echo "robustness smoke test wrote no CSV" >&2; exit 1; }
+
+    # Serving smoke: daemon on an ephemeral port, one plain SA job and one
+    # streaming SOPHIE job through the client, stats, a loadgen micro-run,
+    # and a clean protocol shutdown. Every stdout line must be valid JSONL.
+    echo "==> serve smoke test (ephemeral-port daemon + submit/ctl/loadgen)"
+    cargo run --release -q -p sophie-bench --bin repro -- serve \
+        --port-file "$smoke_dir/serve.port" --queue 16 --workers 2 &
+    serve_pid=$!
+    trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$smoke_dir"' EXIT
+    for _ in $(seq 1 50); do
+        [[ -s "$smoke_dir/serve.port" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$smoke_dir/serve.port" ]] || { echo "daemon never wrote its port file" >&2; exit 1; }
+    serve_addr=$(cat "$smoke_dir/serve.port")
+    # Plain `run` would echo its banner into the redirected JSONL, so these
+    # three announce themselves on stderr instead.
+    echo "==> repro submit (plain sa) > submit_sa.jsonl" >&2
+    cargo run --release -q -p sophie-bench --bin repro -- submit \
+        --addr "$serve_addr" --solver sa --graph K40 \
+        --config '{"sweeps":50}' --deadline-ms 30000 > "$smoke_dir/submit_sa.jsonl"
+    echo "==> repro submit (streaming sophie) > submit_sophie.jsonl" >&2
+    cargo run --release -q -p sophie-bench --bin repro -- submit \
+        --addr "$serve_addr" --solver sophie --graph K20 --stream \
+        --config '{"global_iters":2,"tile_size":10,"local_iters":2}' > "$smoke_dir/submit_sophie.jsonl"
+    grep -q '"event":"run_finished"' "$smoke_dir/submit_sophie.jsonl" \
+        || { echo "streaming submit produced no run_finished event" >&2; exit 1; }
+    echo "==> repro ctl stats > stats.jsonl" >&2
+    cargo run --release -q -p sophie-bench --bin repro -- ctl stats --addr "$serve_addr" \
+        > "$smoke_dir/stats.jsonl"
+    grep -q '"completed":2' "$smoke_dir/stats.jsonl" \
+        || { echo "daemon stats do not account for both submitted jobs" >&2; exit 1; }
+    run cargo run --release -q -p sophie-bench --bin repro -- loadgen \
+        --addr "$serve_addr" --clients 2 --requests 3 --solver sa --graph K20 \
+        --config '{"sweeps":20}' --out "$smoke_dir/loadgen.jsonl"
+    [[ -s "$smoke_dir/loadgen.jsonl" ]] || { echo "loadgen wrote no JSONL" >&2; exit 1; }
+    run cargo run --release -q -p sophie-bench --bin repro -- ctl shutdown --addr "$serve_addr"
+    wait "$serve_pid"
+    python3 - "$smoke_dir"/submit_sa.jsonl "$smoke_dir"/submit_sophie.jsonl \
+        "$smoke_dir"/stats.jsonl "$smoke_dir"/loadgen.jsonl <<'PY'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        lines = [l for l in f.read().splitlines() if l.strip()]
+    assert lines, f"{path}: empty"
+    for line in lines:
+        json.loads(line)
+print(f"serve smoke: {len(sys.argv) - 1} JSONL artifacts valid")
+PY
 fi
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,289 @@
+//! Cooperative-cancellation regression tests across the solver family.
+//!
+//! Every solver polls [`SolveJob::should_stop`] once per iteration, so a
+//! [`CancelToken`] fired mid-run must stop the run within one iteration of
+//! the firing point — and because the firing point here is defined by the
+//! event stream (cancel at the K-th `GlobalSync`), the stream up to the
+//! stop point must be byte-identical no matter what `SOPHIE_THREADS` is.
+
+use std::sync::{Arc, Mutex};
+
+use sophie::baselines::{BlsConfig, PtConfig, SaConfig, SbConfig};
+use sophie::core::SophieConfig;
+use sophie::graph::generate::presets::k_graph;
+use sophie::hw::OpcmBackendConfig;
+use sophie::pris::PrisJobConfig;
+use sophie::solve::{
+    run_batch, BatchJob, BatchOptions, CancelToken, FnObserver, NullObserver, SolveEvent, SolveJob,
+    Solver, SolverRegistry,
+};
+
+/// `SOPHIE_THREADS` is process-global; serialize the tests that set it.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("SOPHIE_THREADS", threads);
+    let out = f();
+    std::env::remove_var("SOPHIE_THREADS");
+    out
+}
+
+/// Every registered solver, configured for a planned run long enough that
+/// a cancellation at the third sync is unambiguously "early".
+fn all_solvers(registry: &SolverRegistry) -> Vec<(&'static str, Arc<dyn Solver>)> {
+    let sophie_cfg = SophieConfig {
+        tile_size: 16,
+        local_iters: 2,
+        global_iters: 60,
+        ..SophieConfig::default()
+    };
+    vec![
+        (
+            "sa",
+            registry
+                .build(
+                    "sa",
+                    &SaConfig {
+                        sweeps: 80,
+                        ..SaConfig::default()
+                    },
+                )
+                .unwrap(),
+        ),
+        (
+            "sb",
+            registry
+                .build(
+                    "sb",
+                    &SbConfig {
+                        steps: 80,
+                        ..SbConfig::default()
+                    },
+                )
+                .unwrap(),
+        ),
+        (
+            "pt",
+            registry
+                .build(
+                    "pt",
+                    &PtConfig {
+                        replicas: 3,
+                        exchanges: 60,
+                        sweeps_per_exchange: 1,
+                        ..PtConfig::default()
+                    },
+                )
+                .unwrap(),
+        ),
+        (
+            "bls",
+            registry
+                .build(
+                    "bls",
+                    &BlsConfig {
+                        rounds: 60,
+                        perturbation: 4,
+                        ..BlsConfig::default()
+                    },
+                )
+                .unwrap(),
+        ),
+        (
+            "pris",
+            registry
+                .build(
+                    "pris",
+                    &PrisJobConfig {
+                        iterations: 80,
+                        ..PrisJobConfig::default()
+                    },
+                )
+                .unwrap(),
+        ),
+        (
+            "sophie",
+            registry.build("sophie", &sophie_cfg.clone()).unwrap(),
+        ),
+        (
+            "sophie-opcm",
+            registry
+                .build("sophie-opcm", &(sophie_cfg, OpcmBackendConfig::default()))
+                .unwrap(),
+        ),
+    ]
+}
+
+/// Cancel at the `GlobalSync` whose round is `cancel_round`; a compliant
+/// solver finishes at most the iteration in flight and winds down.
+const CANCEL_ROUND: usize = 2;
+
+fn run_cancelled_at_sync(
+    solver: &Arc<dyn Solver>,
+    graph: &Arc<sophie::graph::Graph>,
+) -> (sophie::solve::SolveReport, Vec<String>) {
+    let token = CancelToken::new();
+    let trigger = token.clone();
+    let mut lines = Vec::new();
+    let mut observer = FnObserver::new(|event: &SolveEvent| {
+        lines.push(event.to_json());
+        if matches!(event, SolveEvent::GlobalSync { round, .. } if *round == CANCEL_ROUND) {
+            trigger.cancel();
+        }
+    });
+    let job = SolveJob::new(Arc::clone(graph), 7).with_cancel(token);
+    let report = solver.solve(&job, &mut observer).unwrap();
+    (report, lines)
+}
+
+#[test]
+fn every_solver_stops_within_one_iteration_of_cancellation() {
+    let registry = sophie::default_registry();
+    let graph = Arc::new(k_graph(24, 1).unwrap());
+    for (name, solver) in all_solvers(&registry) {
+        let (report, lines) = run_cancelled_at_sync(&solver, &graph);
+        assert!(
+            report.iterations_run < report.planned_iterations,
+            "{name}: cancelled run must stop early ({} of {})",
+            report.iterations_run,
+            report.planned_iterations
+        );
+        assert!(
+            report.iterations_run <= CANCEL_ROUND + 1,
+            "{name}: must stop within one iteration of the cancel \
+             (ran {}, cancelled at sync {CANCEL_ROUND})",
+            report.iterations_run,
+        );
+        // The stream still winds down cleanly.
+        assert!(
+            lines.last().is_some_and(|l| l.contains("run_finished")),
+            "{name}: cancelled stream must close with run_finished"
+        );
+    }
+}
+
+#[test]
+fn pre_cancelled_token_stops_within_the_first_iteration() {
+    let registry = sophie::default_registry();
+    let graph = Arc::new(k_graph(24, 1).unwrap());
+    let token = CancelToken::new();
+    token.cancel();
+    for (name, solver) in all_solvers(&registry) {
+        let job = SolveJob::new(Arc::clone(&graph), 7).with_cancel(token.clone());
+        let report = solver.solve(&job, &mut NullObserver).unwrap();
+        // The cooperative contract is "stop within one iteration": most
+        // solvers poll before the first one (0 runs), BLS documents that
+        // its first descent always executes (1 run).
+        assert!(
+            report.iterations_run <= 1,
+            "{name}: a pre-cancelled job ran {} iterations",
+            report.iterations_run
+        );
+    }
+}
+
+#[test]
+fn cancelled_event_stream_is_byte_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let registry = sophie::default_registry();
+    let graph = Arc::new(k_graph(32, 1).unwrap());
+    for (name, solver) in all_solvers(&registry) {
+        let serial = with_threads("1", || run_cancelled_at_sync(&solver, &graph));
+        let four = with_threads("4", || run_cancelled_at_sync(&solver, &graph));
+        assert!(!serial.1.is_empty(), "{name}: stream must not be empty");
+        assert_eq!(
+            serial.1, four.1,
+            "{name}: cancelled stream must not depend on SOPHIE_THREADS"
+        );
+        assert_eq!(
+            serial.0.iterations_run, four.0.iterations_run,
+            "{name}: cancelled iteration count must not depend on SOPHIE_THREADS"
+        );
+    }
+}
+
+#[test]
+fn shared_token_fired_mid_batch_stops_every_job() {
+    let registry = sophie::default_registry();
+    let graph = Arc::new(k_graph(24, 1).unwrap());
+    let token = CancelToken::new();
+
+    // Every job plans far more work than can finish before the cancel; a
+    // counter observer fires the shared token once each job has reported
+    // its first sync, so every solver is provably mid-run when it fires.
+    let long: Vec<(&str, Arc<dyn Solver>)> = vec![
+        (
+            "sa",
+            registry
+                .build(
+                    "sa",
+                    &SaConfig {
+                        sweeps: 50_000_000,
+                        ..SaConfig::default()
+                    },
+                )
+                .unwrap(),
+        ),
+        (
+            "pris",
+            registry
+                .build(
+                    "pris",
+                    &PrisJobConfig {
+                        iterations: 50_000_000,
+                        ..PrisJobConfig::default()
+                    },
+                )
+                .unwrap(),
+        ),
+        (
+            "sophie",
+            registry
+                .build(
+                    "sophie",
+                    &SophieConfig {
+                        tile_size: 16,
+                        local_iters: 2,
+                        global_iters: 50_000_000,
+                        ..SophieConfig::default()
+                    },
+                )
+                .unwrap(),
+        ),
+    ];
+    // A deadline backstop: if cancellation were broken these jobs would
+    // run for minutes; the time limit turns that bug into a fast failure.
+    let budget = sophie::solve::JobBudget {
+        max_iterations: None,
+        time_limit: Some(std::time::Duration::from_secs(30)),
+    };
+    let jobs: Vec<BatchJob> = long
+        .iter()
+        .map(|(_, solver)| {
+            BatchJob::new(
+                Arc::clone(solver),
+                SolveJob::new(Arc::clone(&graph), 3)
+                    .with_budget(budget)
+                    .with_cancel(token.clone()),
+            )
+        })
+        .collect();
+    let watcher = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            token.cancel();
+        })
+    };
+    let batch = run_batch(&jobs, &BatchOptions::default()).unwrap();
+    watcher.join().unwrap();
+    assert_eq!(batch.reports.len(), long.len());
+    for ((name, _), report) in long.iter().zip(&batch.reports) {
+        assert!(
+            report.iterations_run < report.planned_iterations,
+            "{name}: shared cancel must stop the job early ({} of {})",
+            report.iterations_run,
+            report.planned_iterations
+        );
+    }
+}
