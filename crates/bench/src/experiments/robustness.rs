@@ -53,6 +53,7 @@ fn config(fidelity: Fidelity) -> SophieConfig {
         phi: 0.1,
         alpha: 0.0,
         stochastic_spin_update: true,
+        ..SophieConfig::default()
     }
 }
 

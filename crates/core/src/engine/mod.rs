@@ -58,18 +58,19 @@ mod tests;
 
 use sophie_graph::cut::cut_value_binary;
 use sophie_graph::Graph;
-use sophie_linalg::{Matrix, Tile, TileGrid, TilePair};
+use sophie_linalg::{Matrix, SparseCsr, Tile, TileGrid, TilePair};
 use sophie_solve::{
-    NullObserver, RunControl, SolveError, SolveEvent, SolveJob, SolveObserver, SolveReport, Tee,
-    TraceRecorder,
+    NullObserver, OpCounts, RunControl, SolveError, SolveEvent, SolveJob, SolveObserver,
+    SolveReport, Tee, TraceRecorder,
 };
 
 use crate::backend::{IdealBackend, MvmBackend, MvmUnit};
-use crate::config::SophieConfig;
+use crate::config::{ComputeMode, SophieConfig};
 use crate::error::{Result, SophieError};
 use crate::health::HealthConfig;
 use crate::outcome::SophieOutcome;
 use crate::schedule::Schedule;
+use crate::sparse::SparseBackend;
 
 /// The SOPHIE solver: a tiled transformation matrix plus everything needed
 /// to run jobs against it.
@@ -100,6 +101,11 @@ pub struct SophieSolver {
     noise_scale: Vec<f32>,
     /// True (unpadded) problem dimension.
     n: usize,
+    /// Nonzero pattern of `C` as spin → adjacent-field adjacency (row `j`
+    /// lists the rows `i` with `C_ij ≠ 0` after `f32` cast, matching the
+    /// tiles). Drives the strategy-independent reuse-model op counters;
+    /// see [`tally_reuse`].
+    reuse: SparseCsr,
 }
 
 impl SophieSolver {
@@ -152,6 +158,16 @@ impl SophieSolver {
             thresholds[r] = (0.5 * row.iter().sum::<f64>()) as f32;
             noise_scale[r] = (0.5 * row.iter().map(|x| x.abs()).sum::<f64>()) as f32;
         }
+        // Column-major pattern of C in f32 (what the tiles store): row j of
+        // the CSR lists the field rows adjacent to spin j.
+        let n = c.rows();
+        let mut transposed = vec![0.0_f32; n * n];
+        for r in 0..n {
+            for (j, &v) in c.row(r).iter().enumerate() {
+                transposed[j * n + r] = v as f32;
+            }
+        }
+        let reuse = SparseCsr::from_dense(n, n, &transposed)?;
         Ok(SophieSolver {
             config,
             grid,
@@ -159,7 +175,8 @@ impl SophieSolver {
             tiles,
             thresholds,
             noise_scale,
-            n: c.rows(),
+            n,
+            reuse,
         })
     }
 
@@ -201,14 +218,27 @@ impl SophieSolver {
         lo * b - lo * (lo + 1) / 2 + lo + (hi - lo)
     }
 
-    /// Runs one job on the exact floating-point backend.
+    /// Runs one job on the exact floating-point substrate, dispatching on
+    /// the configured [`ComputeMode`]: the dense [`IdealBackend`] or the
+    /// delta-driven [`SparseBackend`]. The two are bit-identical in every
+    /// output (see [`crate::sparse`]); the mode trades wall-clock only.
     ///
     /// # Errors
     ///
     /// Currently infallible after construction; kept fallible for parity
     /// with backend-specific runs.
     pub fn run(&self, graph: &Graph, seed: u64, target_cut: Option<f64>) -> Result<SophieOutcome> {
-        self.run_with_backend(&IdealBackend::new(), graph, seed, target_cut)
+        match self.config.compute {
+            ComputeMode::Dense => {
+                self.run_with_backend(&IdealBackend::new(), graph, seed, target_cut)
+            }
+            ComputeMode::Sparse | ComputeMode::Auto => self.run_with_backend(
+                &SparseBackend::from_config(&self.config),
+                graph,
+                seed,
+                target_cut,
+            ),
+        }
     }
 
     /// Like [`Self::run`], but streaming [`SolveEvent`]s to `observer`.
@@ -223,7 +253,22 @@ impl SophieSolver {
         target_cut: Option<f64>,
         observer: &mut dyn SolveObserver,
     ) -> Result<SophieOutcome> {
-        self.run_with_backend_observed(&IdealBackend::new(), graph, seed, target_cut, observer)
+        match self.config.compute {
+            ComputeMode::Dense => self.run_with_backend_observed(
+                &IdealBackend::new(),
+                graph,
+                seed,
+                target_cut,
+                observer,
+            ),
+            ComputeMode::Sparse | ComputeMode::Auto => self.run_with_backend_observed(
+                &SparseBackend::from_config(&self.config),
+                graph,
+                seed,
+                target_cut,
+                observer,
+            ),
+        }
     }
 
     /// Runs one job on an arbitrary MVM backend, generating the static
@@ -521,10 +566,17 @@ impl SophieSolver {
 
         // Stage 1: program the units and upload the initial state.
         let mut ms = program::program(self, backend, seed, initial_bits);
+        // Reuse-model setup charge: the initial state computes every field
+        // from scratch (one full pass over the nonzeros of C).
+        ms.ops.sparse_field_updates += self.n as u64;
+        ms.ops.sparse_delta_macs += self.reuse.nnz() as u64;
 
         let bits = state::global_bits(&ms.global, self.n);
         let cut0 = cut_value_binary(graph, &bits);
         let mut tracker = track::RunTracker::start(target_cut, &bits, cut0, ms.ops, observer);
+        let mut prev_bits = bits;
+        let mut reuse_stamp = vec![0_u32; self.n];
+        let mut reuse_gen = 0_u32;
 
         let local_iters = self.config.local_iters;
         let mut monitor = health_config.map(|h| health::HealthMonitor::new(*h, self.grid.tile()));
@@ -588,10 +640,66 @@ impl SophieSolver {
 
             // Stage 4: score the synchronized state and emit its events.
             let bits = state::global_bits(&ms.global, self.n);
+            tally_reuse(
+                &self.reuse,
+                &prev_bits,
+                &bits,
+                &mut reuse_stamp,
+                &mut reuse_gen,
+                &mut ms.ops,
+            );
             let cut = cut_value_binary(graph, &bits);
             tracker.observe(round_index, &bits, cut, ms.ops, observer);
+            prev_bits = bits;
         }
 
         Ok(tracker.finish(rounds_done, ms.ops, observer))
     }
+}
+
+/// Tallies the reuse-model op counters for one global synchronization.
+///
+/// The counters model what an incremental-update ASIC datapath would pay
+/// for this sync: every spin whose global bit flipped since the previous
+/// sync (`sparse_spin_flips`), every field adjacent to at least one
+/// flipped spin (`sparse_field_updates`, deduplicated via generation
+/// stamps), and one MAC per (flipped spin, adjacent field) pair
+/// (`sparse_delta_macs`).
+///
+/// Deliberately **strategy- and thread-independent**: derived solely from
+/// the synchronized global state and the static pattern of `C`, never from
+/// which kernel the backend actually executed — so event streams stay
+/// byte-identical across [`ComputeMode`]s and `SOPHIE_THREADS` settings.
+fn tally_reuse(
+    adjacency: &SparseCsr,
+    prev: &[bool],
+    now: &[bool],
+    stamp: &mut [u32],
+    gen: &mut u32,
+    ops: &mut OpCounts,
+) {
+    *gen = gen.wrapping_add(1);
+    if *gen == 0 {
+        stamp.fill(0);
+        *gen = 1;
+    }
+    let mut flips = 0_u64;
+    let mut touched = 0_u64;
+    let mut macs = 0_u64;
+    for (j, (&a, &b)) in prev.iter().zip(now).enumerate() {
+        if a != b {
+            flips += 1;
+            let (rows, _) = adjacency.row(j);
+            macs += rows.len() as u64;
+            for &i in rows {
+                if stamp[i as usize] != *gen {
+                    stamp[i as usize] = *gen;
+                    touched += 1;
+                }
+            }
+        }
+    }
+    ops.sparse_spin_flips += flips;
+    ops.sparse_field_updates += touched;
+    ops.sparse_delta_macs += macs;
 }

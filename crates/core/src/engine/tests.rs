@@ -17,6 +17,7 @@ fn small_config(tile: usize, giters: usize) -> SophieConfig {
         phi: 0.25,
         alpha: 0.0,
         stochastic_spin_update: true,
+        ..SophieConfig::default()
     }
 }
 
@@ -196,6 +197,47 @@ fn initial_samples(solver: &SophieSolver) -> u64 {
     let t = solver.grid().tile() as u64;
     let off = b * (b + 1) / 2 - b;
     (b + 2 * off) * t
+}
+
+#[test]
+fn compute_modes_are_bit_identical() {
+    use crate::config::ComputeMode;
+    use sophie_solve::EventLog;
+
+    let g = gnm(60, 240, WeightDist::Unit, 4).unwrap();
+    let mut reference: Option<(crate::SophieOutcome, EventLog)> = None;
+    for (compute, crossover) in [
+        (ComputeMode::Dense, None),
+        (ComputeMode::Sparse, None),
+        (ComputeMode::Auto, Some(0.25)),
+        (ComputeMode::Auto, Some(1e-9)), // effectively always dense
+    ] {
+        let cfg = SophieConfig {
+            compute,
+            sparse_crossover: crossover,
+            ..small_config(16, 12)
+        };
+        let solver = SophieSolver::from_graph(&g, cfg).unwrap();
+        let mut log = EventLog::new();
+        let out = solver.run_observed(&g, 9, None, &mut log).unwrap();
+        match &reference {
+            None => reference = Some((out, log)),
+            Some((ref_out, ref_log)) => {
+                assert_eq!(
+                    ref_out.best_cut, out.best_cut,
+                    "cut diverged for {compute:?}"
+                );
+                assert_eq!(ref_out.best_bits, out.best_bits);
+                assert_eq!(ref_out.cut_trace, out.cut_trace);
+                assert_eq!(ref_out.ops, out.ops);
+                assert_eq!(
+                    ref_log.events(),
+                    log.events(),
+                    "event stream diverged for {compute:?}"
+                );
+            }
+        }
+    }
 }
 
 mod observed {

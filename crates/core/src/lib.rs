@@ -52,9 +52,10 @@ mod health;
 mod outcome;
 pub mod schedule;
 mod solver;
+pub mod sparse;
 
 pub use batch::{run_batch, run_batch_ideal, BatchOutcome};
-pub use config::SophieConfig;
+pub use config::{ComputeMode, SophieConfig};
 pub use engine::SophieSolver;
 pub use error::{Result, SophieError};
 pub use gaussian::GaussianSource;
@@ -62,6 +63,7 @@ pub use health::{HealthConfig, RecoveryPolicy};
 pub use outcome::SophieOutcome;
 pub use schedule::{Round, Schedule};
 pub use solver::SophieIsing;
+pub use sparse::{SparseBackend, SparseUnit};
 
 // The instrumentation and solver-abstraction layers live in `sophie-solve`
 // so solvers that cannot depend on this crate (e.g. `sophie-pris`) share

@@ -21,8 +21,9 @@ use sophie_graph::Graph;
 use sophie_solve::{Capabilities, SolveError, SolveJob, SolveObserver, SolveReport, Solver};
 
 use crate::backend::IdealBackend;
-use crate::config::SophieConfig;
+use crate::config::{ComputeMode, SophieConfig};
 use crate::engine::SophieSolver;
+use crate::sparse::SparseBackend;
 
 impl Solver for SophieSolver {
     fn name(&self) -> &'static str {
@@ -42,7 +43,18 @@ impl Solver for SophieSolver {
         job: &SolveJob,
         observer: &mut dyn SolveObserver,
     ) -> Result<SolveReport, SolveError> {
-        self.solve_job(&IdealBackend::new(), job, None, observer)
+        // Dispatch on the configured compute mode; dense and sparse
+        // backends are bit-identical in every output (see `crate::sparse`),
+        // so this choice affects wall-clock only.
+        match self.config().compute {
+            ComputeMode::Dense => self.solve_job(&IdealBackend::new(), job, None, observer),
+            ComputeMode::Sparse | ComputeMode::Auto => self.solve_job(
+                &SparseBackend::from_config(self.config()),
+                job,
+                None,
+                observer,
+            ),
+        }
     }
 }
 

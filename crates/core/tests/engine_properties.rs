@@ -23,6 +23,7 @@ fn config_strategy() -> impl Strategy<Value = SophieConfig> {
             phi,
             alpha: 0.0,
             stochastic_spin_update: stoch,
+            ..SophieConfig::default()
         })
 }
 
@@ -81,7 +82,13 @@ proptest! {
             .unwrap();
         let analytic =
             sophie_core::analytic::analytic_op_counts(48, &cfg, sched_seed).unwrap();
-        prop_assert_eq!(out.ops, analytic);
+        // The reuse-model counters are dynamics-dependent; the analytic
+        // replay leaves them zero (see `analytic_op_counts` docs).
+        let mut measured = out.ops;
+        measured.sparse_spin_flips = 0;
+        measured.sparse_field_updates = 0;
+        measured.sparse_delta_macs = 0;
+        prop_assert_eq!(measured, analytic);
     }
 
     /// Selecting fewer tiles never increases per-round compute.

@@ -13,5 +13,6 @@ pub mod edap;
 pub mod energy;
 pub mod params;
 pub mod power;
+pub mod reuse;
 pub mod timing;
 pub mod workload;

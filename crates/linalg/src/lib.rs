@@ -13,6 +13,9 @@
 //! * [`tile`] — the tiling model ([`tile::TileGrid`], zero-padded
 //!   [`tile::Tile`]s in `f32`, and symmetric tile-pair enumeration that
 //!   underpins the paper's ≈2× OPCM area saving);
+//! * [`sparse`] — CSR weight storage ([`sparse::SparseCsr`]) whose kernels
+//!   are bit-identical to the dense tile kernels, the substrate of the
+//!   engine's delta-driven sparse compute strategy;
 //! * [`vector`] / [`par`] — slice kernels and the persistent-worker-pool
 //!   parallel helpers shared by the simulators.
 //!
@@ -41,9 +44,11 @@ pub mod eigen;
 mod error;
 mod matrix;
 pub mod par;
+pub mod sparse;
 pub mod tile;
 pub mod vector;
 
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
+pub use sparse::SparseCsr;
 pub use tile::{Tile, TileGrid, TileIndex, TilePair, TiledMatrix};

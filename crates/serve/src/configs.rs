@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use sophie_baselines::{BlsConfig, PtConfig, SaConfig, SbConfig, SbVariant};
-use sophie_core::SophieConfig;
+use sophie_core::{ComputeMode, SophieConfig};
 use sophie_hw::OpcmBackendConfig;
 use sophie_pris::PrisJobConfig;
 use sophie_solve::{Solver, SolverRegistry};
@@ -198,6 +198,25 @@ fn pris_config(f: &Fields<'_>) -> Result<PrisJobConfig> {
 
 fn sophie_config(f: &Fields<'_>) -> Result<SophieConfig> {
     let d = SophieConfig::default();
+    let compute = match f.get("compute") {
+        None => d.compute,
+        Some(v) => match v.as_str().and_then(ComputeMode::parse) {
+            Some(mode) => mode,
+            None => {
+                return Err(ServeError::Protocol {
+                    message: "config field `compute` must be \"dense\", \"sparse\", or \"auto\""
+                        .into(),
+                })
+            }
+        },
+    };
+    let sparse_crossover = match f.get("sparse_crossover") {
+        None => d.sparse_crossover,
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or_else(|| f.type_err("sparse_crossover", "a number"))?,
+        ),
+    };
     Ok(SophieConfig {
         tile_size: f.usize("tile_size", d.tile_size)?,
         local_iters: f.usize("local_iters", d.local_iters)?,
@@ -206,6 +225,8 @@ fn sophie_config(f: &Fields<'_>) -> Result<SophieConfig> {
         phi: f.f64("phi", d.phi)?,
         alpha: f.f64("alpha", d.alpha)?,
         stochastic_spin_update: f.bool("stochastic_spin_update", d.stochastic_spin_update)?,
+        compute,
+        sparse_crossover,
     })
 }
 
@@ -267,6 +288,31 @@ mod tests {
             }
             other => panic!("expected UnknownSolver, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sophie_compute_knobs_parse_and_validate() {
+        let reg = default_registry();
+        for mode in ["dense", "sparse", "auto"] {
+            let cfg = Json::parse(&format!(
+                r#"{{"compute": "{mode}", "global_iters": 2, "tile_size": 8}}"#
+            ))
+            .unwrap();
+            assert!(build_solver(&reg, "sophie", Some(&cfg)).is_ok(), "{mode}");
+        }
+        let cfg = Json::parse(r#"{"sparse_crossover": 0.25, "tile_size": 8}"#).unwrap();
+        assert!(build_solver(&reg, "sophie", Some(&cfg)).is_ok());
+        // Bad mode string is a protocol error; bad θ is a factory rejection.
+        let bad_mode = Json::parse(r#"{"compute": "warp"}"#).unwrap();
+        match build_solver(&reg, "sophie", Some(&bad_mode)).map(|_| ()) {
+            Err(ServeError::Protocol { message }) => assert!(message.contains("compute")),
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
+        let bad_theta = Json::parse(r#"{"sparse_crossover": -1.0}"#).unwrap();
+        assert!(matches!(
+            build_solver(&reg, "sophie", Some(&bad_theta)),
+            Err(ServeError::Solve(_))
+        ));
     }
 
     #[test]

@@ -57,6 +57,19 @@ pub struct OpCounts {
     /// Tile pairs quarantined (contributions zeroed) after recovery was
     /// exhausted under a graceful-degradation policy.
     pub pairs_quarantined: u64,
+    /// Spins that flipped across a global synchronization, summed over the
+    /// run (the input size of the delta-driven reuse model). Counted at
+    /// sync granularity from the global state, so it is identical for
+    /// every compute strategy and thread count.
+    pub sparse_spin_flips: u64,
+    /// Local fields a delta-driven engine recomputes: fields adjacent to
+    /// at least one flipped spin, per sync (plus one full pass at setup).
+    pub sparse_field_updates: u64,
+    /// Multiply-accumulates those field updates cost over the coupling
+    /// matrix's nonzero structure: `Σ deg(j)` over flipped spins `j` per
+    /// sync (plus `nnz(C)` at setup). The op-count a reuse-aware sparse
+    /// SOPHIE ASIC would execute instead of dense tile MVMs.
+    pub sparse_delta_macs: u64,
 }
 
 impl OpCounts {
@@ -77,7 +90,8 @@ impl OpCounts {
              \"glue_adds\":{},\"spin_broadcast_bits\":{},\"partial_sum_bits\":{},\
              \"pairs_executed\":{},\"global_syncs\":{},\"tiles_programmed\":{},\
              \"probe_mvms\":{},\"recovery_reprograms\":{},\"units_remapped\":{},\
-             \"pairs_quarantined\":{}}}",
+             \"pairs_quarantined\":{},\"sparse_spin_flips\":{},\
+             \"sparse_field_updates\":{},\"sparse_delta_macs\":{}}}",
             self.tile_mvms_1bit,
             self.tile_mvms_8bit,
             self.eo_input_bits,
@@ -94,6 +108,9 @@ impl OpCounts {
             self.recovery_reprograms,
             self.units_remapped,
             self.pairs_quarantined,
+            self.sparse_spin_flips,
+            self.sparse_field_updates,
+            self.sparse_delta_macs,
         )
     }
 
@@ -129,6 +146,9 @@ impl OpCounts {
             recovery_reprograms: self.recovery_reprograms + other.recovery_reprograms,
             units_remapped: self.units_remapped + other.units_remapped,
             pairs_quarantined: self.pairs_quarantined + other.pairs_quarantined,
+            sparse_spin_flips: self.sparse_spin_flips + other.sparse_spin_flips,
+            sparse_field_updates: self.sparse_field_updates + other.sparse_field_updates,
+            sparse_delta_macs: self.sparse_delta_macs + other.sparse_delta_macs,
         }
     }
 
@@ -159,6 +179,15 @@ impl OpCounts {
             pairs_quarantined: self
                 .pairs_quarantined
                 .saturating_sub(other.pairs_quarantined),
+            sparse_spin_flips: self
+                .sparse_spin_flips
+                .saturating_sub(other.sparse_spin_flips),
+            sparse_field_updates: self
+                .sparse_field_updates
+                .saturating_sub(other.sparse_field_updates),
+            sparse_delta_macs: self
+                .sparse_delta_macs
+                .saturating_sub(other.sparse_delta_macs),
         }
     }
 }
@@ -180,10 +209,15 @@ impl std::fmt::Display for OpCounts {
         writeln!(f, "  pairs executed:          {}", self.pairs_executed)?;
         writeln!(f, "  global syncs:            {}", self.global_syncs)?;
         writeln!(f, "  tiles programmed:        {}", self.tiles_programmed)?;
-        write!(
+        writeln!(
             f,
             "  health probes/reprograms/remaps/quarantines: {}/{}/{}/{}",
             self.probe_mvms, self.recovery_reprograms, self.units_remapped, self.pairs_quarantined
+        )?;
+        write!(
+            f,
+            "  reuse model flips/field updates/delta MACs: {}/{}/{}",
+            self.sparse_spin_flips, self.sparse_field_updates, self.sparse_delta_macs
         )
     }
 }
@@ -236,8 +270,33 @@ mod tests {
     #[test]
     fn display_lists_every_class() {
         let text = OpCounts::new().to_string();
-        for needle in ["MVMs", "ADC", "glue", "sync", "programmed"] {
+        for needle in ["MVMs", "ADC", "glue", "sync", "programmed", "reuse"] {
             assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn sparse_counters_flow_through_arithmetic_and_json() {
+        let a = OpCounts {
+            sparse_spin_flips: 5,
+            sparse_field_updates: 9,
+            sparse_delta_macs: 40,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            sparse_delta_macs: 2,
+            ..OpCounts::default()
+        };
+        let c = a.combined(&b);
+        assert_eq!(c.sparse_delta_macs, 42);
+        assert_eq!(c.delta_since(&b), a);
+        let json = a.to_json();
+        for needle in [
+            "\"sparse_spin_flips\":5",
+            "\"sparse_field_updates\":9",
+            "\"sparse_delta_macs\":40",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
         }
     }
 }

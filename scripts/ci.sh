@@ -8,9 +8,10 @@
 # additionally runs every crate's unit, property, and compat-shim tests
 # (called out below: the fault-injection/recovery and determinism suites),
 # builds the examples, denies rustdoc warnings, and smoke-runs the
-# `repro` binary (the solver-registry listing, bench-summary, a JSONL
-# event trace, the robustness sweep on a tiny graph, and the serving
-# layer: an ephemeral-port daemon driven through submit/ctl/loadgen).
+# `repro` binary (the solver-registry listing, bench-summary with a
+# sparse-suite/speedup gate, the sparse dense-vs-delta equivalence sweep,
+# a JSONL event trace, the robustness sweep on a tiny graph, and the
+# serving layer: an ephemeral-port daemon driven through submit/ctl/loadgen).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,6 +52,29 @@ if [[ "$quick" -eq 0 ]]; then
     # batch scheduler on a tiny instance.
     run cargo run --release -q -p sophie-bench --bin repro -- solvers
     run cargo run --release -q -p sophie-bench --bin repro -- bench-summary --out "$smoke_dir"
+    # Bench gate (quick mode): the sparse kernel suites must be present and
+    # the warm-polish speedup must not regress below a conservative floor
+    # (the committed full record shows >= 5x; quick-mode medians are noisy).
+    python3 - "$smoke_dir/BENCH_sophie.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+ids = {r["id"] for r in doc["results"]}
+for needed in (
+    "sparse_matvec/dense_kernel/64",
+    "sparse_matvec/csr_full/64",
+    "sparse_matvec/incremental_1flip/64",
+    "incremental_round/dense/2000",
+    "incremental_round/sparse/2000",
+):
+    assert needed in ids, f"bench summary missing {needed}"
+sp = doc["sparse_speedup"]["speedup"]
+assert sp >= 2.0, f"sparse polish speedup regressed to {sp}x (quick-mode floor: 2.0)"
+print(f"bench gate: sparse suites present, warm-polish speedup {sp:.1f}x")
+PY
+    # Sparse-path smoke: the sweep itself asserts that dense and sparse
+    # compute modes produce identical reports on a G22-sized instance.
+    run cargo run --release -q -p sophie-bench --bin repro -- sparse --fast --out "$smoke_dir"
+    [[ -s "$smoke_dir/sparse.csv" ]] || { echo "sparse smoke test wrote no CSV" >&2; exit 1; }
     run cargo run --release -q -p sophie-bench --bin repro -- trace --fast \
         --graph K100 --seed 0 --out "$smoke_dir/trace.jsonl"
     [[ -s "$smoke_dir/trace.jsonl" ]] || { echo "trace smoke test wrote nothing" >&2; exit 1; }

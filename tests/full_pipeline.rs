@@ -18,6 +18,7 @@ fn config(giters: usize) -> SophieConfig {
         phi: 0.1,
         alpha: 0.0,
         stochastic_spin_update: true,
+        ..SophieConfig::default()
     }
 }
 
@@ -110,5 +111,11 @@ fn analytic_counts_predict_engine_counts_across_crates() {
         )
         .unwrap();
     let analytic = sophie::core::analytic::analytic_op_counts(128, &cfg, 77).unwrap();
-    assert_eq!(out.ops, analytic);
+    // Reuse-model counters are dynamics-dependent and stay zero in the
+    // schedule-only analytic replay (see `analytic_op_counts`).
+    let mut measured = out.ops;
+    measured.sparse_spin_flips = 0;
+    measured.sparse_field_updates = 0;
+    measured.sparse_delta_macs = 0;
+    assert_eq!(measured, analytic);
 }

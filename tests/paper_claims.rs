@@ -14,6 +14,7 @@ fn base_config() -> SophieConfig {
         phi: 0.1,
         alpha: 0.0,
         stochastic_spin_update: true,
+        ..SophieConfig::default()
     }
 }
 
