@@ -17,7 +17,10 @@
 //! CSV into the output directory (default `results/`).
 //!
 //! `trace` runs one SOPHIE job and dumps its solve-event stream as JSONL
-//! (schema in EXPERIMENTS.md § "Event traces"). `solvers` lists every
+//! (schema in EXPERIMENTS.md § "Event traces"). `timeline` runs one
+//! fault-injected job through the OPCM device model and dumps the
+//! engine's device-command stream with per-command §IV-A costs (schema in
+//! EXPERIMENTS.md § "Command timelines"). `solvers` lists every
 //! solver registered in the workspace [`sophie::default_registry`] with
 //! its capabilities, and smoke-runs each one through the batch scheduler
 //! on a tiny instance.
@@ -28,7 +31,7 @@ use std::process::ExitCode;
 use sophie_bench::experiments;
 use sophie_bench::{Fidelity, Instances, Report};
 
-const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|sparse|all|bench-summary> [--fast] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro solvers\n       repro <serve|submit|ctl|loadgen> ... (serving layer; wrong flags print the full usage)";
+const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|sparse|all|bench-summary> [--fast] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro timeline --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro solvers\n       repro <serve|submit|ctl|loadgen> ... (serving layer; wrong flags print the full usage)";
 
 /// `repro solvers`: one line per registered solver (name, capability
 /// flags, config type, summary), then a scheduler smoke-run of every
@@ -189,6 +192,46 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("cannot write trace {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if command == "timeline" {
+        // Single-run device-command dump with per-command costs: --out
+        // names the JSONL file itself.
+        let Some(path) = out_dir else {
+            eprintln!("timeline requires --out <path.jsonl>\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        let fidelity = Fidelity::from_fast_flag(fast);
+        let mut instances = Instances::new();
+        eprintln!("\n### timeline {graph_name} seed {seed} ({fidelity:?}) ###");
+        let start = std::time::Instant::now();
+        match sophie_bench::timeline::write_timeline(
+            &mut instances,
+            &graph_name,
+            seed,
+            fidelity,
+            &path,
+        ) {
+            Ok(s) => {
+                eprintln!(
+                    "### timeline done in {:.1?}: {} device + {} host records \
+                     ({} probes), best cut {}, {:.1} µs / {:.3} µJ device budget, wrote {} ###",
+                    start.elapsed(),
+                    s.device_records,
+                    s.host_records,
+                    s.probe_records,
+                    s.best_cut,
+                    s.total_ns / 1e3,
+                    s.total_j * 1e6,
+                    path.display()
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("cannot write timeline {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
         }

@@ -18,6 +18,7 @@
 //! | `power`  | (extension)    | steady-state machine power budget |
 //! | `robustness` | (extension) | fault rate × recovery policy sweep with recovery-cost accounting |
 //! | `trace`  | (extension)    | JSONL solve-event dump of one run ([`trace`]) |
+//! | `timeline` | (extension)  | JSONL device-command dump with per-command costs ([`timeline`]) |
 //! | `serve`/`submit`/`ctl` | (extension) | networked solve daemon + client ([`serving`]) |
 //! | `loadgen`| (extension)    | closed/open-loop serving load generator ([`loadgen`]) |
 //!
@@ -34,6 +35,7 @@ pub mod loadgen;
 pub mod micro;
 pub mod report;
 pub mod serving;
+pub mod timeline;
 pub mod trace;
 
 pub use fidelity::Fidelity;

@@ -81,6 +81,15 @@ pub struct SophieConfig {
     /// below `θ × tile_size²` scalar multiply-accumulates, dense otherwise.
     /// `None` → calibrated automatically from a one-time kernel timing probe.
     pub sparse_crossover: Option<f64>,
+    /// Device command-queue depth: the engine flushes the queue whenever
+    /// at least this many commands are pending (always at chain
+    /// boundaries, never mid-pair). `None` batches a whole round per
+    /// flush. **Result-invariant by construction** — outcomes, event
+    /// streams, op counts, and command timelines are byte-identical at
+    /// every depth; the knob trades submission batching against device
+    /// buffer residency only.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub queue_depth: Option<usize>,
 }
 
 impl Default for SophieConfig {
@@ -95,6 +104,7 @@ impl Default for SophieConfig {
             stochastic_spin_update: true,
             compute: ComputeMode::Auto,
             sparse_crossover: None,
+            queue_depth: None,
         }
     }
 }
@@ -143,6 +153,12 @@ impl SophieConfig {
                     message: format!("must be finite and positive, got {theta}"),
                 });
             }
+        }
+        if self.queue_depth == Some(0) {
+            return Err(SophieError::BadConfig {
+                field: "queue_depth",
+                message: "must be positive (or None for whole-round batching)".into(),
+            });
         }
         Ok(())
     }
@@ -246,6 +262,26 @@ mod tests {
         }
         let c = SophieConfig {
             sparse_crossover: Some(0.25),
+            ..SophieConfig::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_queue_depth() {
+        let c = SophieConfig {
+            queue_depth: Some(0),
+            ..SophieConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(SophieError::BadConfig {
+                field: "queue_depth",
+                ..
+            })
+        ));
+        let c = SophieConfig {
+            queue_depth: Some(32),
             ..SophieConfig::default()
         };
         assert!(c.validate().is_ok());

@@ -1,55 +1,55 @@
 //! Stage 3b — calibration probing and fault recovery.
 //!
-//! On fault-aware runs this stage executes right after each global
-//! synchronization (every `check_interval`-th round): it sends a known
-//! probe vector through every live pair's physical unit, compares the
-//! result against the exact tile product, and — when the relative
-//! residual exceeds the configured threshold — applies the
-//! [`RecoveryPolicy`]: reprogram-with-retry, remap to a spare array, or
-//! quarantine. Probing and recovery run serially on the driving thread in
-//! ascending pair order, so the emitted `FaultDetected` /
-//! `TileRecovered` / `RecoveryExhausted` stream is bit-identical for
-//! every `SOPHIE_THREADS` value.
+//! On fault-aware runs the monitor splits its work around the device
+//! queue so probe traffic overlaps the solve MVMs: every
+//! `check_interval`-th round it submits one `Probe` command per live pair
+//! *into the same flush* as the round's local-iteration chains
+//! ([`HealthMonitor::submit_probes`]), then — after the global
+//! synchronization — walks the completed residuals in ascending pair
+//! order and applies the [`RecoveryPolicy`] to the pairs that failed
+//! ([`HealthMonitor::resolve`]): reprogram-with-retry, remap to a spare
+//! array, or quarantine. Recovery itself runs as serial single-unit
+//! mini-flushes on the driving thread (it needs backend access for
+//! spares), so the emitted `FaultDetected` / `TileRecovered` /
+//! `RecoveryExhausted` stream is bit-identical for every `SOPHIE_THREADS`
+//! value.
 //!
-//! Every probe and reprogram is tallied in the pair's
+//! Every probe and reprogram arrives as a command completion carrying its
+//! exact cost record, folded into the pair's
 //! [`OpCounts`](sophie_solve::OpCounts) (`probe_mvms`,
 //! `recovery_reprograms`, `units_remapped`, `pairs_quarantined`, plus the
 //! underlying MVM/ADC/programming counters), so the recovery overhead
-//! flows into the round's `ops_delta` and the `sophie-hw` cost models.
+//! flows into the round's `ops_delta`, the timeline, and the `sophie-hw`
+//! cost models.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use sophie_solve::{SolveEvent, SolveObserver};
+use sophie_solve::{OpCounts, SolveEvent, SolveObserver};
 
-use super::state::{noise_stream_seed, MachineState, PairState};
+use super::dispatch;
+use super::state::MachineState;
 use super::{sync, SophieSolver};
-use crate::backend::{MvmBackend, MvmUnit};
+use crate::backend::MvmBackend;
 use crate::health::{HealthConfig, RecoveryPolicy};
+use crate::queue::{CommandKind, DeviceQueue, TimelineSink};
 
-/// Floor on the probe-residual denominator, guarding all-zero tiles
-/// (whose exact product is identically zero).
-const DENOM_FLOOR: f32 = 1e-6;
-
-/// Per-run health-monitor state: the configuration, the spare-array
-/// budget consumed so far, and probe scratch buffers.
+/// Per-run health-monitor state: the configuration and the spare-array
+/// budget consumed so far.
 #[derive(Debug)]
 pub(super) struct HealthMonitor {
     config: HealthConfig,
     spares_used: usize,
-    probe: Vec<f32>,
-    expected: Vec<f32>,
-    measured: Vec<f32>,
 }
 
 impl HealthMonitor {
-    pub fn new(config: HealthConfig, t: usize) -> Self {
+    pub fn new(config: HealthConfig) -> Self {
         HealthMonitor {
             config,
             spares_used: 0,
-            probe: vec![0.0; t],
-            expected: vec![0.0; t],
-            measured: vec![0.0; t],
         }
+    }
+
+    /// The probe-vector stream seed (threaded into every flush context).
+    pub fn probe_seed(&self) -> u64 {
+        self.config.probe_seed
     }
 
     /// Whether round `round` (1-based) ends with a probe pass.
@@ -57,82 +57,86 @@ impl HealthMonitor {
         round.is_multiple_of(self.config.check_interval)
     }
 
-    /// Probes every live pair and recovers the faulty ones.
+    /// Submits one `Probe` command per live pair — including pairs not
+    /// selected this round — into the pending flush, so calibration
+    /// traffic executes alongside the in-flight solve MVMs instead of
+    /// serializing after them.
+    pub fn submit_probes<U>(&self, ms: &mut MachineState<U>) {
+        let MachineState { states, queue, .. } = ms;
+        for st in states.iter() {
+            if !st.disabled {
+                queue.submit(st.index, false, CommandKind::Probe);
+            }
+        }
+    }
+
+    /// Consumes the round's probe residuals (ascending pair order) and
+    /// recovers the pairs whose residual exceeds the threshold.
     ///
-    /// Runs serially in ascending pair order. When any recovery changed
-    /// the machine (fresh array contents or a quarantined pair), the
-    /// affected partial sums are refreshed and the offset vectors
+    /// When any recovery changed the machine (fresh array contents or a
+    /// quarantined pair), the affected partial sums have been refreshed
+    /// from the synchronized global state and the offset vectors are
     /// regathered so the next round iterates against consistent state.
-    pub fn inspect<B: MvmBackend>(
+    #[allow(clippy::too_many_arguments)]
+    pub fn resolve<B: MvmBackend>(
         &mut self,
         solver: &SophieSolver,
         backend: &B,
         ms: &mut MachineState<B::Unit>,
         round: usize,
+        seed: u64,
+        residuals: &[(usize, f64)],
+        timeline: &mut dyn TimelineSink,
         observer: &mut dyn SolveObserver,
     ) {
-        let t = solver.grid.tile();
         let mut machine_changed = false;
-        {
-            let MachineState { states, global, .. } = ms;
-            for st in states.iter_mut() {
-                if st.disabled {
-                    continue;
-                }
-                let residual = self.probe_residual(solver, st, t);
-                if residual <= self.config.threshold {
-                    continue;
-                }
-                observer.on_event(&SolveEvent::FaultDetected {
-                    round,
-                    pair: st.index,
-                    residual,
-                });
-                if matches!(self.config.policy, RecoveryPolicy::DetectOnly) {
-                    continue;
-                }
-                machine_changed |= self.recover(solver, backend, st, global, round, t, observer);
+        for &(pair, residual) in residuals {
+            if residual <= self.config.threshold {
+                continue;
             }
+            observer.on_event(&SolveEvent::FaultDetected {
+                round,
+                pair,
+                residual,
+            });
+            if matches!(self.config.policy, RecoveryPolicy::DetectOnly) {
+                continue;
+            }
+            machine_changed |=
+                self.recover(solver, backend, ms, pair, round, seed, timeline, observer);
         }
         if machine_changed {
-            sync::recompute_offsets(solver, ms);
+            dispatch::host_record(ms, round as u64, "recompute_offsets", timeline, |ms| {
+                sync::recompute_offsets(solver, ms);
+            });
         }
     }
 
-    /// One calibration MVM: device output vs. exact tile product on the
-    /// pair's deterministic probe vector, as a relative ∞-norm residual.
-    fn probe_residual<U: MvmUnit>(
+    /// One recovery step: submit `cmd` plus a re-probe on the pair's unit
+    /// and execute them as a serial mini-flush; returns the residual.
+    #[allow(clippy::too_many_arguments)]
+    fn step<B: MvmBackend>(
         &mut self,
         solver: &SophieSolver,
-        st: &mut PairState<U>,
-        t: usize,
+        backend: &B,
+        ms: &mut MachineState<B::Unit>,
+        pair: usize,
+        cmd: CommandKind,
+        seed: u64,
+        timeline: &mut dyn TimelineSink,
     ) -> f64 {
-        // The probe vector is fixed per pair (independent of round and job
-        // seed): a dense 0/1 pattern matching the unit's operational input
-        // domain, so the ADC range assumptions hold.
-        let mut rng = SmallRng::seed_from_u64(noise_stream_seed(
+        ms.queue.submit(pair, false, cmd);
+        ms.queue.submit(pair, false, CommandKind::Probe);
+        dispatch::flush_unit_serial(
+            solver,
+            backend,
+            ms,
+            pair,
+            seed,
             self.config.probe_seed,
-            0,
-            st.index as u64,
-        ));
-        for p in self.probe.iter_mut() {
-            *p = if rng.gen_bool(0.5) { 1.0 } else { 0.0 };
-        }
-        solver.tiles[st.index].mvm(&self.probe, &mut self.expected);
-        st.unit.forward(&self.probe, &mut self.measured);
-        st.unit.quantize_8bit(&mut self.measured);
-        st.ops.probe_mvms += 1;
-        st.ops.tile_mvms_8bit += 1;
-        st.ops.adc_8bit_samples += t as u64;
-        st.ops.eo_input_bits += t as u64;
-
-        let mut max_abs = 0.0_f32;
-        let mut max_err = 0.0_f32;
-        for (&m, &e) in self.measured.iter().zip(&self.expected) {
-            max_abs = max_abs.max(e.abs());
-            max_err = max_err.max((m - e).abs());
-        }
-        f64::from(max_err) / f64::from(max_abs.max(DENOM_FLOOR))
+            timeline,
+        )
+        .expect("recovery mini-flush produced no probe residual")
     }
 
     /// Applies the recovery policy to one flagged pair; returns whether
@@ -142,10 +146,11 @@ impl HealthMonitor {
         &mut self,
         solver: &SophieSolver,
         backend: &B,
-        st: &mut PairState<B::Unit>,
-        global: &[f32],
+        ms: &mut MachineState<B::Unit>,
+        pair: usize,
         round: usize,
-        t: usize,
+        seed: u64,
+        timeline: &mut dyn TimelineSink,
         observer: &mut dyn SolveObserver,
     ) -> bool {
         let (reprogram_budget, try_spare, quarantine) = match self.config.policy {
@@ -161,7 +166,7 @@ impl HealthMonitor {
             _ => 0,
         };
 
-        let ops_before = st.ops;
+        let ops_before = ms.states[pair].ops;
         let mut attempts = 0_u32;
         let mut healthy = false;
         let mut remapped = false;
@@ -170,10 +175,16 @@ impl HealthMonitor {
         // OPCM write of the intended tile) but cannot cure stuck cells.
         for _ in 0..reprogram_budget {
             attempts += 1;
-            st.unit.program(&solver.tiles[st.index]);
-            st.ops.tiles_programmed += 1;
-            st.ops.recovery_reprograms += 1;
-            if self.probe_residual(solver, st, t) <= self.config.threshold {
+            let residual = self.step(
+                solver,
+                backend,
+                ms,
+                pair,
+                CommandKind::Reprogram,
+                seed,
+                timeline,
+            );
+            if residual <= self.config.threshold {
                 healthy = true;
                 break;
             }
@@ -185,39 +196,59 @@ impl HealthMonitor {
             attempts += 1;
             remapped = true;
             self.spares_used += 1;
-            let mut unit = backend.unit(t);
-            unit.program(&solver.tiles[st.index]);
-            st.unit = unit;
-            st.ops.tiles_programmed += 1;
-            st.ops.recovery_reprograms += 1;
-            st.ops.units_remapped += 1;
-            healthy = self.probe_residual(solver, st, t) <= self.config.threshold;
+            let residual = self.step(
+                solver,
+                backend,
+                ms,
+                pair,
+                CommandKind::Remap,
+                seed,
+                timeline,
+            );
+            healthy = residual <= self.config.threshold;
         }
 
         if healthy {
             // The array contents changed, so the pair's cached partial
             // sums are stale: recompute them from the synchronized global
             // state (counted like any other 8-bit pass).
-            st.initial_partials(global, t);
+            {
+                let MachineState { states, queue, .. } = ms;
+                dispatch::submit_partial_refresh(queue, &states[pair]);
+            }
+            dispatch::flush_unit_serial(
+                solver,
+                backend,
+                ms,
+                pair,
+                seed,
+                self.config.probe_seed,
+                timeline,
+            );
             observer.on_event(&SolveEvent::TileRecovered {
                 round,
-                pair: st.index,
+                pair,
                 attempts,
                 remapped,
-                cost: st.ops.delta_since(&ops_before),
+                cost: ms.states[pair].ops.delta_since(&ops_before),
             });
             return true;
         }
 
         if quarantine {
+            let MachineState { states, pool, .. } = ms;
+            let st = &mut states[pair];
             st.disabled = true;
-            st.partial_primary.fill(0.0);
-            st.partial_partner.fill(0.0);
+            pool.get_mut(st.partial_primary).fill(0.0);
+            pool.get_mut(st.partial_partner).fill(0.0);
             st.ops.pairs_quarantined += 1;
+            let mut cost = OpCounts::new();
+            cost.pairs_quarantined = 1;
+            timeline.host(round as u64, "quarantine", &cost);
         }
         observer.on_event(&SolveEvent::RecoveryExhausted {
             round,
-            pair: st.index,
+            pair,
             attempts,
             quarantined: quarantine,
         });

@@ -46,6 +46,7 @@
 //! (traces, bits, op counts) are bit-identical regardless of the thread
 //! count.
 
+mod dispatch;
 mod health;
 mod program;
 mod round;
@@ -64,11 +65,12 @@ use sophie_solve::{
     SolveReport, Tee, TraceRecorder,
 };
 
-use crate::backend::{IdealBackend, MvmBackend, MvmUnit};
+use crate::backend::{IdealBackend, MvmBackend};
 use crate::config::{ComputeMode, SophieConfig};
 use crate::error::{Result, SophieError};
 use crate::health::HealthConfig;
 use crate::outcome::SophieOutcome;
+use crate::queue::{DeviceQueue, NullTimeline, TimelineSink};
 use crate::schedule::Schedule;
 use crate::sparse::SparseBackend;
 
@@ -413,6 +415,7 @@ impl SophieSolver {
             None,
             &RunControl::unrestricted(),
             observer,
+            &mut NullTimeline,
         )
     }
 
@@ -460,6 +463,7 @@ impl SophieSolver {
             Some(health),
             &RunControl::unrestricted(),
             observer,
+            &mut NullTimeline,
         )
     }
 
@@ -488,6 +492,29 @@ impl SophieSolver {
         job: &SolveJob,
         health: Option<&HealthConfig>,
         observer: &mut dyn SolveObserver,
+    ) -> std::result::Result<SolveReport, SolveError> {
+        self.solve_job_with_timeline(backend, job, health, observer, &mut NullTimeline)
+    }
+
+    /// Like [`Self::solve_job`], but streaming every device command
+    /// completion and host-side cost record of the run to `timeline` —
+    /// the exact per-command attribution behind the aggregate
+    /// [`OpCounts`] in the report. The sum of all device-record costs
+    /// plus all host-record costs reproduces the report's op totals
+    /// exactly, and the device stream's `(round, wave, unit)` keys are
+    /// byte-identical for every `SOPHIE_THREADS` and `queue_depth`
+    /// setting. Outcomes and events are unaffected by the sink.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::solve_job`].
+    pub fn solve_job_with_timeline<B: MvmBackend>(
+        &self,
+        backend: &B,
+        job: &SolveJob,
+        health: Option<&HealthConfig>,
+        observer: &mut dyn SolveObserver,
+        timeline: &mut dyn TimelineSink,
     ) -> std::result::Result<SolveReport, SolveError> {
         if job.graph.num_nodes() != self.n {
             return Err(SolveError::BadJob {
@@ -525,7 +552,7 @@ impl SophieSolver {
             let mut tee = Tee::new(&mut recorder, observer);
             self.run_impl(
                 backend, &job.graph, &schedule, planned, job.seed, job.target, None, health,
-                &control, &mut tee,
+                &control, &mut tee, timeline,
             )
             .map_err(|e| SolveError::Failed {
                 solver: "sophie".to_string(),
@@ -548,6 +575,7 @@ impl SophieSolver {
         health_config: Option<&HealthConfig>,
         control: &RunControl,
         observer: &mut dyn SolveObserver,
+        timeline: &mut dyn TimelineSink,
     ) -> Result<SophieOutcome> {
         assert_eq!(graph.num_nodes(), self.n, "graph order mismatch");
         assert_eq!(
@@ -564,12 +592,19 @@ impl SophieSolver {
             target: target_cut,
         });
 
+        let mut monitor = health_config.map(|h| health::HealthMonitor::new(*h));
+        let probe_seed = monitor
+            .as_ref()
+            .map_or(0, health::HealthMonitor::probe_seed);
+
         // Stage 1: program the units and upload the initial state.
-        let mut ms = program::program(self, backend, seed, initial_bits);
+        let mut ms = program::program(self, backend, seed, initial_bits, probe_seed, timeline);
         // Reuse-model setup charge: the initial state computes every field
         // from scratch (one full pass over the nonzeros of C).
-        ms.ops.sparse_field_updates += self.n as u64;
-        ms.ops.sparse_delta_macs += self.reuse.nnz() as u64;
+        dispatch::host_record(&mut ms, 0, "reuse_setup", timeline, |ms| {
+            ms.ops.sparse_field_updates += self.n as u64;
+            ms.ops.sparse_delta_macs += self.reuse.nnz() as u64;
+        });
 
         let bits = state::global_bits(&ms.global, self.n);
         let cut0 = cut_value_binary(graph, &bits);
@@ -579,7 +614,10 @@ impl SophieSolver {
         let mut reuse_gen = 0_u32;
 
         let local_iters = self.config.local_iters;
-        let mut monitor = health_config.map(|h| health::HealthMonitor::new(*h, self.grid.tile()));
+        // Queue-depth knob: flush whenever this many commands are pending,
+        // always at chain boundaries (never mid-pair), so results are
+        // invariant in the depth. `None` batches whole rounds.
+        let queue_depth = self.config.queue_depth.unwrap_or(usize::MAX).max(1);
         let mut active: Vec<usize> = Vec::with_capacity(self.pairs.len());
         let mut rounds_done = 0usize;
         for (g, sched_round) in schedule.rounds().iter().enumerate() {
@@ -591,7 +629,7 @@ impl SophieSolver {
             let round_index = g + 1;
             rounds_done = round_index;
 
-            // Stage 2: parallel local iterations over the selected pairs
+            // Stage 2: submit the selected pairs' local-iteration chains
             // (minus any the health monitor quarantined).
             active.clear();
             active.extend(
@@ -605,7 +643,26 @@ impl SophieSolver {
                 round: round_index,
                 pairs_selected: active.len(),
             });
-            round::execute(self, &mut ms, &active, round_index as u64, seed);
+            ms.queue.begin_round(round_index as u64);
+            let mut art = dispatch::RoundArtifacts::default();
+            for &pi in &active {
+                if ms.queue.pending() >= queue_depth {
+                    dispatch::flush_all(self, &mut ms, seed, probe_seed, timeline, &mut art);
+                }
+                let state::MachineState { states, queue, .. } = &mut ms;
+                round::submit_pair(queue, &states[pi], local_iters);
+            }
+            // Health probes (every live pair, selected or not) ride the
+            // same flush as the in-flight solve chains: the sorted
+            // timeline shows probe completions interleaved with solve
+            // MVMs of the same round.
+            let probing = monitor.as_ref().is_some_and(|m| m.due(round_index));
+            if probing {
+                monitor.as_ref().unwrap().submit_probes(&mut ms);
+            }
+            dispatch::flush_all(self, &mut ms, seed, probe_seed, timeline, &mut art);
+            art.sort();
+
             for &pi in &active {
                 observer.on_event(&SolveEvent::PairIterated {
                     round: round_index,
@@ -613,41 +670,57 @@ impl SophieSolver {
                     local_iters,
                 });
             }
-            // Drain the round's transient-fault reports in ascending pair
-            // order (an empty, allocation-free drain on ideal hardware).
-            for &pi in &active {
-                for fault in ms.states[pi].unit.take_fault_reports() {
+            // The round's transient-fault reports, drained by the
+            // per-pair `CollectFaults` commands, surface in ascending
+            // pair order.
+            for (pi, faults) in &art.fault_stash {
+                for fault in faults {
                     observer.on_event(&SolveEvent::FaultInjected {
                         round: round_index,
-                        pair: pi,
+                        pair: *pi,
                         kind: fault.kind,
                         wave: fault.wave,
                     });
                 }
             }
 
-            // Stage 3: global synchronization and partial-sum merge.
-            sync::synchronize(self, &mut ms, schedule, sched_round, &active);
+            // Stage 3: global synchronization and partial-sum merge
+            // (host-side glue, reported to the timeline as one record).
+            dispatch::host_record(&mut ms, round_index as u64, "global_sync", timeline, |ms| {
+                sync::synchronize(self, ms, schedule, sched_round, &active);
+            });
 
-            // Stage 3b: calibration probing and recovery (fault-aware
-            // runs only), charged to the same round's ops delta.
-            if let Some(mon) = monitor.as_mut() {
-                if mon.due(round_index) {
-                    mon.inspect(self, backend, &mut ms, round_index, observer);
-                }
+            // Stage 3b: recovery of the pairs whose probe failed
+            // (fault-aware runs only), charged to the same round's ops
+            // delta. Probe residuals are state-independent of the global
+            // sync, so resolving after it matches the legacy serial
+            // probe-then-recover flow exactly.
+            if probing {
+                monitor.as_mut().unwrap().resolve(
+                    self,
+                    backend,
+                    &mut ms,
+                    round_index,
+                    seed,
+                    &art.probe_residuals,
+                    timeline,
+                    observer,
+                );
             }
             ms.drain_pair_ops();
 
             // Stage 4: score the synchronized state and emit its events.
             let bits = state::global_bits(&ms.global, self.n);
-            tally_reuse(
-                &self.reuse,
-                &prev_bits,
-                &bits,
-                &mut reuse_stamp,
-                &mut reuse_gen,
-                &mut ms.ops,
-            );
+            dispatch::host_record(&mut ms, round_index as u64, "reuse_tally", timeline, |ms| {
+                tally_reuse(
+                    &self.reuse,
+                    &prev_bits,
+                    &bits,
+                    &mut reuse_stamp,
+                    &mut reuse_gen,
+                    &mut ms.ops,
+                );
+            });
             let cut = cut_value_binary(graph, &bits);
             tracker.observe(round_index, &bits, cut, ms.ops, observer);
             prev_bits = bits;

@@ -8,19 +8,20 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sophie_linalg::par;
-use sophie_solve::OpCounts;
 
+use super::dispatch::{self, RoundArtifacts};
 use super::state::{MachineState, PairState};
 use super::{sync, SophieSolver};
-use crate::backend::{MvmBackend, MvmUnit};
+use crate::backend::MvmBackend;
+use crate::queue::{BufferPool, CommandKind, CommandQueue, DeviceQueue, TimelineSink};
 
 /// Builds the programmed machine for one run.
 ///
-/// Unit programming stays serial: backends may hand out unit ids from a
-/// shared counter, and the id ↔ pair mapping must not depend on timing.
-/// The initial partial sums and spin-copy resets fan out across the worker
-/// pool — one independent task per pair.
+/// Unit creation and tile programming stay serial in ascending pair
+/// order: backends may hand out unit ids from a shared counter, and the
+/// id ↔ pair mapping must not depend on timing. The first partial-sum
+/// pass is submitted as per-pair MVM commands and flushed across the
+/// worker pool — one independent chain per pair.
 ///
 /// On return the per-pair tallies have been drained, so `ms.ops` is the
 /// complete setup cost (the `ops_delta` of the round-0 `GlobalSync`
@@ -34,22 +35,23 @@ pub(super) fn program<B: MvmBackend>(
     backend: &B,
     seed: u64,
     initial_bits: Option<&[bool]>,
+    probe_seed: u64,
+    timeline: &mut dyn TimelineSink,
 ) -> MachineState<B::Unit> {
     let t = solver.grid.tile();
     let b = solver.grid.blocks();
-    let mut ops = OpCounts::new();
 
-    let mut states: Vec<PairState<B::Unit>> = solver
+    let mut pool = BufferPool::new();
+    let states: Vec<PairState<B::Unit>> = solver
         .pairs
         .iter()
         .enumerate()
-        .map(|(pi, &pair)| {
-            let mut unit = backend.unit(t);
-            unit.program(&solver.tiles[pi]);
-            PairState::new(pair, pi, unit, t)
-        })
+        .map(|(pi, &pair)| PairState::new(pair, pi, backend.unit(t), t, &mut pool))
         .collect();
-    ops.tiles_programmed += solver.pairs.len() as u64;
+    let mut queue = CommandQueue::new(states.len());
+    for st in &states {
+        queue.submit(st.index, false, CommandKind::ProgramTile);
+    }
 
     // Global spin state, padded; padding stays 0 and couples to nothing.
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -68,25 +70,50 @@ pub(super) fn program<B: MvmBackend>(
         }
     }
 
-    // Initial partial sums — every tile's contribution to its block row —
-    // and private spin copies: one independent task per pair.
-    {
-        let global_ref: &[f32] = &global;
-        par::for_each_chunk_mut(&mut states, solver.pairs.len(), |_, chunk| {
-            for st in chunk {
-                st.initial_partials(global_ref, t);
-                st.reset_from_global(global_ref, t);
-            }
-        });
-    }
-
     let mut ms = MachineState {
         states,
         global,
         offsets: vec![0.0_f32; b * b * t],
-        ops,
+        ops: sophie_solve::OpCounts::new(),
+        pool,
+        queue,
     };
-    sync::recompute_offsets(solver, &mut ms);
+
+    // Program every tile (serial flush: the OPCM write order is part of
+    // the device contract).
+    let mut art = RoundArtifacts::default();
+    dispatch::flush_all_serial(
+        solver, backend, &mut ms, seed, probe_seed, timeline, &mut art,
+    );
+
+    // Initial partial sums — every tile's contribution to its block row —
+    // as one parallel flush of per-pair MVM chains reading the fresh
+    // global state.
+    {
+        let MachineState { states, queue, .. } = &mut ms;
+        for st in states.iter() {
+            dispatch::submit_partial_refresh(queue, st);
+        }
+    }
+    dispatch::flush_all(solver, &mut ms, seed, probe_seed, timeline, &mut art);
+    debug_assert!(art.probe_residuals.is_empty() && art.fault_stash.is_empty());
+
+    // Private spin copies: pure host-side copies of the global state.
+    {
+        let MachineState {
+            states,
+            global,
+            pool,
+            ..
+        } = &mut ms;
+        for st in states.iter() {
+            st.reset_from_global(pool, global, t);
+        }
+    }
+
+    dispatch::host_record(&mut ms, 0, "recompute_offsets", timeline, |ms| {
+        sync::recompute_offsets(solver, ms);
+    });
     ms.drain_pair_ops();
     ms
 }

@@ -1,154 +1,98 @@
-//! Stage 2 — pair selection and parallel local iteration.
+//! Stage 2 — building each selected pair's local-iteration command chain.
 //!
-//! Runs the scheduled pairs of one round concurrently on the persistent
-//! worker pool, each executing `local_iters` recurrent steps against its
-//! private spin copies and the offset vectors frozen at the previous
-//! synchronization (§III-A1).
+//! For every scheduled pair of a round this stage submits one atomic
+//! chain of typed MVM commands to the device queue: `local_iters`
+//! recurrent steps against the pair's private spin copies and the offset
+//! vectors frozen at the previous synchronization (§III-A1), capped by a
+//! fault drain. Execution happens at flush boundaries (see
+//! [`super::dispatch`]), fanning independent chains across the worker
+//! pool; because each chain touches only its own unit and buffers and
+//! draws noise from a counter-derived per-`(round, pair)` stream, traces
+//! are bit-identical for every `SOPHIE_THREADS` value and every flush
+//! granularity.
 
-use rand::rngs::SmallRng;
-use sophie_linalg::{par, TilePair};
+use sophie_linalg::TilePair;
 
-use super::state::{collect_selected, count_local_mvm, noise_rng, vec_at, MachineState, PairState};
-use super::SophieSolver;
-use crate::backend::MvmUnit;
-use crate::gaussian::GaussianSource;
+use super::state::PairState;
+use crate::queue::{CommandKind, CommandQueue, DeviceQueue, MvmDir, Src, ThresholdSpec};
 
-/// Executes the local iterations of every selected pair for round
-/// `round_index` (1-based).
+/// Submits one selected pair's full round chain: the local iterations
+/// (each MVM carrying its threshold epilogue; the last in 8-bit capture
+/// mode saving the partial sums) followed by a fault-report drain.
 ///
-/// Each pair owns its unit, spin copies, partial-sum segments and op
-/// tally; shared state (offsets, thresholds) is read-only; and noise comes
-/// from a counter-derived per-(round, pair) RNG stream — so traces are
-/// bit-identical for every `SOPHIE_THREADS` value, including 1.
-pub(super) fn execute<U: MvmUnit>(
-    solver: &SophieSolver,
-    ms: &mut MachineState<U>,
-    selected_pairs: &[usize],
-    round_index: u64,
-    seed: u64,
-) {
-    let mut selected = collect_selected(&mut ms.states, selected_pairs);
-    let offsets_ref: &[f32] = &ms.offsets;
-    let local_iters = solver.config.local_iters;
-    let phi = solver.config.phi as f32;
-    par::for_each_chunk_mut(&mut selected, selected_pairs.len().max(1), |_, chunk| {
-        for st in chunk.iter_mut() {
-            run_local_iters(solver, st, offsets_ref, round_index, seed, local_iters, phi);
-        }
-    });
-}
-
-/// Executes the local iterations of one selected pair for one round.
-///
-/// Called concurrently for distinct pairs: everything mutated lives in
-/// `st`, the shared inputs (`offsets`, thresholds, noise scales) are
-/// read-only, and noise is drawn from the pair's private stream (see
-/// [`super::state::noise_stream_seed`]) — never from a shared RNG.
-fn run_local_iters<U: MvmUnit>(
-    solver: &SophieSolver,
-    st: &mut PairState<U>,
-    offsets: &[f32],
-    round_index: u64,
-    seed: u64,
-    local_iters: usize,
-    phi: f32,
-) {
-    let t = solver.grid.tile();
-    let b = solver.grid.blocks();
-    // Let fault-capable backends draw this round's transient-fault
-    // schedule (keyed by (fault seed, round, unit id), so it is identical
-    // under any worker-pool scheduling). A no-op on ideal hardware.
-    st.unit.begin_round(round_index);
-    let mut rng = noise_rng(seed, round_index, st.index as u64);
-    let mut gauss = GaussianSource::new();
+/// The chain's first command carries `starts_round`, so fault-capable
+/// backends draw this round's transient-fault schedule (keyed by
+/// (fault seed, round, unit id) — identical under any scheduling) before
+/// the first array read. The chain is atomic: callers flush only at
+/// chain boundaries, never mid-pair, so the pair's per-round noise
+/// stream never spans a flush.
+pub(super) fn submit_pair<U>(queue: &mut CommandQueue, st: &PairState<U>, local_iters: usize) {
     for l in 0..local_iters {
+        let first = l == 0;
         let last = l + 1 == local_iters;
         match st.pair {
             TilePair::Diagonal(d) => {
-                st.unit.forward(&st.primary, &mut st.y);
-                if last {
-                    st.unit.quantize_8bit(&mut st.y);
-                    st.partial_primary.copy_from_slice(&st.y);
-                }
-                finish_half_step(
-                    solver,
-                    &mut st.y,
-                    &offsets[vec_at(b, t, d, d)],
-                    d,
-                    phi,
-                    &mut gauss,
-                    &mut rng,
-                    &mut st.primary,
+                queue.submit(
+                    st.index,
+                    first,
+                    CommandKind::Mvm {
+                        dir: MvmDir::Forward,
+                        input: Src::Buf(st.primary),
+                        output: st.y,
+                        quantize: last,
+                        save_partial: last.then_some(st.partial_primary),
+                        threshold: Some(ThresholdSpec {
+                            tile_row: d,
+                            tile_col: d,
+                            out_block: d,
+                            dest: st.primary,
+                        }),
+                    },
                 );
-                count_local_mvm(&mut st.ops, t, last, 1);
             }
             TilePair::OffDiagonal { row, col } => {
                 // Tile (row, col): x_col → y_row.
-                st.unit.forward(&st.primary, &mut st.y);
-                if last {
-                    st.unit.quantize_8bit(&mut st.y);
-                    st.partial_primary.copy_from_slice(&st.y);
-                }
-                finish_half_step(
-                    solver,
-                    &mut st.y,
-                    &offsets[vec_at(b, t, row, col)],
-                    row,
-                    phi,
-                    &mut gauss,
-                    &mut rng,
-                    &mut st.partner,
+                queue.submit(
+                    st.index,
+                    first,
+                    CommandKind::Mvm {
+                        dir: MvmDir::Forward,
+                        input: Src::Buf(st.primary),
+                        output: st.y,
+                        quantize: last,
+                        save_partial: last.then_some(st.partial_primary),
+                        threshold: Some(ThresholdSpec {
+                            tile_row: row,
+                            tile_col: col,
+                            out_block: row,
+                            dest: st.partner,
+                        }),
+                    },
                 );
                 // Tile (col, row) = transpose: x_row → y_col.
-                st.unit.transposed(&st.partner, &mut st.y);
-                if last {
-                    st.unit.quantize_8bit(&mut st.y);
-                    st.partial_partner.copy_from_slice(&st.y);
-                }
-                finish_half_step(
-                    solver,
-                    &mut st.y,
-                    &offsets[vec_at(b, t, col, row)],
-                    col,
-                    phi,
-                    &mut gauss,
-                    &mut rng,
-                    &mut st.primary,
+                queue.submit(
+                    st.index,
+                    false,
+                    CommandKind::Mvm {
+                        dir: MvmDir::Transposed,
+                        input: Src::Buf(st.partner),
+                        output: st.y,
+                        quantize: last,
+                        save_partial: last.then_some(st.partial_partner),
+                        threshold: Some(ThresholdSpec {
+                            tile_row: col,
+                            tile_col: row,
+                            out_block: col,
+                            dest: st.primary,
+                        }),
+                    },
                 );
-                count_local_mvm(&mut st.ops, t, last, 2);
             }
         }
     }
-}
-
-/// Adds offset + noise to the raw MVM result and thresholds it into a
-/// fresh spin copy (one ADC pass).
-#[allow(clippy::too_many_arguments)]
-fn finish_half_step(
-    solver: &SophieSolver,
-    y: &mut [f32],
-    offset: &[f32],
-    out_block: usize,
-    phi: f32,
-    gauss: &mut GaussianSource,
-    rng: &mut SmallRng,
-    out: &mut [f32],
-) {
-    let t = solver.grid.tile();
-    let theta = &solver.thresholds[out_block * t..(out_block + 1) * t];
-    let scale = &solver.noise_scale[out_block * t..(out_block + 1) * t];
-    if phi > 0.0 {
-        for i in 0..t {
-            let noisy = y[i] + offset[i] + phi * scale[i] * gauss.sample(rng) as f32;
-            out[i] = if noisy >= theta[i] { 1.0 } else { 0.0 };
-        }
-    } else {
-        for i in 0..t {
-            out[i] = if y[i] + offset[i] >= theta[i] {
-                1.0
-            } else {
-                0.0
-            };
-        }
-    }
+    // Drain the round's transient-fault reports at the exact point the
+    // unit finished its solve MVMs (an empty, allocation-free drain on
+    // ideal hardware). Completion order keeps the event stream in
+    // ascending pair order.
+    queue.submit(st.index, false, CommandKind::CollectFaults);
 }

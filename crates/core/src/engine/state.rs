@@ -2,21 +2,23 @@
 //!
 //! [`MachineState`] is the "machine" the stages operate on: the programmed
 //! MVM units with their private spin copies ([`PairState`]), the global
-//! spin vector, the frozen offset vectors, and the run's operation tally.
-//! The stage modules ([`super::program`], [`super::round`],
+//! spin vector, the frozen offset vectors, the run's operation tally, and
+//! the device-runtime pieces — the [`BufferPool`] holding every
+//! device-visible buffer and the [`CommandQueue`] the stages submit typed
+//! commands to. The stage modules ([`super::program`], [`super::round`],
 //! [`super::sync`], [`super::track`]) each mutate a well-defined slice of
-//! it.
+//! it; device work flows exclusively through the queue (see
+//! [`super::dispatch`]).
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use sophie_linalg::TilePair;
 use sophie_solve::OpCounts;
 
-use crate::backend::MvmUnit;
+use crate::queue::{BufferHandle, BufferPool, CommandQueue};
 
 /// Everything one run mutates: pair states, the global spin vector, the
-/// offset vectors frozen between synchronizations, and the operation
-/// totals accumulated so far.
+/// offset vectors frozen between synchronizations, the operation totals
+/// accumulated so far, and the device runtime (buffer pool + command
+/// queue).
 #[derive(Debug)]
 pub(super) struct MachineState<U> {
     /// One entry per symmetric tile pair, in pair-list order.
@@ -26,9 +28,16 @@ pub(super) struct MachineState<U> {
     /// Per-logical-tile offset vectors (`b²·t` values): read-only during
     /// local iterations, regathered at every synchronization.
     pub offsets: Vec<f32>,
-    /// Run-total operation counts. Serial stages add to this directly;
-    /// per-pair tallies are folded in via [`MachineState::drain_pair_ops`].
+    /// Run-total operation counts. Host-side stages add to this directly
+    /// (each such addition is reported to the timeline as a host record);
+    /// per-pair tallies fed by command completions are folded in via
+    /// [`MachineState::drain_pair_ops`].
     pub ops: OpCounts,
+    /// Every device-visible buffer of the run (spin copies, partial sums,
+    /// MVM scratch), addressed by the handles in [`PairState`].
+    pub pool: BufferPool,
+    /// The device command queue all stages submit to.
+    pub queue: CommandQueue,
 }
 
 impl<U> MachineState<U> {
@@ -48,30 +57,34 @@ impl<U> MachineState<U> {
     }
 }
 
-/// Per-pair mutable state: the pair's physical unit, private spin copies,
-/// latest partial-sum segments, MVM scratch, and op tally.
+/// Per-pair mutable state: the pair's physical unit, handles to its
+/// private spin copies, latest partial-sum segments and MVM scratch in
+/// the run's [`BufferPool`], and its op tally.
 ///
-/// During the local iterations of a round each selected pair's state is
-/// mutated by exactly one pool task while all cross-pair inputs are frozen,
-/// which is what makes the fan-out race-free without locks.
-#[derive(Debug, Clone)]
+/// During a flush each unit's command chain is executed by exactly one
+/// pool task, and a chain touches only its own unit and buffers — which
+/// is what makes the fan-out race-free without locks.
+#[derive(Debug)]
 pub(super) struct PairState<U> {
     pub pair: TilePair,
-    /// Position in the solver's pair list (= the RNG sub-stream id).
+    /// Position in the solver's pair list (= the unit lane index and the
+    /// RNG sub-stream id).
     pub index: usize,
     pub unit: U,
     /// Copy of `x_col` — input of the primary tile `(row, col)`.
-    pub primary: Vec<f32>,
-    /// Copy of `x_row` — input of the partner tile `(col, row)`; empty for
-    /// diagonal pairs.
-    pub partner: Vec<f32>,
+    pub primary: BufferHandle,
+    /// Copy of `x_row` — input of the partner tile `(col, row)`;
+    /// zero-length for diagonal pairs.
+    pub partner: BufferHandle,
     /// Latest 8-bit partial sum produced by the primary tile.
-    pub partial_primary: Vec<f32>,
-    /// Latest 8-bit partial sum of the partner tile; empty for diagonals.
-    pub partial_partner: Vec<f32>,
+    pub partial_primary: BufferHandle,
+    /// Latest 8-bit partial sum of the partner tile; zero-length for
+    /// diagonals.
+    pub partial_partner: BufferHandle,
     /// MVM output scratch.
-    pub y: Vec<f32>,
-    /// Operations attributed to this pair since the last drain.
+    pub y: BufferHandle,
+    /// Operations attributed to this pair since the last drain — fed by
+    /// the pair's command completions.
     pub ops: OpCounts,
     /// Set when the health monitor quarantined this pair (graceful
     /// degradation): it is skipped by round execution and its partial
@@ -80,135 +93,39 @@ pub(super) struct PairState<U> {
 }
 
 impl<U> PairState<U> {
-    /// Refreshes this pair's private spin copies from the global state.
-    pub fn reset_from_global(&mut self, global: &[f32], t: usize) {
-        match self.pair {
-            TilePair::Diagonal(d) => {
-                self.primary.copy_from_slice(&global[d * t..(d + 1) * t]);
-            }
-            TilePair::OffDiagonal { row, col } => {
-                self.primary
-                    .copy_from_slice(&global[col * t..(col + 1) * t]);
-                self.partner
-                    .copy_from_slice(&global[row * t..(row + 1) * t]);
-            }
-        }
-    }
-}
-
-impl<U: MvmUnit> PairState<U> {
-    pub fn new(pair: TilePair, index: usize, unit: U, t: usize) -> Self {
+    pub fn new(pair: TilePair, index: usize, unit: U, t: usize, pool: &mut BufferPool) -> Self {
         let off = matches!(pair, TilePair::OffDiagonal { .. });
+        let side = |off: bool| if off { t } else { 0 };
         PairState {
             pair,
             index,
             unit,
-            primary: vec![0.0; t],
-            partner: if off { vec![0.0; t] } else { Vec::new() },
-            partial_primary: vec![0.0; t],
-            partial_partner: if off { vec![0.0; t] } else { Vec::new() },
-            y: vec![0.0; t],
+            primary: pool.alloc(t),
+            partner: pool.alloc(side(off)),
+            partial_primary: pool.alloc(t),
+            partial_partner: pool.alloc(side(off)),
+            y: pool.alloc(t),
             ops: OpCounts::new(),
             disabled: false,
         }
     }
 
-    /// First 8-bit pass: this pair's tiles' contributions to their block
-    /// rows at the initial global state (no noise, no thresholding).
-    pub fn initial_partials(&mut self, global: &[f32], t: usize) {
+    /// Refreshes this pair's private spin copies from the global state
+    /// (pure host-side copies; no device commands).
+    pub fn reset_from_global(&self, pool: &mut BufferPool, global: &[f32], t: usize) {
         match self.pair {
             TilePair::Diagonal(d) => {
-                self.unit.forward(&global[d * t..(d + 1) * t], &mut self.y);
-                self.unit.quantize_8bit(&mut self.y);
-                self.partial_primary.copy_from_slice(&self.y);
-                self.ops.tile_mvms_8bit += 1;
-                self.ops.adc_8bit_samples += t as u64;
-                self.ops.eo_input_bits += t as u64;
+                pool.get_mut(self.primary)
+                    .copy_from_slice(&global[d * t..(d + 1) * t]);
             }
             TilePair::OffDiagonal { row, col } => {
-                self.unit
-                    .forward(&global[col * t..(col + 1) * t], &mut self.y);
-                self.unit.quantize_8bit(&mut self.y);
-                self.partial_primary.copy_from_slice(&self.y);
-                self.unit
-                    .transposed(&global[row * t..(row + 1) * t], &mut self.y);
-                self.unit.quantize_8bit(&mut self.y);
-                self.partial_partner.copy_from_slice(&self.y);
-                self.ops.tile_mvms_8bit += 2;
-                self.ops.adc_8bit_samples += 2 * t as u64;
-                self.ops.eo_input_bits += 2 * t as u64;
+                pool.get_mut(self.primary)
+                    .copy_from_slice(&global[col * t..(col + 1) * t]);
+                pool.get_mut(self.partner)
+                    .copy_from_slice(&global[row * t..(row + 1) * t]);
             }
         }
     }
-}
-
-/// Flat index range of logical tile `(r, c)` in the `b²·t`-long offsets
-/// buffer.
-pub(super) fn vec_at(b: usize, t: usize, r: usize, c: usize) -> std::ops::Range<usize> {
-    (r * b + c) * t..(r * b + c + 1) * t
-}
-
-/// Seed of the private noise stream used by pair `pair_index` during round
-/// `round_index` (1-based; 0 is implicitly the serial setup stream of
-/// `SmallRng::seed_from_u64(seed)`).
-///
-/// Derived purely from the job seed and the (round, pair) coordinates —
-/// never from thread identity or execution order — which is what makes
-/// engine traces bit-identical for every `SOPHIE_THREADS` setting. The
-/// chained SplitMix64 finalizers decorrelate adjacent coordinates.
-pub(super) fn noise_stream_seed(seed: u64, round_index: u64, pair_index: u64) -> u64 {
-    fn mix(mut z: u64) -> u64 {
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-    mix(mix(mix(seed.wrapping_add(0x9E37_79B9_7F4A_7C15)) ^ round_index) ^ pair_index)
-}
-
-/// The pair's private noise RNG for one round.
-pub(super) fn noise_rng(seed: u64, round_index: u64, pair_index: u64) -> SmallRng {
-    SmallRng::seed_from_u64(noise_stream_seed(seed, round_index, pair_index))
-}
-
-/// Collects disjoint mutable borrows of the selected pair states.
-///
-/// `selected` must be sorted ascending and duplicate-free (the schedule
-/// guarantees this); walking one `iter_mut` keeps the aliasing proof in
-/// safe code.
-pub(super) fn collect_selected<'a, U>(
-    states: &'a mut [PairState<U>],
-    selected: &[usize],
-) -> Vec<&'a mut PairState<U>> {
-    let mut out = Vec::with_capacity(selected.len());
-    let mut iter = states.iter_mut().enumerate();
-    for &want in selected {
-        for (i, st) in iter.by_ref() {
-            if i == want {
-                out.push(st);
-                break;
-            }
-        }
-    }
-    assert_eq!(
-        out.len(),
-        selected.len(),
-        "selected pair indices must be sorted, unique, and in range"
-    );
-    out
-}
-
-/// Tallies the MVMs and ADC samples of one local pass over a pair.
-pub(super) fn count_local_mvm(ops: &mut OpCounts, t: usize, last: bool, mvms: u64) {
-    let samples = mvms * t as u64;
-    if last {
-        ops.tile_mvms_8bit += mvms;
-        ops.adc_8bit_samples += samples;
-    } else {
-        ops.tile_mvms_1bit += mvms;
-        ops.adc_1bit_samples += samples;
-    }
-    ops.eo_input_bits += samples;
-    ops.noise_injections += samples;
 }
 
 /// Thresholds the first `n` (unpadded) entries of the global state into

@@ -1,15 +1,19 @@
 //! Stage 3 — global synchronization and partial-sum merge.
 //!
-//! After the parallel local iterations, this stage rebuilds the shared
+//! After the flushed local iterations, this stage rebuilds the shared
 //! view of the machine serially (cheap copies and votes): it updates the
 //! global spin state per block column — stochastic donor copy or majority
 //! vote (§III-A2) — broadcasts the synchronized columns back into every
 //! pair's private copies, accounts the synchronization traffic, and
-//! regathers the offset vectors for the next round.
+//! regathers the offset vectors for the next round. It reads the pairs'
+//! device buffers through the pool by handle; no device commands are
+//! issued (the controller's glue work is host-side by construction and
+//! reported to the timeline as host records by the caller).
 
+use crate::queue::BufferPool;
 use crate::schedule::{Round, Schedule};
 
-use super::state::MachineState;
+use super::state::{MachineState, PairState};
 use super::SophieSolver;
 
 /// Synchronizes the machine after one round's local iterations.
@@ -30,18 +34,19 @@ pub(super) fn synchronize<U>(
 
     let mut updated_cols = 0u64;
     {
-        // Split borrow: the column updates read the pair states and write
-        // the global vector (plus the op tally).
+        // Split borrow: the column updates read the pair buffers out of
+        // the pool and write the global vector (plus the op tally).
         let MachineState {
             states,
             global,
             ops,
+            pool,
             ..
         } = ms;
         for cblock in 0..b {
             if schedule.stochastic_spin() {
                 if let Some(donor) = round.donors[cblock] {
-                    let copy = column_copy(solver, states, donor, cblock);
+                    let copy = column_copy(solver, states, pool, donor, cblock);
                     global[cblock * t..(cblock + 1) * t].copy_from_slice(copy);
                     updated_cols += 1;
                 }
@@ -51,6 +56,7 @@ pub(super) fn synchronize<U>(
                     majority_update(
                         solver,
                         states,
+                        pool,
                         &rows,
                         cblock,
                         &mut global[cblock * t..(cblock + 1) * t],
@@ -61,8 +67,8 @@ pub(super) fn synchronize<U>(
             }
         }
         // Broadcast the synchronized columns to every tile's copy.
-        for st in states.iter_mut() {
-            st.reset_from_global(global, t);
+        for st in states.iter() {
+            st.reset_from_global(pool, global, t);
         }
     }
     ms.ops.spin_broadcast_bits += updated_cols * (b * t) as u64;
@@ -85,19 +91,20 @@ pub(super) fn recompute_offsets<U>(solver: &SophieSolver, ms: &mut MachineState<
         states,
         offsets,
         ops,
+        pool,
         ..
     } = ms;
     let mut rowsum = vec![0.0_f32; t];
     for r in 0..b {
         rowsum.fill(0.0);
         for c in 0..b {
-            let p = partial_slot(solver, states, r, c);
+            let p = partial_slot(solver, states, pool, r, c);
             for (s, &v) in rowsum.iter_mut().zip(p) {
                 *s += v;
             }
         }
         for c in 0..b {
-            let p = partial_slot(solver, states, r, c);
+            let p = partial_slot(solver, states, pool, r, c);
             let base = (r * b + c) * t;
             for i in 0..t {
                 offsets[base + i] = rowsum[i] - p[i];
@@ -110,40 +117,43 @@ pub(super) fn recompute_offsets<U>(solver: &SophieSolver, ms: &mut MachineState<
 /// The latest 8-bit partial-sum segment of logical tile `(r, c)`.
 fn partial_slot<'a, U>(
     solver: &SophieSolver,
-    states: &'a [super::state::PairState<U>],
+    states: &[PairState<U>],
+    pool: &'a BufferPool,
     r: usize,
     c: usize,
 ) -> &'a [f32] {
     let pi = solver.pair_index(r, c);
     if r <= c {
-        &states[pi].partial_primary
+        pool.get(states[pi].partial_primary)
     } else {
-        &states[pi].partial_partner
+        pool.get(states[pi].partial_partner)
     }
 }
 
 /// The spin copy of column `cblock` held at block row `donor`.
 fn column_copy<'a, U>(
     solver: &SophieSolver,
-    states: &'a [super::state::PairState<U>],
+    states: &[PairState<U>],
+    pool: &'a BufferPool,
     donor: usize,
     cblock: usize,
 ) -> &'a [f32] {
     let pi = solver.pair_index(donor, cblock);
     if donor <= cblock {
         // Tile (donor, cblock) is the pair's primary: input is x_cblock.
-        &states[pi].primary
+        pool.get(states[pi].primary)
     } else {
         // Pair (cblock, donor): the partner tile (donor, cblock) reads
         // x_cblock as its input copy.
-        &states[pi].partner
+        pool.get(states[pi].partner)
     }
 }
 
 /// Majority vote over the fresh copies of column `cblock`.
 fn majority_update<U>(
     solver: &SophieSolver,
-    states: &[super::state::PairState<U>],
+    states: &[PairState<U>],
+    pool: &BufferPool,
     rows: &[usize],
     cblock: usize,
     out: &mut [f32],
@@ -151,7 +161,7 @@ fn majority_update<U>(
     let t = solver.grid.tile();
     let mut votes = vec![0.0_f32; t];
     for &r in rows {
-        let copy = column_copy(solver, states, r, cblock);
+        let copy = column_copy(solver, states, pool, r, cblock);
         for (v, &x) in votes.iter_mut().zip(copy) {
             *v += x;
         }

@@ -50,6 +50,7 @@ mod error;
 mod gaussian;
 mod health;
 mod outcome;
+pub mod queue;
 pub mod schedule;
 mod solver;
 pub mod sparse;

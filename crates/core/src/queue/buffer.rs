@@ -1,0 +1,216 @@
+//! Pooled device-buffer allocation.
+//!
+//! Engine state that device commands read or write (spin copies, partial
+//! sums, MVM scratch) lives in one [`BufferPool`] and is referenced by
+//! opaque [`BufferHandle`]s. Commands name buffers by handle only; the
+//! executor checks the referenced buffers out of the pool for the duration
+//! of a flush (moving them onto worker threads without copying) and checks
+//! them back in afterwards, so host-side stages can keep using plain slice
+//! reads between flushes.
+
+/// Opaque reference to one pooled `f32` buffer.
+///
+/// Handles are cheap to copy and stable for the lifetime of the pool; the
+/// generation field catches use of a handle against the wrong pool (or a
+/// stale pool) in debug-friendly panics rather than silent aliasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferHandle {
+    index: u32,
+    generation: u32,
+}
+
+impl BufferHandle {
+    /// Position of the buffer in its pool (stable, allocation order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+/// One pool slot: the storage plus its checkout state.
+#[derive(Debug, Default)]
+struct Slot {
+    data: Vec<f32>,
+    /// Set while the executor has moved the storage onto a worker; any
+    /// host-side access in that window is a bug and panics.
+    checked_out: bool,
+}
+
+/// Arena of device buffers, one per pool, addressed by [`BufferHandle`].
+///
+/// The pool is append-only: buffers are allocated once at machine setup
+/// (engine state has a fixed shape per run) and recycled across rounds by
+/// checkout/checkin rather than free/realloc.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    slots: Vec<Slot>,
+    generation: u32,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        BufferPool {
+            slots: Vec::new(),
+            // A per-pool tag (not a counter): distinguishes handles from
+            // different pools within one process.
+            generation: {
+                use std::sync::atomic::{AtomicU32, Ordering};
+                static NEXT: AtomicU32 = AtomicU32::new(1);
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            },
+        }
+    }
+
+    /// Allocates a zeroed buffer of `len` floats and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool exceeds `u32::MAX` buffers.
+    pub fn alloc(&mut self, len: usize) -> BufferHandle {
+        let index = u32::try_from(self.slots.len()).expect("buffer pool exhausted");
+        self.slots.push(Slot {
+            data: vec![0.0; len],
+            checked_out: false,
+        });
+        BufferHandle {
+            index,
+            generation: self.generation,
+        }
+    }
+
+    /// Number of buffers allocated.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool holds no buffers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn slot(&self, handle: BufferHandle) -> &Slot {
+        assert_eq!(
+            handle.generation, self.generation,
+            "buffer handle used against a different pool"
+        );
+        &self.slots[handle.index()]
+    }
+
+    fn slot_mut(&mut self, handle: BufferHandle) -> &mut Slot {
+        assert_eq!(
+            handle.generation, self.generation,
+            "buffer handle used against a different pool"
+        );
+        &mut self.slots[handle.index()]
+    }
+
+    /// Reads a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is checked out (a flush is mid-flight) or the
+    /// handle belongs to another pool.
+    #[must_use]
+    pub fn get(&self, handle: BufferHandle) -> &[f32] {
+        let slot = self.slot(handle);
+        assert!(!slot.checked_out, "buffer read while checked out");
+        &slot.data
+    }
+
+    /// Mutates a buffer in place (host-side stages between flushes).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`BufferPool::get`].
+    pub fn get_mut(&mut self, handle: BufferHandle) -> &mut [f32] {
+        let slot = self.slot_mut(handle);
+        assert!(!slot.checked_out, "buffer mutated while checked out");
+        &mut slot.data
+    }
+
+    /// Checks a buffer out of the pool, moving its storage to the caller
+    /// (no copy). The slot stays reserved until [`BufferPool::restore`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on double checkout — two commands in one flush batch naming
+    /// the same buffer from different units would race.
+    pub fn take(&mut self, handle: BufferHandle) -> Vec<f32> {
+        let slot = self.slot_mut(handle);
+        assert!(!slot.checked_out, "buffer double-checkout");
+        slot.checked_out = true;
+        std::mem::take(&mut slot.data)
+    }
+
+    /// Returns a checked-out buffer to its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was not checked out.
+    pub fn restore(&mut self, handle: BufferHandle, data: Vec<f32>) {
+        let slot = self.slot_mut(handle);
+        assert!(slot.checked_out, "restore of a buffer that was not taken");
+        slot.data = data;
+        slot.checked_out = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_zeroes_and_indexes_in_order() {
+        let mut pool = BufferPool::new();
+        let a = pool.alloc(3);
+        let b = pool.alloc(0);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(pool.get(a), &[0.0, 0.0, 0.0]);
+        assert_eq!(pool.get(b), &[] as &[f32]);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn take_and_restore_round_trip() {
+        let mut pool = BufferPool::new();
+        let h = pool.alloc(2);
+        pool.get_mut(h).copy_from_slice(&[1.0, 2.0]);
+        let mut v = pool.take(h);
+        v[0] = 9.0;
+        pool.restore(h, v);
+        assert_eq!(pool.get(h), &[9.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-checkout")]
+    fn double_take_panics() {
+        let mut pool = BufferPool::new();
+        let h = pool.alloc(1);
+        let _a = pool.take(h);
+        let _b = pool.take(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "checked out")]
+    fn read_while_taken_panics() {
+        let mut pool = BufferPool::new();
+        let h = pool.alloc(1);
+        let _a = pool.take(h);
+        let _ = pool.get(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "different pool")]
+    fn cross_pool_handle_panics() {
+        let mut a = BufferPool::new();
+        let mut b = BufferPool::new();
+        let h = a.alloc(1);
+        let _ = b.alloc(1);
+        let _ = b.get(h);
+    }
+}

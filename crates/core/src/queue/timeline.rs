@@ -1,0 +1,39 @@
+//! Command-timeline observation.
+//!
+//! A [`TimelineSink`] receives every device [`Completion`] and every
+//! host-side cost record the engine reports (synchronization glue,
+//! offset recomputation, reuse bookkeeping). The two streams together
+//! account for the run-total `OpCounts` exactly; `sophie-bench` feeds a
+//! sink into `repro timeline` to dump the stream as JSONL with per-record
+//! time and energy attribution.
+
+use sophie_solve::OpCounts;
+
+use super::command::Completion;
+
+/// Observer of the per-command cost stream of a run.
+///
+/// Device records arrive once per executed command, in completion order
+/// (sorted by `(round, wave, unit)` within each flush). Host records
+/// arrive once per controller stage that mutates op counters outside the
+/// device queue.
+pub trait TimelineSink {
+    /// A device command completed.
+    fn device(&mut self, completion: &Completion);
+
+    /// The host controller performed `stage` during `round` at cost
+    /// `cost`. Stage labels are stable strings such as `"global_sync"`,
+    /// `"recompute_offsets"`, `"reuse_setup"`, `"reuse_tally"`, and
+    /// `"quarantine"`.
+    fn host(&mut self, round: u64, stage: &'static str, cost: &OpCounts);
+}
+
+/// Sink that discards every record (the default, zero-overhead path).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTimeline;
+
+impl TimelineSink for NullTimeline {
+    fn device(&mut self, _completion: &Completion) {}
+
+    fn host(&mut self, _round: u64, _stage: &'static str, _cost: &OpCounts) {}
+}

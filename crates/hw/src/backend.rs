@@ -35,7 +35,7 @@ use sophie_linalg::Tile;
 use crate::device::adc::DualPrecisionAdc;
 use crate::device::opcm::{OpcmArray, OpcmCellSpec};
 use crate::device::variability::VariabilityModel;
-use crate::error::Result;
+use crate::error::{HwError, Result};
 use crate::fault::{FaultEvent, FaultSchedule};
 
 /// Fraction of the ADC full-scale range reachable during a saturation
@@ -121,7 +121,7 @@ impl OpcmBackend {
     /// handle the error instead.
     #[must_use]
     pub fn new(config: OpcmBackendConfig) -> Self {
-        Self::try_new(config).expect("invalid OpcmBackendConfig")
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid OpcmBackendConfig: {e}"))
     }
 
     /// Fallible constructor: validates the configuration first.
@@ -288,15 +288,27 @@ impl OpcmUnit {
 
 impl MvmUnit for OpcmUnit {
     fn program(&mut self, tile: &Tile) {
-        let degraded = self.variability.degrade(tile, self.unit_id);
+        // `MvmUnit::program` is infallible by contract, so model failures
+        // surface as panics — but through the crate's typed errors first,
+        // so the message names the unit and the failing operation.
+        let degraded = self
+            .variability
+            .try_degrade(tile, self.unit_id)
+            .unwrap_or_else(|e| panic!("{e}"));
         self.array.program(&degraded);
         // Full-scale range: the largest possible |partial sum| is
         // max|w| · t (all inputs high on the strongest row).
         let t = tile.size() as f32;
         let max_abs = tile.as_slice().iter().fold(0.0_f32, |m, &x| m.max(x.abs()));
         let range = (max_abs * t).max(f32::MIN_POSITIVE);
-        self.adc =
-            Some(DualPrecisionAdc::new(self.adc_bits, range).expect("validated adc configuration"));
+        let adc = DualPrecisionAdc::new(self.adc_bits, range)
+            .map_err(|e| HwError::UnitFailure {
+                unit: self.unit_id,
+                op: "program",
+                message: e.to_string(),
+            })
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.adc = Some(adc);
         // A fresh write restores gain (power control recalibrates),
         // revives a dropped chiplet, and clears ADC saturation; stuck
         // cells are physical damage and persist.
@@ -349,7 +361,12 @@ impl MvmBackend for OpcmBackend {
         let id = self.counter.fetch_add(1, Ordering::Relaxed);
         OpcmUnit {
             array: OpcmArray::new(self.config.cell, tile_size)
-                .expect("validated cell specification"),
+                .map_err(|e| HwError::UnitFailure {
+                    unit: id,
+                    op: "allocate",
+                    message: e.to_string(),
+                })
+                .unwrap_or_else(|e| panic!("{e}")),
             adc: None,
             adc_bits: self.config.adc_bits,
             read_noise: self.config.read_noise,

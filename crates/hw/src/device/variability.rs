@@ -115,8 +115,27 @@ impl VariabilityModel {
     /// would effectively hold. Deterministic in `(tile position seed)`.
     ///
     /// `cell_seed` distinguishes arrays (pass the pair index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degraded coefficients cannot be reassembled into a
+    /// tile (cannot happen for a well-formed input tile); use
+    /// [`Self::try_degrade`] to receive the typed error instead.
     #[must_use]
     pub fn degrade(&self, tile: &Tile, cell_seed: u64) -> Tile {
+        self.try_degrade(tile, cell_seed)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Self::degrade`]: reassembly failures surface as
+    /// [`HwError::UnitFailure`] naming the array (`cell_seed` is the unit
+    /// id the backend passes) instead of a panic without context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::UnitFailure`] if the degraded coefficient vector
+    /// does not form a square tile of the input's size.
+    pub fn try_degrade(&self, tile: &Tile, cell_seed: u64) -> Result<Tile> {
         let mut rng =
             SmallRng::seed_from_u64(self.seed ^ cell_seed.wrapping_mul(0x9e3779b97f4a7c15));
         let data = tile.as_slice();
@@ -140,7 +159,11 @@ impl VariabilityModel {
                 }
             })
             .collect();
-        Tile::from_vec(tile.size(), degraded).expect("same dimensions")
+        Tile::from_vec(tile.size(), degraded).map_err(|e| HwError::UnitFailure {
+            unit: cell_seed,
+            op: "degrade",
+            message: e.to_string(),
+        })
     }
 }
 

@@ -21,6 +21,17 @@ pub enum HwError {
         /// Units the workload would need for residency.
         required: usize,
     },
+    /// A device operation failed on one specific MVM unit. Wraps the
+    /// underlying model error with the unit id and the operation that was
+    /// executing, so failures deep in a multi-unit run name the array.
+    UnitFailure {
+        /// Physical unit id (the backend's allocation counter).
+        unit: u64,
+        /// The device operation that failed (`"program"`, `"allocate"`, …).
+        op: &'static str,
+        /// The underlying failure, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for HwError {
@@ -36,6 +47,9 @@ impl fmt::Display for HwError {
                 f,
                 "workload needs {required} arrays but the machine has {available}"
             ),
+            HwError::UnitFailure { unit, op, message } => {
+                write!(f, "device unit {unit} failed during {op}: {message}")
+            }
         }
     }
 }
@@ -61,6 +75,13 @@ mod tests {
             required: 528,
         };
         assert!(e.to_string().contains("528"));
+        let e = HwError::UnitFailure {
+            unit: 17,
+            op: "program",
+            message: "tile size mismatch".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("17") && text.contains("program"), "{text}");
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   → multi-accelerator machine);
 //! * [`cost`] — timing, energy, area, and EDAP models built from the
 //!   §IV-A constants, consuming exact operation counts from the engine or
-//!   the analytic schedule replay.
+//!   the analytic schedule replay;
+//! * [`queue`] — the engine's device command runtime (re-exported from
+//!   `sophie-core`) plus [`queue::CommandCostModel`], which annotates each
+//!   command's exact cost record with §IV-A time and energy.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod cost;
 pub mod device;
 mod error;
 pub mod fault;
+pub mod queue;
 mod solver;
 
 pub use backend::{OpcmBackend, OpcmBackendConfig};

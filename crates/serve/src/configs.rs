@@ -217,6 +217,14 @@ fn sophie_config(f: &Fields<'_>) -> Result<SophieConfig> {
                 .ok_or_else(|| f.type_err("sparse_crossover", "a number"))?,
         ),
     };
+    let queue_depth = match f.get("queue_depth") {
+        None => d.queue_depth,
+        Some(v) => Some(
+            v.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| f.type_err("queue_depth", "a non-negative integer"))?,
+        ),
+    };
     Ok(SophieConfig {
         tile_size: f.usize("tile_size", d.tile_size)?,
         local_iters: f.usize("local_iters", d.local_iters)?,
@@ -227,6 +235,7 @@ fn sophie_config(f: &Fields<'_>) -> Result<SophieConfig> {
         stochastic_spin_update: f.bool("stochastic_spin_update", d.stochastic_spin_update)?,
         compute,
         sparse_crossover,
+        queue_depth,
     })
 }
 
@@ -302,6 +311,19 @@ mod tests {
         }
         let cfg = Json::parse(r#"{"sparse_crossover": 0.25, "tile_size": 8}"#).unwrap();
         assert!(build_solver(&reg, "sophie", Some(&cfg)).is_ok());
+        // queue_depth is result-invariant but still a wire-settable knob.
+        let cfg = Json::parse(r#"{"queue_depth": 4, "tile_size": 8}"#).unwrap();
+        assert!(build_solver(&reg, "sophie", Some(&cfg)).is_ok());
+        let bad_depth = Json::parse(r#"{"queue_depth": 0}"#).unwrap();
+        assert!(matches!(
+            build_solver(&reg, "sophie", Some(&bad_depth)),
+            Err(ServeError::Solve(_))
+        ));
+        let mistyped_depth = Json::parse(r#"{"queue_depth": "deep"}"#).unwrap();
+        match build_solver(&reg, "sophie", Some(&mistyped_depth)).map(|_| ()) {
+            Err(ServeError::Protocol { message }) => assert!(message.contains("queue_depth")),
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
         // Bad mode string is a protocol error; bad θ is a factory rejection.
         let bad_mode = Json::parse(r#"{"compute": "warp"}"#).unwrap();
         match build_solver(&reg, "sophie", Some(&bad_mode)).map(|_| ()) {

@@ -10,7 +10,8 @@
 # builds the examples, denies rustdoc warnings, and smoke-runs the
 # `repro` binary (the solver-registry listing, bench-summary with a
 # sparse-suite/speedup gate, the sparse dense-vs-delta equivalence sweep,
-# a JSONL event trace, the robustness sweep on a tiny graph, and the
+# a JSONL event trace, a JSONL command timeline with an exact-cost-sum and
+# probe/solve-overlap gate, the robustness sweep on a tiny graph, and the
 # serving layer: an ephemeral-port daemon driven through submit/ctl/loadgen).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,11 +38,20 @@ if grep -rn "_observed(" crates/bench/src/experiments/; then
     exit 1
 fi
 
+# Device-runtime gate: engine stage modules submit commands through the
+# queue; direct MvmUnit reads live only in the queue's executor
+# (crates/core/src/queue/exec.rs).
+echo "==> grep gate: no direct MvmUnit reads under crates/core/src/engine/"
+if grep -rn "\.forward(\|\.transposed(" crates/core/src/engine/; then
+    echo "engine stages must submit Mvm commands through the device queue, not call MvmUnit::forward/transposed" >&2
+    exit 1
+fi
+
 if [[ "$quick" -eq 0 ]]; then
     run cargo test -q --workspace
     # Fault-aware runtime: injection/recovery behavior and the
     # thread-count bit-determinism of the fault/recovery event streams.
-    run cargo test -q -p sophie-hw --test fault_injection --test fault_recovery
+    run cargo test -q -p sophie-hw --test fault_injection --test fault_recovery --test command_queue
     run cargo test -q -p sophie --test fault_determinism --test thread_determinism
     run cargo build --release --examples
     echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --workspace"
@@ -78,6 +88,39 @@ PY
     run cargo run --release -q -p sophie-bench --bin repro -- trace --fast \
         --graph K100 --seed 0 --out "$smoke_dir/trace.jsonl"
     [[ -s "$smoke_dir/trace.jsonl" ]] || { echo "trace smoke test wrote nothing" >&2; exit 1; }
+    # Command-timeline smoke: per-record costs must sum exactly to the
+    # run aggregate, and the health monitor's probes must interleave with
+    # solve MVMs inside the same round (the overlap the device runtime
+    # exists for).
+    run cargo run --release -q -p sophie-bench --bin repro -- timeline --fast \
+        --graph K100 --seed 0 --out "$smoke_dir/timeline.jsonl"
+    python3 - "$smoke_dir/timeline.jsonl" <<'PY'
+import collections, json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert lines[0]["record"] == "run" and lines[-1]["record"] == "total", "framing"
+total = lines[-1]
+device = [l for l in lines if l["record"] == "device"]
+host = [l for l in lines if l["record"] == "host"]
+sums = collections.Counter()
+for r in device + host:
+    for k, v in r["ops"].items():
+        sums[k] += v
+for k, v in total["ops"].items():
+    assert sums[k] == v, f"timeline ops.{k}: records sum to {sums[k]}, aggregate says {v}"
+rounds = collections.defaultdict(lambda: {"probe": [], "mvm": []})
+for r in device:
+    if r["kind"] == "probe":
+        rounds[r["round"]]["probe"].append(r["wave"])
+    elif r["kind"].startswith("mvm_"):
+        rounds[r["round"]]["mvm"].append(r["wave"])
+overlapped = [
+    rd for rd, w in rounds.items()
+    if w["probe"] and w["mvm"] and min(w["probe"]) < max(w["mvm"])
+]
+assert overlapped, "no round shows probe submissions interleaved with solve MVMs"
+print(f"timeline gate: {len(device)}+{len(host)} records sum exactly; "
+      f"probes overlap solve MVMs in {len(overlapped)} round(s)")
+PY
     run cargo run --release -q -p sophie-bench --bin repro -- robustness --fast --out "$smoke_dir"
     [[ -s "$smoke_dir/robustness.jsonl" ]] || { echo "robustness smoke test wrote no JSONL" >&2; exit 1; }
     [[ -s "$smoke_dir/robustness.csv" ]] || { echo "robustness smoke test wrote no CSV" >&2; exit 1; }
@@ -89,7 +132,10 @@ PY
     cargo run --release -q -p sophie-bench --bin repro -- serve \
         --port-file "$smoke_dir/serve.port" --queue 16 --workers 2 &
     serve_pid=$!
-    trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$smoke_dir"' EXIT
+    # `|| true`: by shutdown the daemon has already exited (we `wait` on
+    # it), and a failing kill inside the trap would turn a fully green
+    # run into exit 1 under `set -e`.
+    trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
     for _ in $(seq 1 50); do
         [[ -s "$smoke_dir/serve.port" ]] && break
         sleep 0.1
