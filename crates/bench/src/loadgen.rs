@@ -22,7 +22,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sophie_serve::{Client, GraphSpec, Json, ServeConfig, ServeError, Server, SubmitArgs};
+use sophie_serve::{
+    Client, GraphSpec, Json, LocalCluster, RouterConfig, ServeConfig, ServeError, Server,
+    SubmitArgs,
+};
 use sophie_solve::stats;
 
 /// What to run; see the module docs for the two arrival models.
@@ -49,6 +52,15 @@ pub struct LoadgenOptions {
     /// JSONL output path (`None` prints records to stdout only when
     /// verbose callers choose to; the summary is always returned).
     pub out: Option<PathBuf>,
+    /// Drive an in-process router fronting this many replicas instead of
+    /// a single daemon. Ignored when `addr` is set (an external cluster's
+    /// router is just an address).
+    pub cluster_replicas: Option<usize>,
+    /// Failure injection for cluster runs: kill one replica about a
+    /// quarter of the way through the workload and restart it past the
+    /// sixty-percent mark, exercising failover and re-admission under
+    /// load. Requires `cluster_replicas`.
+    pub chaos: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -63,6 +75,8 @@ impl Default for LoadgenOptions {
             rate: None,
             deadline_ms: None,
             out: None,
+            cluster_replicas: None,
+            chaos: false,
         }
     }
 }
@@ -104,6 +118,10 @@ pub struct LoadgenSummary {
     pub rtt_p99_ms: f64,
     /// `closed` or `open`.
     pub mode: &'static str,
+    /// Replicas behind the in-process router (0 = single daemon).
+    pub replicas: usize,
+    /// Whether a replica was killed and restarted mid-run.
+    pub chaos: bool,
 }
 
 impl LoadgenSummary {
@@ -113,7 +131,7 @@ impl LoadgenSummary {
         format!(
             "{{\"type\":\"summary\",\"mode\":\"{}\",\"requests\":{},\"done\":{},\"rejected\":{},\"errored\":{},\
              \"wall_s\":{:.3},\"throughput_rps\":{:.2},\"rtt_mean_ms\":{:.3},\"rtt_p50_ms\":{:.3},\
-             \"rtt_p90_ms\":{:.3},\"rtt_p99_ms\":{:.3}}}",
+             \"rtt_p90_ms\":{:.3},\"rtt_p99_ms\":{:.3},\"replicas\":{},\"chaos\":{}}}",
             self.mode,
             self.requests,
             self.done,
@@ -125,6 +143,8 @@ impl LoadgenSummary {
             self.rtt_p50_ms,
             self.rtt_p90_ms,
             self.rtt_p99_ms,
+            self.replicas,
+            self.chaos,
         )
     }
 }
@@ -136,18 +156,30 @@ impl LoadgenSummary {
 /// [`ServeError`] for server spawn/connect failures or an unwritable
 /// `out` path. Individual request failures are *counted*, not fatal.
 pub fn run(opts: &LoadgenOptions) -> Result<LoadgenSummary, ServeError> {
-    // In-process daemon when no address was given.
-    let (addr, server) = match &opts.addr {
-        Some(addr) => (addr.clone(), None),
-        None => {
-            let config = ServeConfig {
-                // Saturation headroom: every loadgen client can be queued.
-                queue_capacity: (opts.clients * 2).max(8),
-                workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
-                ..ServeConfig::default()
+    let serve_config = ServeConfig {
+        // Saturation headroom: every loadgen client can be queued.
+        queue_capacity: (opts.clients * 2).max(8),
+        workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+        ..ServeConfig::default()
+    };
+    // Target priority: an external address, an in-process cluster, an
+    // in-process single daemon.
+    let (addr, server, cluster) = match (&opts.addr, opts.cluster_replicas) {
+        (Some(addr), _) => (addr.clone(), None, None),
+        (None, Some(n)) => {
+            let router_config = RouterConfig {
+                // Distinct seeds make every request a cache miss anyway;
+                // disabling the cache keeps that explicit.
+                cache_capacity: 0,
+                probe_interval: Duration::from_millis(100),
+                ..RouterConfig::default()
             };
-            let handle = Server::start(config, sophie::default_registry(), "127.0.0.1:0")?;
-            (handle.local_addr().to_string(), Some(handle))
+            let cluster = LocalCluster::start(n.max(1), serve_config, router_config)?;
+            (cluster.router_addr().to_string(), None, Some(cluster))
+        }
+        (None, None) => {
+            let handle = Server::start(serve_config, sophie::default_registry(), "127.0.0.1:0")?;
+            (handle.local_addr().to_string(), Some(handle), None)
         }
     };
 
@@ -156,12 +188,23 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenSummary, ServeError> {
     // Open loop: a shared arrival index; each worker claims the next
     // scheduled arrival and sleeps until its start time.
     let arrivals = Arc::new(AtomicUsize::new(0));
+    // Completed-request count, shared with the chaos injector so the kill
+    // and restart land at fixed workload fractions, not wall-clock guesses.
+    let completed = Arc::new(AtomicUsize::new(0));
+    let chaos_handle = cluster.map(|cluster| {
+        let inject = opts.chaos && cluster.len() > 1;
+        let completed = Arc::clone(&completed);
+        std::thread::spawn(move || chaos_loop(cluster, inject, total, &completed))
+    });
     let workers: Vec<std::thread::JoinHandle<Vec<Record>>> = (0..opts.clients)
         .map(|client_idx| {
             let opts = opts.clone();
             let addr = addr.clone();
             let arrivals = Arc::clone(&arrivals);
-            std::thread::spawn(move || client_loop(client_idx, &opts, &addr, &arrivals, start))
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                client_loop(client_idx, &opts, &addr, &arrivals, &completed, start)
+            })
         })
         .collect();
     let mut records: Vec<Record> = workers
@@ -170,6 +213,12 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenSummary, ServeError> {
         .collect();
     let wall_s = start.elapsed().as_secs_f64();
     records.sort_by_key(|r| (r.client, r.seq));
+    // Workers are drained; release the chaos thread (it owns the cluster
+    // and shuts it down on exit).
+    completed.store(total.max(1), Ordering::Release);
+    if let Some(handle) = chaos_handle {
+        let _ = handle.join();
+    }
 
     if let Some(path) = &opts.out {
         let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
@@ -197,11 +246,36 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenSummary, ServeError> {
     Ok(summary)
 }
 
+/// Kill/restart injector for cluster runs; owns the cluster either way so
+/// teardown happens after the workload drains.
+fn chaos_loop(mut cluster: LocalCluster, inject: bool, total: usize, completed: &AtomicUsize) {
+    let kill_at = (total / 4).max(1);
+    let restart_at = (total * 3 / 5).max(2);
+    let mut killed = false;
+    let mut restarted = false;
+    loop {
+        let done = completed.load(Ordering::Acquire);
+        if done >= total {
+            break;
+        }
+        if inject && !killed && done >= kill_at {
+            cluster.kill(0);
+            killed = true;
+        }
+        if killed && !restarted && done >= restart_at {
+            restarted = cluster.restart(0).is_ok();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cluster.shutdown();
+}
+
 fn client_loop(
     client_idx: usize,
     opts: &LoadgenOptions,
     addr: &str,
     arrivals: &AtomicUsize,
+    completed: &AtomicUsize,
     start: Instant,
 ) -> Vec<Record> {
     let total = opts.clients * opts.requests;
@@ -275,6 +349,7 @@ fn client_loop(
             },
         };
         records.push(record);
+        completed.fetch_add(1, Ordering::AcqRel);
     }
     records
 }
@@ -294,7 +369,14 @@ fn summarize(
     let done = rtts.len();
     let rejected = records
         .iter()
-        .filter(|r| r.status == "queue_full" || r.status == "shutting_down")
+        .filter(|r| {
+            matches!(
+                r.status.as_str(),
+                // Daemon admission rejections plus the router's typed
+                // degradation/backpressure rejections.
+                "queue_full" | "shutting_down" | "cluster_degraded" | "router_busy" | "rejected"
+            )
+        })
         .count();
     let quantile = |q: f64| -> f64 {
         match stats::quantile_index(rtts.len(), q) {
@@ -322,7 +404,50 @@ fn summarize(
         } else {
             "closed"
         },
+        replicas: if opts.addr.is_none() {
+            opts.cluster_replicas.unwrap_or(0)
+        } else {
+            0
+        },
+        chaos: opts.chaos && opts.addr.is_none() && opts.cluster_replicas.unwrap_or(0) > 1,
     }
+}
+
+/// The measurements behind the `cluster` block of `BENCH_sophie.json`:
+/// closed-loop throughput against 1, 2, and 3 in-process replicas, plus
+/// one run with a replica killed and restarted mid-workload.
+#[derive(Debug, Clone)]
+pub struct ClusterBench {
+    /// One summary per replica count, in ascending order.
+    pub scaling: Vec<LoadgenSummary>,
+    /// The 3-replica run with failure injection.
+    pub chaos: LoadgenSummary,
+}
+
+/// Runs the cluster bench sweep with the default small workload.
+///
+/// # Errors
+///
+/// [`ServeError`] if a cluster fails to start.
+pub fn run_cluster_bench() -> Result<ClusterBench, ServeError> {
+    let mut scaling = Vec::new();
+    for n in 1..=3usize {
+        let opts = LoadgenOptions {
+            cluster_replicas: Some(n),
+            clients: 4,
+            requests: 4,
+            ..LoadgenOptions::default()
+        };
+        scaling.push(run(&opts)?);
+    }
+    let chaos = run(&LoadgenOptions {
+        cluster_replicas: Some(3),
+        chaos: true,
+        clients: 4,
+        requests: 8,
+        ..LoadgenOptions::default()
+    })?;
+    Ok(ClusterBench { scaling, chaos })
 }
 
 #[cfg(test)]
@@ -345,6 +470,25 @@ mod tests {
         assert!(summary.throughput_rps > 0.0);
         assert!(summary.rtt_p50_ms <= summary.rtt_p99_ms);
         assert!(summary.to_json().contains("\"mode\":\"closed\""));
+    }
+
+    #[test]
+    fn cluster_chaos_run_completes_every_request() {
+        let opts = LoadgenOptions {
+            cluster_replicas: Some(2),
+            chaos: true,
+            clients: 2,
+            requests: 4,
+            graph: "K20".to_string(),
+            config_json: Some(r#"{"sweeps":200}"#.to_string()),
+            ..LoadgenOptions::default()
+        };
+        let summary = run(&opts).expect("cluster loadgen runs");
+        assert_eq!(summary.requests, 8);
+        assert_eq!(summary.done, 8, "failover must hide the replica kill");
+        assert_eq!(summary.replicas, 2);
+        assert!(summary.chaos);
+        assert!(summary.to_json().contains("\"replicas\":2"));
     }
 
     #[test]

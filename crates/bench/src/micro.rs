@@ -384,6 +384,7 @@ pub fn all_suites(c: &mut Criterion) {
 pub fn summary_json(
     results: &[BenchResult],
     serving: Option<&crate::loadgen::LoadgenSummary>,
+    cluster: Option<&crate::loadgen::ClusterBench>,
 ) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"sophie-bench-v1\",");
@@ -507,6 +508,31 @@ pub fn summary_json(
         let _ = writeln!(out, "  }},");
     }
 
+    if let Some(c) = cluster {
+        let _ = writeln!(out, "  \"cluster\": {{");
+        let _ = writeln!(out, "    \"scaling\": [");
+        for (i, s) in c.scaling.iter().enumerate() {
+            let comma = if i + 1 == c.scaling.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "      {{\"replicas\": {}, \"requests\": {}, \"done\": {}, \"throughput_rps\": {:.2}, \"rtt_p50_ms\": {:.3}, \"rtt_p99_ms\": {:.3}}}{comma}",
+                s.replicas, s.requests, s.done, s.throughput_rps, s.rtt_p50_ms, s.rtt_p99_ms
+            );
+        }
+        let _ = writeln!(out, "    ],");
+        let s = &c.chaos;
+        let _ = writeln!(
+            out,
+            "    \"chaos\": {{\"replicas\": {}, \"requests\": {}, \"done\": {}, \"rejected\": {}, \"errored\": {}, \"throughput_rps\": {:.2}, \"rtt_p50_ms\": {:.3}, \"rtt_p99_ms\": {:.3}}},",
+            s.replicas, s.requests, s.done, s.rejected, s.errored, s.throughput_rps, s.rtt_p50_ms, s.rtt_p99_ms
+        );
+        let _ = writeln!(
+            out,
+            "    \"note\": \"router + N in-process replicas, closed loop; the chaos run kills replica 0 a quarter into the workload and restarts it past 60%\""
+        );
+        let _ = writeln!(out, "  }},");
+    }
+
     let _ = writeln!(out, "  \"results\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
@@ -625,7 +651,10 @@ pub fn write_bench_summary(path: &Path) -> std::io::Result<()> {
     let serving = crate::loadgen::run(&crate::loadgen::LoadgenOptions::default())
         .map_err(|e| eprintln!("serving block skipped: {e}"))
         .ok();
-    let fresh = summary_json(c.results(), serving.as_ref());
+    let cluster = crate::loadgen::run_cluster_bench()
+        .map_err(|e| eprintln!("cluster block skipped: {e}"))
+        .ok();
+    let fresh = summary_json(c.results(), serving.as_ref(), cluster.as_ref());
     let merged = match std::fs::read_to_string(path) {
         Ok(old) => merge_preserving_blocks(&fresh, &old),
         Err(_) => fresh,
@@ -704,7 +733,7 @@ mod tests {
                 iters_per_sample: 1,
             });
         }
-        let doc = Json::parse(&summary_json(&results, None)).expect("summary is valid JSON");
+        let doc = Json::parse(&summary_json(&results, None, None)).expect("summary is valid JSON");
         let block = doc.get("command_queue").expect("block present");
         let tiles = block.get("tiles").unwrap().as_arr().unwrap();
         // Tile 256 has no medians, so only the covered widths appear.
@@ -732,7 +761,7 @@ mod tests {
                 iters_per_sample: 1,
             },
         ];
-        let doc = Json::parse(&summary_json(&results, None)).expect("summary is valid JSON");
+        let doc = Json::parse(&summary_json(&results, None, None)).expect("summary is valid JSON");
         let block = doc.get("sparse_speedup").expect("block present");
         assert_eq!(block.get("speedup").unwrap().as_f64(), Some(10.0));
         assert_eq!(block.get("dense_ns").unwrap().as_f64(), Some(50_000_000.0));

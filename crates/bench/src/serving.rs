@@ -8,20 +8,23 @@
 //! records) is JSONL on stdout; progress goes to stderr.
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
-use sophie_serve::{Client, GraphSpec, Json, ServeConfig, Server, SubmitArgs};
+use sophie_serve::{
+    Client, GraphSpec, Json, LocalCluster, RouterConfig, ServeConfig, Server, SubmitArgs,
+};
 
 use crate::loadgen::{self, LoadgenOptions};
 
 /// Usage text for the serving subcommands (appended to the main usage).
-pub const USAGE: &str = "       repro serve [--addr HOST:PORT] [--queue N] [--conns N] [--workers N] [--port-file PATH]\n       repro submit --addr HOST:PORT --solver NAME [--graph NAME] [--gset-file PATH] [--seed N] [--deadline-ms N] [--stream] [--config JSON]\n       repro ctl <stats|solvers|ping|shutdown> --addr HOST:PORT\n       repro loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--solver NAME] [--graph NAME] [--config JSON] [--rate RPS] [--deadline-ms N] [--out PATH.jsonl]";
+pub const USAGE: &str = "       repro serve [--addr HOST:PORT] [--queue N] [--conns N] [--workers N] [--port-file PATH]\n       repro cluster --replicas N [--addr HOST:PORT] [--queue N] [--workers N] [--cache N] [--probe-ms N] [--port-file PATH]\n       repro submit (--addr HOST:PORT | --port-file PATH) --solver NAME [--graph NAME] [--gset-file PATH] [--seed N] [--deadline-ms N] [--stream] [--config JSON]\n       repro ctl <stats|solvers|ping|shutdown> (--addr HOST:PORT | --port-file PATH)\n       repro loadgen [--addr HOST:PORT | --port-file PATH] [--cluster --replicas N [--chaos]] [--clients N] [--requests N] [--solver NAME] [--graph NAME] [--config JSON] [--rate RPS] [--deadline-ms N] [--out PATH.jsonl]";
 
 /// True if `command` is one of the serving subcommands handled by [`cli`].
 #[must_use]
 pub fn is_serving_command(command: &str) -> bool {
-    matches!(command, "serve" | "submit" | "ctl" | "loadgen")
+    matches!(command, "serve" | "cluster" | "submit" | "ctl" | "loadgen")
 }
 
 /// Runs one serving subcommand with its raw argument tail.
@@ -29,6 +32,7 @@ pub fn is_serving_command(command: &str) -> bool {
 pub fn cli(command: &str, args: &[String]) -> ExitCode {
     let result = match command {
         "serve" => cmd_serve(args),
+        "cluster" => cmd_cluster(args),
         "submit" => cmd_submit(args),
         "ctl" => cmd_ctl(args),
         "loadgen" => cmd_loadgen(args),
@@ -72,6 +76,61 @@ impl<'a> Flags<'a> {
     }
 }
 
+/// Waits for a daemon's `--port-file` to appear and contain an address,
+/// polling with bounded exponential backoff (1 ms doubling to 100 ms).
+///
+/// This closes the startup race scripts used to hand-roll with fixed
+/// sleeps: the daemon writes the file only after its listener is bound
+/// (write-then-rename, so a reader never sees a partial line), and this
+/// helper is the reader half. `repro serve`/`repro cluster` remove a
+/// stale file from a previous run *before* binding, so the address read
+/// here is always the live daemon's.
+///
+/// # Errors
+///
+/// A description of the timeout if no address appears in `timeout`.
+pub fn wait_for_port_file(path: &Path, timeout: Duration) -> Result<String, String> {
+    let deadline = std::time::Instant::now() + timeout;
+    let mut backoff = Duration::from_millis(1);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Some(line) = text.lines().next() {
+                let addr = line.trim();
+                if !addr.is_empty() {
+                    return Ok(addr.to_string());
+                }
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(format!(
+                "no address in port file {} within {timeout:?}",
+                path.display()
+            ));
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(Duration::from_millis(100));
+    }
+}
+
+/// Publishes a bound address via `--port-file`: remove-then-write-then-
+/// rename, so readers see either nothing or a complete line, never a
+/// previous run's address.
+fn write_port_file(path: &Path, bound: std::net::SocketAddr) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, format!("{bound}\n"))
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| format!("cannot write port file {}: {e}", path.display()))
+}
+
+/// Resolves the target address from `--addr`/`--port-file`.
+fn resolve_addr(addr: Option<String>, port_file: Option<PathBuf>) -> Result<String, String> {
+    match (addr, port_file) {
+        (Some(addr), _) => Ok(addr),
+        (None, Some(path)) => wait_for_port_file(&path, Duration::from_secs(10)),
+        (None, None) => Err("need --addr or --port-file".to_string()),
+    }
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:0".to_string();
     let mut port_file: Option<PathBuf> = None;
@@ -90,17 +149,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let config = config
         .with_env_overrides()
         .map_err(|e| format!("bad serve config: {e}"))?;
+    if let Some(path) = &port_file {
+        // A stale file from a previous run must go before the bind, so a
+        // concurrent `wait_for_port_file` reader cannot grab a dead
+        // address in the window between our start and our write.
+        let _ = std::fs::remove_file(path);
+    }
     let handle = Server::start(config, sophie::default_registry(), addr.as_str())
         .map_err(|e| format!("cannot start daemon on {addr}: {e}"))?;
     let bound = handle.local_addr();
     eprintln!("sophie-serve listening on {bound}");
     if let Some(path) = port_file {
-        // Ephemeral-port discovery for scripts: write the bound address
-        // atomically enough for a same-host reader (write then rename).
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, format!("{bound}\n"))
-            .and_then(|()| std::fs::rename(&tmp, &path))
-            .map_err(|e| format!("cannot write port file {}: {e}", path.display()))?;
+        write_port_file(&path, bound)?;
     }
     // Blocks until a client issues the protocol `shutdown` command.
     handle.join();
@@ -108,8 +168,58 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `repro cluster`: N in-process replicas fronted by a router, running
+/// until a client sends the protocol `shutdown` to the router.
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut port_file: Option<PathBuf> = None;
+    let mut replicas = 0usize;
+    let mut serve_config = ServeConfig::default();
+    let mut router_config = RouterConfig::default();
+    let mut flags = Flags::new(args);
+    while let Some(arg) = flags.next() {
+        match arg {
+            "--addr" => addr = flags.value("--addr")?.to_string(),
+            "--port-file" => port_file = Some(PathBuf::from(flags.value("--port-file")?)),
+            "--replicas" => replicas = flags.parsed("--replicas")?,
+            "--queue" => serve_config.queue_capacity = flags.parsed("--queue")?,
+            "--workers" => serve_config.workers = flags.parsed("--workers")?,
+            "--cache" => router_config.cache_capacity = flags.parsed("--cache")?,
+            "--probe-ms" => {
+                router_config.probe_interval = Duration::from_millis(flags.parsed("--probe-ms")?);
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if replicas == 0 {
+        return Err("cluster requires --replicas N (N >= 1)".to_string());
+    }
+    let router_config = router_config
+        .with_env_overrides()
+        .map_err(|e| format!("bad router config: {e}"))?;
+    if let Some(path) = &port_file {
+        let _ = std::fs::remove_file(path);
+    }
+    let cluster = LocalCluster::start_at(replicas, serve_config, router_config, addr.as_str())
+        .map_err(|e| format!("cannot start cluster on {addr}: {e}"))?;
+    let bound = cluster.router_addr();
+    eprintln!("sophie-router listening on {bound}, {replicas} replicas");
+    for i in 0..replicas {
+        if let Some(replica) = cluster.replica_addr(i) {
+            eprintln!("  replica {i}: {replica}");
+        }
+    }
+    if let Some(path) = port_file {
+        write_port_file(&path, bound)?;
+    }
+    cluster.join();
+    eprintln!("sophie-router stopped");
+    Ok(())
+}
+
 fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut addr: Option<String> = None;
+    let mut port_file: Option<PathBuf> = None;
     let mut solver: Option<String> = None;
     let mut graph = GraphSpec::Named("K100".to_string());
     let mut seed = 0u64;
@@ -121,6 +231,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     while let Some(arg) = flags.next() {
         match arg {
             "--addr" => addr = Some(flags.value("--addr")?.to_string()),
+            "--port-file" => port_file = Some(PathBuf::from(flags.value("--port-file")?)),
             "--solver" => solver = Some(flags.value("--solver")?.to_string()),
             "--graph" => graph = GraphSpec::Named(flags.value("--graph")?.to_string()),
             "--gset-file" => {
@@ -137,7 +248,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    let addr = addr.ok_or("submit requires --addr")?;
+    let addr = resolve_addr(addr, port_file).map_err(|e| format!("submit: {e}"))?;
     let solver = solver.ok_or("submit requires --solver")?;
     let mut submit = SubmitArgs::new(&solver, graph);
     submit.seed = seed;
@@ -173,18 +284,20 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
 
 fn cmd_ctl(args: &[String]) -> Result<(), String> {
     let mut addr: Option<String> = None;
+    let mut port_file: Option<PathBuf> = None;
     let mut action: Option<String> = None;
     let mut flags = Flags::new(args);
     while let Some(arg) = flags.next() {
         match arg {
             "--addr" => addr = Some(flags.value("--addr")?.to_string()),
+            "--port-file" => port_file = Some(PathBuf::from(flags.value("--port-file")?)),
             other if action.is_none() && !other.starts_with('-') => {
                 action = Some(other.to_string());
             }
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    let addr = addr.ok_or("ctl requires --addr")?;
+    let addr = resolve_addr(addr, port_file).map_err(|e| format!("ctl: {e}"))?;
     let action = action.ok_or("ctl requires an action (stats|solvers|ping|shutdown)")?;
     let mut client =
         Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
@@ -219,10 +332,17 @@ fn cmd_ctl(args: &[String]) -> Result<(), String> {
 
 fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     let mut opts = LoadgenOptions::default();
+    let mut port_file: Option<PathBuf> = None;
+    let mut cluster = false;
+    let mut replicas = 3usize;
     let mut flags = Flags::new(args);
     while let Some(arg) = flags.next() {
         match arg {
             "--addr" => opts.addr = Some(flags.value("--addr")?.to_string()),
+            "--port-file" => port_file = Some(PathBuf::from(flags.value("--port-file")?)),
+            "--cluster" => cluster = true,
+            "--replicas" => replicas = flags.parsed("--replicas")?,
+            "--chaos" => opts.chaos = true,
             "--clients" => opts.clients = flags.parsed("--clients")?,
             "--requests" => opts.requests = flags.parsed("--requests")?,
             "--solver" => opts.solver = flags.value("--solver")?.to_string(),
@@ -237,6 +357,23 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     if opts.clients == 0 || opts.requests == 0 {
         return Err("--clients and --requests must be positive".to_string());
     }
+    if let Some(path) = port_file {
+        if opts.addr.is_some() {
+            return Err("--addr and --port-file are mutually exclusive".to_string());
+        }
+        opts.addr = Some(wait_for_port_file(&path, Duration::from_secs(10))?);
+    }
+    if cluster {
+        if opts.addr.is_some() {
+            return Err("--cluster spawns its own replicas; drop --addr/--port-file".to_string());
+        }
+        if replicas == 0 {
+            return Err("--replicas must be positive".to_string());
+        }
+        opts.cluster_replicas = Some(replicas);
+    } else if opts.chaos {
+        return Err("--chaos requires --cluster".to_string());
+    }
     eprintln!(
         "loadgen: {} clients x {} requests, solver {} on {}, {} loop{}",
         opts.clients,
@@ -248,10 +385,14 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         } else {
             "closed"
         },
-        opts.addr
-            .as_deref()
-            .map(|a| format!(" against {a}"))
-            .unwrap_or_else(|| " against in-process daemon".to_string()),
+        match (&opts.addr, opts.cluster_replicas) {
+            (Some(a), _) => format!(" against {a}"),
+            (None, Some(n)) => format!(
+                " against in-process cluster ({n} replicas{})",
+                if opts.chaos { ", chaos on" } else { "" }
+            ),
+            (None, None) => " against in-process daemon".to_string(),
+        },
     );
     let start = std::time::Instant::now();
     let summary = loadgen::run(&opts).map_err(|e| format!("loadgen failed: {e}"))?;

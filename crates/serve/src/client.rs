@@ -1,23 +1,74 @@
 //! Blocking JSONL client for the solve daemon.
 //!
-//! Used by `repro submit`/`repro ctl`, the load generator, the CI smoke
-//! test, and the integration suite. One [`Client`] owns one connection;
-//! frames about different jobs may interleave on it, so the client keeps
-//! an internal pending buffer and [`Client::wait_result`] hands back
-//! exactly the frames that belong to the requested job id.
+//! Used by `repro submit`/`repro ctl`, the load generator, the router's
+//! replica dispatch layer, the CI smoke test, and the integration suite.
+//! One [`Client`] owns one connection; frames about different jobs may
+//! interleave on it, so the client keeps an internal pending buffer and
+//! [`Client::wait_result`] hands back exactly the frames that belong to
+//! the requested job id.
+//!
+//! Errors are typed by *retriability* ([`ClientError`]): transport
+//! trouble (connect failures, broken pipes, timeouts, garbled frames) is
+//! distinguishable from semantic protocol errors, so retry layers — the
+//! router's dispatcher above all — can fail over without guessing from
+//! error strings. A broken connection can be re-established in place with
+//! [`Client::reconnect`].
+//!
+//! Frames are kept in *raw* form ([`RawFrame`]) next to their parsed
+//! value: the router forwards replica bytes verbatim, which is what makes
+//! routed results byte-identical to single-daemon serving.
 
 use std::collections::VecDeque;
 use std::io::{BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::error::{Result, ServeError};
+use crate::error::ClientError;
 use crate::json::{escape, Json};
 use crate::protocol::{read_line_bounded, GraphSpec, PROTOCOL_VERSION};
 
 /// Reply cap mirroring the server's request cap; server frames are small
 /// except streamed reports, which stay far below this.
 const MAX_REPLY_BYTES: usize = 16 << 20;
+
+/// One received frame: the raw wire line plus its parsed value.
+///
+/// The raw line matters wherever byte-identity does — the router forwards
+/// `line` verbatim so a routed result is indistinguishable from a direct
+/// one; tests compare `line` bytes, not re-serializations.
+#[derive(Debug, Clone)]
+pub struct RawFrame {
+    /// The frame exactly as it arrived (no trailing newline).
+    pub line: String,
+    /// The parsed value of `line`.
+    pub json: Json,
+}
+
+impl RawFrame {
+    /// Shorthand for `self.json.get(key)`.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.json.get(key)
+    }
+
+    /// The frame's `type` field, if present and a string.
+    #[must_use]
+    pub fn frame_type(&self) -> Option<&str> {
+        self.json.get("type").and_then(Json::as_str)
+    }
+
+    /// The frame's `id` field, if present and a string.
+    #[must_use]
+    pub fn id(&self) -> Option<&str> {
+        self.json.get("id").and_then(Json::as_str)
+    }
+}
+
+impl std::fmt::Display for RawFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.line)
+    }
+}
 
 /// What to submit; mirrors the submit frame minus the id.
 #[derive(Debug, Clone)]
@@ -56,7 +107,10 @@ impl SubmitArgs {
         }
     }
 
-    fn to_frame(&self, id: &str) -> String {
+    /// Renders the submit frame for job `id` (also used by the router's
+    /// cache keying tests).
+    #[must_use]
+    pub fn to_frame(&self, id: &str) -> String {
         let mut frame = format!(
             "{{\"cmd\":\"submit\",\"id\":\"{}\",\"solver\":\"{}\"",
             escape(id),
@@ -98,17 +152,49 @@ pub struct JobOutcome {
     pub status: String,
     /// Submit-to-result latency measured server-side, in milliseconds.
     pub latency_ms: f64,
-    /// The full `result` frame.
-    pub frame: Json,
+    /// The full `result` frame (raw line + parsed value).
+    pub frame: RawFrame,
     /// Streamed `event` frames for this job, in emission order.
-    pub events: Vec<Json>,
+    pub events: Vec<RawFrame>,
+}
+
+/// A handle that can write a `cancel` for one job onto a connection owned
+/// by another thread.
+///
+/// The router's dispatcher blocks a worker thread on the replica's frames;
+/// a client-side `cancel` must still reach that replica promptly. Writes
+/// interleave safely with the owner's reads (reads and writes use separate
+/// socket halves).
+#[derive(Debug)]
+pub struct CancelSender {
+    writer: TcpStream,
+}
+
+impl CancelSender {
+    /// Writes one `cancel` frame for `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] if the write fails.
+    pub fn send_cancel(&mut self, id: &str) -> Result<(), ClientError> {
+        writeln!(
+            self.writer,
+            "{{\"cmd\":\"cancel\",\"id\":\"{}\"}}",
+            escape(id)
+        )
+        .and_then(|()| self.writer.flush())
+        .map_err(|e| ClientError::transport("send_cancel", e))
+    }
 }
 
 /// A blocking connection to a solve daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
-    pending: VecDeque<Json>,
+    pending: VecDeque<RawFrame>,
+    /// The peer we connected to; [`Client::reconnect`] dials it again.
+    peer: SocketAddr,
+    read_timeout: Option<Duration>,
     /// The server's `hello` frame.
     pub hello: Json,
 }
@@ -119,81 +205,151 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Connection errors, a missing/invalid greeting, or a protocol
-    /// version the client doesn't speak.
-    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+    /// [`ClientError::Connect`] if the dial fails,
+    /// [`ClientError::Rejected`] if the server turned the connection away,
+    /// [`ClientError::Protocol`] for a missing/invalid greeting or an
+    /// unsupported protocol version.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Connect)?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client, ClientError> {
         stream.set_nodelay(true).ok();
-        let writer = stream.try_clone()?;
+        let peer = stream.peer_addr().map_err(ClientError::Connect)?;
+        let writer = stream.try_clone().map_err(ClientError::Connect)?;
         let mut client = Client {
             reader: BufReader::new(stream),
             writer,
             pending: VecDeque::new(),
+            peer,
+            read_timeout: None,
             hello: Json::Null,
         };
-        let hello = client.read_frame()?;
-        match hello.get("type").and_then(Json::as_str) {
+        let hello = client.read_frame_from_socket()?;
+        match hello.frame_type() {
             Some("hello") => {}
             Some("rejected") => {
-                return Err(ServeError::Rejected {
-                    reason: "too_many_connections",
+                return Err(ClientError::Rejected {
+                    reason: hello
+                        .get("reason")
+                        .and_then(Json::as_str)
+                        .unwrap_or("too_many_connections")
+                        .to_string(),
                 })
             }
             _ => {
-                return Err(ServeError::Protocol {
+                return Err(ClientError::Protocol {
                     message: "server did not send a hello frame".into(),
                 })
             }
         }
         let version = hello.get("protocol").and_then(Json::as_u64);
         if version != Some(PROTOCOL_VERSION) {
-            return Err(ServeError::Protocol {
+            return Err(ClientError::Protocol {
                 message: format!("unsupported protocol version {version:?}"),
             });
         }
-        client.hello = hello;
+        client.hello = hello.json;
         Ok(client)
     }
 
+    /// The address this client dialed.
+    #[must_use]
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Re-establishes the connection to the same peer after a transport
+    /// error (broken pipe, reset, timeout), discarding any buffered frames
+    /// — they belonged to the dead connection's jobs, which the server
+    /// cancelled when the socket dropped.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`Client::connect`].
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let timeout = self.read_timeout;
+        let mut fresh = Client::connect(self.peer)?;
+        fresh.set_read_timeout(timeout)?;
+        *self = fresh;
+        Ok(())
+    }
+
     /// Sets a read timeout for subsequent frames (`None` blocks forever).
+    /// The timeout survives [`Client::reconnect`].
     ///
     /// # Errors
     ///
     /// The underlying socket error, if any.
-    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
-        self.reader.get_ref().set_read_timeout(timeout)?;
-        Ok(())
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.read_timeout = timeout;
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| ClientError::transport("set_read_timeout", e))
+    }
+
+    /// A cancel handle usable from another thread while this client blocks
+    /// in [`Client::read_frame`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] if the socket cannot be cloned.
+    pub fn cancel_sender(&self) -> Result<CancelSender, ClientError> {
+        Ok(CancelSender {
+            writer: self
+                .writer
+                .try_clone()
+                .map_err(|e| ClientError::transport("cancel_sender", e))?,
+        })
     }
 
     /// Sends one raw line.
     ///
     /// # Errors
     ///
-    /// Socket write errors.
-    pub fn send_line(&mut self, line: &str) -> Result<()> {
-        writeln!(self.writer, "{line}")?;
-        self.writer.flush()?;
-        Ok(())
+    /// [`ClientError::Transport`] on socket write errors.
+    pub fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
+        writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ClientError::transport("send_line", e))
     }
 
     /// Reads the next frame (buffered frames first).
     ///
     /// # Errors
     ///
-    /// Socket errors, EOF, or an unparsable frame.
-    pub fn read_frame(&mut self) -> Result<Json> {
+    /// [`ClientError::Transport`] on socket errors or EOF,
+    /// [`ClientError::MalformedFrame`] for an unparsable frame.
+    pub fn read_frame(&mut self) -> Result<RawFrame, ClientError> {
         if let Some(frame) = self.pending.pop_front() {
             return Ok(frame);
         }
         self.read_frame_from_socket()
     }
 
-    fn read_frame_from_socket(&mut self) -> Result<Json> {
-        match read_line_bounded(&mut self.reader, MAX_REPLY_BYTES)? {
-            None => Err(ServeError::Protocol {
-                message: "server closed the connection".into(),
-            }),
-            Some(line) => Json::parse(&line),
+    fn read_frame_from_socket(&mut self) -> Result<RawFrame, ClientError> {
+        match read_line_bounded(&mut self.reader, MAX_REPLY_BYTES) {
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                Err(ClientError::MalformedFrame {
+                    message: e.to_string(),
+                })
+            }
+            Err(e) => Err(ClientError::transport("read_frame", e)),
+            Ok(None) => Err(ClientError::transport(
+                "read_frame",
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ),
+            )),
+            Ok(Some(line)) => match Json::parse(&line) {
+                Ok(json) => Ok(RawFrame { line, json }),
+                Err(e) => Err(ClientError::MalformedFrame {
+                    message: e.to_string(),
+                }),
+            },
         }
     }
 
@@ -204,18 +360,15 @@ impl Client {
     ///
     /// Socket and framing errors; admission *rejections* are returned as
     /// frames, not errors.
-    pub fn submit(&mut self, id: &str, args: &SubmitArgs) -> Result<Json> {
+    pub fn submit(&mut self, id: &str, args: &SubmitArgs) -> Result<RawFrame, ClientError> {
         self.send_line(&args.to_frame(id))?;
         // The admission reply is written under the server's writer lock
         // before any worker frame, but frames for *other* jobs may arrive
         // first; buffer those.
         loop {
             let frame = self.read_frame_from_socket()?;
-            let about_this = frame.get("id").and_then(Json::as_str) == Some(id)
-                && matches!(
-                    frame.get("type").and_then(Json::as_str),
-                    Some("accepted" | "rejected" | "error")
-                );
+            let about_this = frame.id() == Some(id)
+                && matches!(frame.frame_type(), Some("accepted" | "rejected" | "error"));
             if about_this {
                 return Ok(frame);
             }
@@ -230,12 +383,12 @@ impl Client {
     /// # Errors
     ///
     /// Socket and framing errors, or an `error` frame about this job.
-    pub fn wait_result(&mut self, id: &str) -> Result<JobOutcome> {
+    pub fn wait_result(&mut self, id: &str) -> Result<JobOutcome, ClientError> {
         let mut events = Vec::new();
         // Scan buffered frames first.
         let mut i = 0;
         while i < self.pending.len() {
-            if self.pending[i].get("id").and_then(Json::as_str) == Some(id) {
+            if self.pending[i].id() == Some(id) {
                 let frame = self.pending.remove(i).expect("index in range");
                 if let Some(outcome) = Self::absorb(frame, &mut events)? {
                     return Ok(outcome);
@@ -246,7 +399,7 @@ impl Client {
         }
         loop {
             let frame = self.read_frame_from_socket()?;
-            if frame.get("id").and_then(Json::as_str) == Some(id) {
+            if frame.id() == Some(id) {
                 if let Some(outcome) = Self::absorb(frame, &mut events)? {
                     return Ok(outcome);
                 }
@@ -257,8 +410,11 @@ impl Client {
     }
 
     /// Folds one frame about a job into its event list, or completes it.
-    fn absorb(frame: Json, events: &mut Vec<Json>) -> Result<Option<JobOutcome>> {
-        match frame.get("type").and_then(Json::as_str) {
+    fn absorb(
+        frame: RawFrame,
+        events: &mut Vec<RawFrame>,
+    ) -> Result<Option<JobOutcome>, ClientError> {
+        match frame.frame_type() {
             Some("event") => {
                 events.push(frame);
                 Ok(None)
@@ -280,15 +436,23 @@ impl Client {
                     events: std::mem::take(events),
                 }))
             }
-            Some("error") => Err(ServeError::Protocol {
+            Some("error") => Err(ClientError::Protocol {
                 message: frame
                     .get("message")
                     .and_then(Json::as_str)
                     .unwrap_or("unspecified server error")
                     .to_string(),
             }),
+            // A post-acceptance rejection (a routed job whose upstream
+            // replicas all rejected it) is terminal — waiting on would hang.
+            Some("rejected") => Ok(Some(JobOutcome {
+                status: "rejected".to_string(),
+                latency_ms: f64::NAN,
+                frame,
+                events: std::mem::take(events),
+            })),
             // accepted frames can land here when submit was issued raw
-            Some("accepted" | "rejected" | "cancel_ok") => Ok(None),
+            Some("accepted" | "cancel_ok") => Ok(None),
             _ => Ok(None),
         }
     }
@@ -299,11 +463,11 @@ impl Client {
     /// # Errors
     ///
     /// Socket and framing errors.
-    pub fn cancel(&mut self, id: &str) -> Result<bool> {
+    pub fn cancel(&mut self, id: &str) -> Result<bool, ClientError> {
         self.send_line(&format!("{{\"cmd\":\"cancel\",\"id\":\"{}\"}}", escape(id)))?;
         loop {
             let frame = self.read_frame_from_socket()?;
-            if frame.get("type").and_then(Json::as_str) == Some("cancel_ok") {
+            if frame.frame_type() == Some("cancel_ok") {
                 return Ok(frame.get("found").and_then(Json::as_bool).unwrap_or(false));
             }
             self.pending.push_back(frame);
@@ -315,9 +479,9 @@ impl Client {
     /// # Errors
     ///
     /// Socket and framing errors.
-    pub fn stats(&mut self) -> Result<Json> {
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
         self.send_line("{\"cmd\":\"stats\"}")?;
-        self.wait_type("stats")
+        self.wait_type("stats").map(|f| f.json)
     }
 
     /// Fetches the `solvers` listing frame.
@@ -325,9 +489,9 @@ impl Client {
     /// # Errors
     ///
     /// Socket and framing errors.
-    pub fn list_solvers(&mut self) -> Result<Json> {
+    pub fn list_solvers(&mut self) -> Result<Json, ClientError> {
         self.send_line("{\"cmd\":\"list-solvers\"}")?;
-        self.wait_type("solvers")
+        self.wait_type("solvers").map(|f| f.json)
     }
 
     /// Liveness probe.
@@ -335,7 +499,7 @@ impl Client {
     /// # Errors
     ///
     /// Socket and framing errors.
-    pub fn ping(&mut self) -> Result<()> {
+    pub fn ping(&mut self) -> Result<(), ClientError> {
         self.send_line("{\"cmd\":\"ping\"}")?;
         self.wait_type("pong").map(|_| ())
     }
@@ -345,15 +509,15 @@ impl Client {
     /// # Errors
     ///
     /// Socket and framing errors.
-    pub fn shutdown(&mut self) -> Result<()> {
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.send_line("{\"cmd\":\"shutdown\"}")?;
         self.wait_type("shutdown_ack").map(|_| ())
     }
 
-    fn wait_type(&mut self, frame_type: &str) -> Result<Json> {
+    fn wait_type(&mut self, frame_type: &str) -> Result<RawFrame, ClientError> {
         loop {
             let frame = self.read_frame_from_socket()?;
-            if frame.get("type").and_then(Json::as_str) == Some(frame_type) {
+            if frame.frame_type() == Some(frame_type) {
                 return Ok(frame);
             }
             self.pending.push_back(frame);
@@ -364,6 +528,7 @@ impl Client {
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Client")
+            .field("peer", &self.peer)
             .field("pending", &self.pending.len())
             .finish()
     }
@@ -403,5 +568,17 @@ mod tests {
             }
             other => panic!("expected Submit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn raw_frames_preserve_the_wire_bytes() {
+        let line = r#"{"type":"result","id":"j","status":"done","latency_ms":1.250,"report":{"best_cut":10.5}}"#;
+        let frame = RawFrame {
+            line: line.to_string(),
+            json: Json::parse(line).unwrap(),
+        };
+        assert_eq!(frame.to_string(), line);
+        assert_eq!(frame.frame_type(), Some("result"));
+        assert_eq!(frame.id(), Some("j"));
     }
 }

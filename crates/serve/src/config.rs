@@ -101,7 +101,7 @@ impl ServeConfig {
     }
 }
 
-fn env_usize(name: &'static str) -> Result<Option<usize>> {
+pub(crate) fn env_usize(name: &'static str) -> Result<Option<usize>> {
     match std::env::var(name) {
         Err(_) => Ok(None),
         Ok(raw) => raw

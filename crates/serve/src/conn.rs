@@ -1,0 +1,81 @@
+//! One client connection's shared write half, used by both the solve
+//! daemon ([`server`](crate::server)) and the cluster router
+//! ([`router`](crate::router)).
+//!
+//! Multiple threads (connection reader, job workers, dispatchers) write
+//! frames to the same client; the mutex keeps frames from interleaving,
+//! and a failed write latches the connection dead so later frames — and
+//! streaming observers — stop trying.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Shared write half of one accepted client connection.
+pub(crate) struct Conn {
+    writer: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl Conn {
+    /// Wraps the write half of an accepted stream.
+    pub(crate) fn new(writer: TcpStream) -> Self {
+        Conn {
+            writer: Mutex::new(writer),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    /// Whether the last write succeeded (i.e. someone is still listening).
+    pub(crate) fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Marks the connection dead without touching the socket.
+    pub(crate) fn mark_dead(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Writes one frame line; a failed write latches the connection dead
+    /// so later frames (and streaming observers) stop trying.
+    pub(crate) fn send(&self, frame: &str) {
+        if !self.is_alive() {
+            return;
+        }
+        let mut w = self.writer.lock().expect("conn writer lock");
+        if writeln!(w, "{frame}").and_then(|()| w.flush()).is_err() {
+            self.mark_dead();
+        }
+    }
+
+    /// Runs `f` under the writer lock — for callers that must couple a
+    /// state change with the frame write (e.g. queue push + `accepted`).
+    /// Returns whether the write succeeded.
+    pub(crate) fn send_locked<F: FnOnce() -> String>(&self, f: F) -> bool {
+        let mut w = self.writer.lock().expect("conn writer lock");
+        let frame = f();
+        let ok = writeln!(w, "{frame}").and_then(|()| w.flush()).is_ok();
+        if !ok {
+            self.mark_dead();
+        }
+        ok
+    }
+
+    /// Half-closes the socket so the connection thread's blocking read
+    /// returns; used by the shutdown sequence.
+    pub(crate) fn close(&self) {
+        self.mark_dead();
+        if let Ok(w) = self.writer.lock() {
+            let _ = w.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn")
+            .field("alive", &self.is_alive())
+            .finish()
+    }
+}

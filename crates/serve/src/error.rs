@@ -88,6 +88,111 @@ impl From<std::io::Error> for ServeError {
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;
 
+/// Errors a [`Client`](crate::Client) can hit, split by *retriability*.
+///
+/// A dropped TCP connection used to surface as an opaque io error
+/// mid-stream; the split matters to the router's retry layer, which must
+/// fail a dispatch over to another replica on transport trouble but must
+/// *not* retry semantic protocol errors (they are deterministic and would
+/// fail identically everywhere). [`ClientError::is_retriable`] encodes
+/// the policy in one place.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The connection could not be established. Retriable: the peer may be
+    /// restarting, or another replica can take the job.
+    Connect(std::io::Error),
+    /// The connection broke while in use (broken pipe, reset, timeout,
+    /// unexpected EOF). `during` names the operation that was in flight.
+    /// Retriable on a fresh connection or another replica.
+    Transport {
+        /// What the client was doing when the transport failed.
+        during: &'static str,
+        /// The underlying socket error.
+        source: std::io::Error,
+    },
+    /// The peer sent a frame that does not parse as JSON (or violates the
+    /// line cap). Retriable: a garbled peer is treated like a dead one.
+    MalformedFrame {
+        /// What was wrong with the frame.
+        message: String,
+    },
+    /// A semantic protocol violation: wrong greeting, unsupported version,
+    /// or an `error` frame. NOT retriable — the request would fail the
+    /// same way against any replica.
+    Protocol {
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The peer refused the connection or request for capacity reasons.
+    /// Not retriable on the *same* peer, but the caller may try another.
+    Rejected {
+        /// Wire-level rejection code (`too_many_connections`, ...).
+        reason: String,
+    },
+}
+
+impl ClientError {
+    /// Whether a retry — on a fresh connection or another replica — could
+    /// plausibly succeed. True for transport-level trouble (connect
+    /// failures, broken pipes, timeouts, garbled frames), false for
+    /// semantic protocol errors, which are deterministic.
+    #[must_use]
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Connect(_)
+                | ClientError::Transport { .. }
+                | ClientError::MalformedFrame { .. }
+        )
+    }
+
+    /// Wraps an io error from an in-flight read/write as a transport error.
+    #[must_use]
+    pub fn transport(during: &'static str, source: std::io::Error) -> Self {
+        ClientError::Transport { during, source }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Transport { during, source } => {
+                write!(f, "transport error during {during}: {source}")
+            }
+            ClientError::MalformedFrame { message } => write!(f, "malformed frame: {message}"),
+            ClientError::Protocol { message } => write!(f, "protocol error: {message}"),
+            ClientError::Rejected { reason } => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+impl Error for ClientError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClientError::Connect(e) | ClientError::Transport { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClientError> for ServeError {
+    fn from(e: ClientError) -> Self {
+        match e {
+            ClientError::Connect(io) | ClientError::Transport { source: io, .. } => {
+                ServeError::Io(io)
+            }
+            ClientError::MalformedFrame { message } | ClientError::Protocol { message } => {
+                ServeError::Protocol { message }
+            }
+            ClientError::Rejected { reason } => ServeError::Protocol {
+                message: format!("request rejected: {reason}"),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +226,41 @@ mod tests {
     fn error_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ServeError>();
+        assert_send_sync::<ClientError>();
+    }
+
+    #[test]
+    fn client_error_retriability_splits_transport_from_protocol() {
+        let transport = [
+            ClientError::Connect(std::io::Error::other("refused")),
+            ClientError::transport("read_frame", std::io::Error::other("broken pipe")),
+            ClientError::MalformedFrame {
+                message: "not json".into(),
+            },
+        ];
+        for e in transport {
+            assert!(e.is_retriable(), "{e} must be retriable");
+        }
+        let semantic = [
+            ClientError::Protocol {
+                message: "unsupported protocol version".into(),
+            },
+            ClientError::Rejected {
+                reason: "queue_full".into(),
+            },
+        ];
+        for e in semantic {
+            assert!(!e.is_retriable(), "{e} must not be retriable");
+        }
+    }
+
+    #[test]
+    fn client_error_converts_into_serve_error() {
+        let e = ServeError::from(ClientError::Connect(std::io::Error::other("x")));
+        assert!(matches!(e, ServeError::Io(_)));
+        let e = ServeError::from(ClientError::Rejected {
+            reason: "queue_full".into(),
+        });
+        assert!(e.to_string().contains("queue_full"));
     }
 }

@@ -35,20 +35,27 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod cluster;
 pub mod config;
 pub mod configs;
+mod conn;
 mod error;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+pub mod router;
 pub mod server;
 
-pub use client::{Client, JobOutcome, SubmitArgs};
+pub use client::{CancelSender, Client, JobOutcome, RawFrame, SubmitArgs};
+pub use cluster::LocalCluster;
 pub use config::ServeConfig;
-pub use error::ServeError;
+pub use error::{ClientError, ServeError};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use protocol::{GraphSpec, Request, SubmitRequest, PROTOCOL_VERSION};
 pub use queue::AdmissionQueue;
+pub use router::health::{HealthPolicy, ReplicaState};
+pub use router::retry::{AttemptPlan, RetryPolicy};
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerHandle};

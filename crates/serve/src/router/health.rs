@@ -1,0 +1,255 @@
+//! Per-replica health state machine: `Healthy → Degraded → Quarantined`,
+//! driven by consecutive dispatch/probe failures, with probe-driven
+//! re-admission — the cluster-level mirror of the device layer's
+//! `Reprogram`/`Remap` fault recovery.
+
+/// A replica's admission state as seen by the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Recent traffic succeeded; preferred for placement.
+    Healthy,
+    /// Some consecutive failures; still dispatched to, but only after
+    /// healthy candidates.
+    Degraded,
+    /// Too many consecutive failures; receives probes only, no jobs,
+    /// until `readmit_after` consecutive probe successes.
+    Quarantined,
+}
+
+impl ReplicaState {
+    /// Wire/stats name of the state.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReplicaState::Healthy => "healthy",
+            ReplicaState::Degraded => "degraded",
+            ReplicaState::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Thresholds driving the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive failures before `Healthy` drops to `Degraded`.
+    pub degraded_after: u32,
+    /// Consecutive failures before the replica is quarantined.
+    pub quarantine_after: u32,
+    /// Consecutive successes a quarantined replica needs to re-admit.
+    pub readmit_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            degraded_after: 1,
+            quarantine_after: 3,
+            readmit_after: 2,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Validates threshold ordering (`0 < degraded <= quarantine`,
+    /// `readmit > 0`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`](crate::ServeError::BadConfig).
+    pub fn validate(&self) -> crate::error::Result<()> {
+        use crate::error::ServeError;
+        if self.degraded_after == 0 {
+            return Err(ServeError::BadConfig {
+                field: "health.degraded_after",
+                message: "must be at least 1".into(),
+            });
+        }
+        if self.quarantine_after < self.degraded_after {
+            return Err(ServeError::BadConfig {
+                field: "health.quarantine_after",
+                message: "must be at least degraded_after".into(),
+            });
+        }
+        if self.readmit_after == 0 {
+            return Err(ServeError::BadConfig {
+                field: "health.readmit_after",
+                message: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Transition history cap per replica (old entries dropped from the front).
+const MAX_TRANSITIONS: usize = 64;
+
+/// One replica's health bookkeeping. Not thread-safe by itself; the pool
+/// wraps it in a mutex.
+#[derive(Debug)]
+pub struct HealthTracker {
+    state: ReplicaState,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    /// State names in transition order, starting with `"healthy"`.
+    transitions: Vec<&'static str>,
+    quarantines: u64,
+}
+
+impl Default for HealthTracker {
+    fn default() -> Self {
+        HealthTracker {
+            state: ReplicaState::Healthy,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            transitions: vec![ReplicaState::Healthy.as_str()],
+            quarantines: 0,
+        }
+    }
+}
+
+impl HealthTracker {
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> ReplicaState {
+        self.state
+    }
+
+    /// State names in transition order (capped history, oldest dropped).
+    #[must_use]
+    pub fn transitions(&self) -> &[&'static str] {
+        &self.transitions
+    }
+
+    /// Times this replica has entered quarantine.
+    #[must_use]
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Records a successful dispatch or probe; returns the new state if it
+    /// changed. Degraded replicas heal on a single success; quarantined
+    /// ones need `readmit_after` consecutive successes.
+    pub fn record_success(&mut self, policy: &HealthPolicy) -> Option<ReplicaState> {
+        self.consecutive_failures = 0;
+        self.consecutive_successes = self.consecutive_successes.saturating_add(1);
+        let next = match self.state {
+            ReplicaState::Healthy => return None,
+            ReplicaState::Degraded => ReplicaState::Healthy,
+            ReplicaState::Quarantined => {
+                if self.consecutive_successes < policy.readmit_after {
+                    return None;
+                }
+                ReplicaState::Healthy
+            }
+        };
+        self.enter(next);
+        Some(next)
+    }
+
+    /// Records a failed dispatch or probe; returns the new state if it
+    /// changed.
+    pub fn record_failure(&mut self, policy: &HealthPolicy) -> Option<ReplicaState> {
+        self.consecutive_successes = 0;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let next = match self.state {
+            ReplicaState::Quarantined => return None,
+            _ if self.consecutive_failures >= policy.quarantine_after => ReplicaState::Quarantined,
+            ReplicaState::Healthy if self.consecutive_failures >= policy.degraded_after => {
+                ReplicaState::Degraded
+            }
+            _ => return None,
+        };
+        self.enter(next);
+        Some(next)
+    }
+
+    fn enter(&mut self, next: ReplicaState) {
+        if next == ReplicaState::Quarantined {
+            self.quarantines += 1;
+        }
+        self.state = next;
+        if self.transitions.len() == MAX_TRANSITIONS {
+            self.transitions.remove(0);
+        }
+        self.transitions.push(next.as_str());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_validates() {
+        assert!(HealthPolicy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn failure_run_degrades_then_quarantines() {
+        let policy = HealthPolicy::default();
+        let mut t = HealthTracker::default();
+        assert_eq!(t.record_failure(&policy), Some(ReplicaState::Degraded));
+        assert_eq!(t.record_failure(&policy), None);
+        assert_eq!(t.record_failure(&policy), Some(ReplicaState::Quarantined));
+        assert_eq!(t.record_failure(&policy), None, "quarantine is absorbing");
+        assert_eq!(t.quarantines(), 1);
+        assert_eq!(t.transitions(), &["healthy", "degraded", "quarantined"]);
+    }
+
+    #[test]
+    fn quarantine_needs_consecutive_probe_successes_to_readmit() {
+        let policy = HealthPolicy::default();
+        let mut t = HealthTracker::default();
+        for _ in 0..policy.quarantine_after {
+            t.record_failure(&policy);
+        }
+        assert_eq!(t.state(), ReplicaState::Quarantined);
+        assert_eq!(t.record_success(&policy), None, "one success is not enough");
+        t.record_failure(&policy); // resets the success streak
+        assert_eq!(t.record_success(&policy), None);
+        assert_eq!(t.record_success(&policy), Some(ReplicaState::Healthy));
+        assert_eq!(
+            t.transitions(),
+            &["healthy", "degraded", "quarantined", "healthy"]
+        );
+    }
+
+    #[test]
+    fn degraded_heals_on_single_success() {
+        let policy = HealthPolicy::default();
+        let mut t = HealthTracker::default();
+        t.record_failure(&policy);
+        assert_eq!(t.state(), ReplicaState::Degraded);
+        assert_eq!(t.record_success(&policy), Some(ReplicaState::Healthy));
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let policy = HealthPolicy {
+            degraded_after: 2,
+            quarantine_after: 3,
+            readmit_after: 1,
+        };
+        let mut t = HealthTracker::default();
+        t.record_failure(&policy);
+        t.record_success(&policy);
+        t.record_failure(&policy);
+        assert_eq!(t.state(), ReplicaState::Healthy, "streak must reset");
+    }
+
+    #[test]
+    fn transition_history_is_bounded() {
+        let policy = HealthPolicy {
+            degraded_after: 1,
+            quarantine_after: 2,
+            readmit_after: 1,
+        };
+        let mut t = HealthTracker::default();
+        for _ in 0..200 {
+            t.record_failure(&policy);
+            t.record_failure(&policy);
+            t.record_success(&policy);
+        }
+        assert!(t.transitions().len() <= MAX_TRANSITIONS);
+    }
+}

@@ -1,0 +1,87 @@
+//! Cluster-level counters for the router's `stats` frame: per-outcome
+//! totals plus the retry/hedge/failover and rejection breakdowns the
+//! chaos loadgen asserts on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Router-wide counters. All relaxed — they are reporting, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// Submits admitted by the router (sent `accepted`).
+    pub submitted: AtomicU64,
+    /// Jobs finished `done` (including cache hits).
+    pub done: AtomicU64,
+    /// Jobs finished `cancelled` (client-requested).
+    pub cancelled: AtomicU64,
+    /// Jobs finished `failed` or with an upstream `error` frame.
+    pub failed: AtomicU64,
+    /// Cache hits served without touching a replica.
+    pub cache_hits: AtomicU64,
+    /// Attempts beyond the first (same or another replica).
+    pub retries: AtomicU64,
+    /// Attempts that moved to a *different* replica than the previous one.
+    pub failovers: AtomicU64,
+    /// Hedged second requests fired near the deadline.
+    pub hedges: AtomicU64,
+    /// Jobs whose hedge finished before the primary attempt.
+    pub hedge_wins: AtomicU64,
+    /// Submits refused because no replica was dispatchable.
+    pub rejected_cluster_degraded: AtomicU64,
+    /// Submits refused at the router's in-flight cap.
+    pub rejected_router_busy: AtomicU64,
+    /// Submits refused during shutdown.
+    pub rejected_shutting_down: AtomicU64,
+    /// Submits refused because every candidate replica refused them.
+    pub rejected_upstream: AtomicU64,
+    /// Dispatches currently in flight.
+    pub in_flight: AtomicU64,
+}
+
+impl RouterMetrics {
+    /// The counter block embedded in the router's `stats` frame.
+    #[must_use]
+    pub fn snapshot_json(&self) -> String {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "\"in_flight\":{},\"submitted\":{},\"done\":{},\"cancelled\":{},\"failed\":{},\
+             \"cache_hits\":{},\"retries\":{},\"failovers\":{},\"hedges\":{},\"hedge_wins\":{},\
+             \"rejected\":{{\"cluster_degraded\":{},\"router_busy\":{},\"shutting_down\":{},\"upstream\":{}}}",
+            get(&self.in_flight),
+            get(&self.submitted),
+            get(&self.done),
+            get(&self.cancelled),
+            get(&self.failed),
+            get(&self.cache_hits),
+            get(&self.retries),
+            get(&self.failovers),
+            get(&self.hedges),
+            get(&self.hedge_wins),
+            get(&self.rejected_cluster_degraded),
+            get(&self.rejected_router_busy),
+            get(&self.rejected_shutting_down),
+            get(&self.rejected_upstream),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_embeds_in_a_valid_frame() {
+        let m = RouterMetrics::default();
+        m.submitted.store(3, Ordering::Relaxed);
+        m.rejected_router_busy.store(1, Ordering::Relaxed);
+        let frame = format!("{{{}}}", m.snapshot_json());
+        let doc = crate::json::Json::parse(&frame).unwrap();
+        assert_eq!(doc.get("submitted").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(
+            doc.get("rejected")
+                .and_then(|r| r.get("router_busy"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Deadline-aware retry policy: capped exponential backoff with seeded,
+//! deterministic jitter, plus the hedging knobs.
+//!
+//! The schedule is a *pure function* of the policy and a seed, so routed
+//! dispatches are reproducible and the schedule itself is property-tested
+//! (determinism, deadline respect, attempt caps) without sleeping.
+
+use std::time::Duration;
+
+use crate::error::{Result, ServeError};
+
+/// How one dispatch retries across replicas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub base_backoff: Duration,
+    /// Backoff growth cap.
+    pub max_backoff: Duration,
+    /// Fire a hedged second request on the next replica when a deadline'd
+    /// job has not produced a result by `hedge_fraction` of its deadline.
+    pub hedge: bool,
+    /// Fraction of the deadline after which the hedge fires, in (0, 1).
+    pub hedge_fraction: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            hedge: false,
+            hedge_fraction: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validates the policy, naming the first offending field.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`].
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(ServeError::BadConfig {
+                field: "retry.max_attempts",
+                message: "must be at least 1".into(),
+            });
+        }
+        if self.base_backoff.is_zero() {
+            return Err(ServeError::BadConfig {
+                field: "retry.base_backoff",
+                message: "must be positive".into(),
+            });
+        }
+        if self.max_backoff < self.base_backoff {
+            return Err(ServeError::BadConfig {
+                field: "retry.max_backoff",
+                message: "must be at least base_backoff".into(),
+            });
+        }
+        if !(self.hedge_fraction > 0.0 && self.hedge_fraction < 1.0) {
+            return Err(ServeError::BadConfig {
+                field: "retry.hedge_fraction",
+                message: format!("must be in (0, 1), got {}", self.hedge_fraction),
+            });
+        }
+        Ok(())
+    }
+
+    /// The backoff delays between consecutive attempts — `delays[i]` is
+    /// slept before attempt `i + 2` — before deadline trimming.
+    ///
+    /// Each delay is the capped exponential `base * 2^i` scaled by a
+    /// jitter factor in `[0.5, 1.0)` drawn from a SplitMix64 stream seeded
+    /// with `seed`: the same `(policy, seed)` always produces the same
+    /// schedule, and distinct jobs (distinct placement hashes) decorrelate
+    /// their retry storms.
+    #[must_use]
+    pub fn backoff_schedule(&self, seed: u64) -> Vec<Duration> {
+        let mut state = seed;
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|i| {
+                let exp = self
+                    .base_backoff
+                    .saturating_mul(1u32.checked_shl(i).unwrap_or(u32::MAX))
+                    .min(self.max_backoff);
+                // 53-bit uniform fraction in [0, 1).
+                let frac = (split_mix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                exp.mul_f64(0.5 + 0.5 * frac)
+            })
+            .collect()
+    }
+
+    /// The full attempt plan for one dispatch: backoff delays trimmed so
+    /// the *cumulative* sleep never exceeds `deadline` (a retry that could
+    /// not complete before the deadline is pointless). Without a deadline
+    /// the schedule is used as-is.
+    #[must_use]
+    pub fn plan(&self, seed: u64, deadline: Option<Duration>) -> AttemptPlan {
+        let mut delays = self.backoff_schedule(seed);
+        if let Some(deadline) = deadline {
+            let mut spent = Duration::ZERO;
+            delays.retain(|d| {
+                spent += *d;
+                spent <= deadline
+            });
+        }
+        AttemptPlan { delays }
+    }
+
+    /// When the hedge fires for a job with `deadline`, if hedging is on.
+    #[must_use]
+    pub fn hedge_delay(&self, deadline: Option<Duration>) -> Option<Duration> {
+        match (self.hedge, deadline) {
+            (true, Some(d)) => Some(d.mul_f64(self.hedge_fraction)),
+            _ => None,
+        }
+    }
+}
+
+/// A trimmed schedule: `delays.len() + 1` attempts at most.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptPlan {
+    /// Sleep `delays[i]` between attempt `i + 1` and attempt `i + 2`.
+    pub delays: Vec<Duration>,
+}
+
+impl AttemptPlan {
+    /// Attempts this plan allows (first try included).
+    #[must_use]
+    pub fn attempts(&self) -> usize {
+        self.delays.len() + 1
+    }
+
+    /// Total time the plan can spend sleeping.
+    #[must_use]
+    pub fn total_backoff(&self) -> Duration {
+        self.delays.iter().sum()
+    }
+}
+
+/// SplitMix64 step — the workspace's standard cheap deterministic stream.
+fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_validates() {
+        assert!(RetryPolicy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_fields_are_named() {
+        for (policy, field) in [
+            (
+                RetryPolicy {
+                    max_attempts: 0,
+                    ..RetryPolicy::default()
+                },
+                "retry.max_attempts",
+            ),
+            (
+                RetryPolicy {
+                    base_backoff: Duration::ZERO,
+                    ..RetryPolicy::default()
+                },
+                "retry.base_backoff",
+            ),
+            (
+                RetryPolicy {
+                    max_backoff: Duration::from_millis(1),
+                    ..RetryPolicy::default()
+                },
+                "retry.max_backoff",
+            ),
+            (
+                RetryPolicy {
+                    hedge_fraction: 1.0,
+                    ..RetryPolicy::default()
+                },
+                "retry.hedge_fraction",
+            ),
+        ] {
+            match policy.validate() {
+                Err(ServeError::BadConfig { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected BadConfig for {field}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(400),
+            ..RetryPolicy::default()
+        };
+        let delays = policy.backoff_schedule(7);
+        assert_eq!(delays.len(), 7);
+        for (i, d) in delays.iter().enumerate() {
+            let exp = Duration::from_millis(100 << i.min(2)).min(Duration::from_millis(400));
+            assert!(*d >= exp.mul_f64(0.5), "delay {i} below jitter floor");
+            assert!(*d < exp, "delay {i} above un-jittered cap");
+        }
+    }
+
+    #[test]
+    fn hedge_delay_needs_both_knobs() {
+        let mut policy = RetryPolicy {
+            hedge: true,
+            hedge_fraction: 0.5,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(
+            policy.hedge_delay(Some(Duration::from_secs(2))),
+            Some(Duration::from_secs(1))
+        );
+        assert_eq!(policy.hedge_delay(None), None);
+        policy.hedge = false;
+        assert_eq!(policy.hedge_delay(Some(Duration::from_secs(2))), None);
+    }
+}

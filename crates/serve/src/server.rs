@@ -47,6 +47,7 @@ use sophie_solve::{
 
 use crate::config::ServeConfig;
 use crate::configs::build_solver;
+use crate::conn::Conn;
 use crate::error::{Result, ServeError};
 use crate::metrics::Metrics;
 use crate::protocol::{
@@ -55,35 +56,6 @@ use crate::protocol::{
     SubmitRequest,
 };
 use crate::queue::{AdmissionQueue, PushError};
-
-/// One client connection's shared write half.
-struct Conn {
-    writer: Mutex<TcpStream>,
-    alive: AtomicBool,
-}
-
-impl Conn {
-    /// Writes one frame line; a failed write latches the connection dead
-    /// so later frames (and streaming observers) stop trying.
-    fn send(&self, frame: &str) {
-        if !self.alive.load(Ordering::Acquire) {
-            return;
-        }
-        let mut w = self.writer.lock().expect("conn writer lock");
-        if writeln!(w, "{frame}").and_then(|()| w.flush()).is_err() {
-            self.alive.store(false, Ordering::Release);
-        }
-    }
-
-    /// Half-closes the socket so the connection thread's blocking read
-    /// returns; used by the shutdown sequence.
-    fn close(&self) {
-        self.alive.store(false, Ordering::Release);
-        if let Ok(w) = self.writer.lock() {
-            let _ = w.shutdown(Shutdown::Both);
-        }
-    }
-}
 
 /// A job admitted to the queue, carrying everything a worker needs.
 struct QueuedJob {
@@ -302,10 +274,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
         Ok(w) => w,
         Err(_) => return,
     };
-    let conn = Arc::new(Conn {
-        writer: Mutex::new(writer),
-        alive: AtomicBool::new(true),
-    });
+    let conn = Arc::new(Conn::new(writer));
     shared
         .conns
         .lock()
@@ -343,7 +312,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 break;
             }
         }
-        if !conn.alive.load(Ordering::Acquire) {
+        if !conn.is_alive() {
             break;
         }
     }
@@ -351,7 +320,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     for token in jobs.values() {
         token.cancel();
     }
-    conn.alive.store(false, Ordering::Release);
+    conn.mark_dead();
 }
 
 fn handle_submit(
@@ -386,8 +355,7 @@ fn handle_submit(
     };
     // Hold the writer lock across push + ack: the worker that picks the
     // job up cannot write its frames before the client sees `accepted`.
-    let mut w = conn.writer.lock().expect("conn writer lock");
-    let frame = match shared.queue.try_push(job) {
+    conn.send_locked(|| match shared.queue.try_push(job) {
         Ok(depth) => {
             shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
             jobs.insert(id.clone(), cancel);
@@ -401,10 +369,7 @@ fn handle_submit(
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             rejected_frame(&id, "shutting_down")
         }
-    };
-    if writeln!(w, "{frame}").and_then(|()| w.flush()).is_err() {
-        conn.alive.store(false, Ordering::Release);
-    }
+    });
 }
 
 /// Resolves a submit's instance: a cached named benchmark graph, or an
@@ -496,7 +461,7 @@ fn worker_loop(shared: &Shared) {
 
 fn run_job(shared: &Shared, job: QueuedJob) {
     let id = job.request.id.clone();
-    if job.cancel.is_cancelled() || !job.conn.alive.load(Ordering::Acquire) {
+    if job.cancel.is_cancelled() || !job.conn.is_alive() {
         // Cancelled while queued (explicit cancel or connection drop).
         shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
         let latency = job.submitted_at.elapsed().as_secs_f64() * 1e3;
@@ -529,7 +494,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
             conn.send(&event_frame(&stream_id, &event.to_json()));
             // A dead socket means nobody is listening: stop the run
             // instead of streaming into the void.
-            if !conn.alive.load(Ordering::Acquire) {
+            if !conn.is_alive() {
                 cancel.cancel();
             }
         });

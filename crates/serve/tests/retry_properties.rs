@@ -1,0 +1,106 @@
+//! Property tests for the router's retry/backoff schedule: deterministic
+//! under seeded jitter, cumulative backoff never exceeding the request
+//! deadline, and attempt counts capped by the policy.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use sophie_serve::RetryPolicy;
+
+fn policy(max_attempts: u32, base_ms: u64, cap_ms: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_backoff: Duration::from_millis(base_ms),
+        max_backoff: Duration::from_millis(cap_ms),
+        ..RetryPolicy::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same `(policy, seed)` → byte-for-byte the same schedule; jitter is
+    /// seeded, not ambient randomness.
+    #[test]
+    fn schedule_is_deterministic_per_seed(
+        seed in 0u64..u64::MAX,
+        attempts in 1u32..12,
+        base_ms in 1u64..200,
+        extra_ms in 0u64..2000,
+    ) {
+        let p = policy(attempts, base_ms, base_ms + extra_ms);
+        prop_assert_eq!(p.backoff_schedule(seed), p.backoff_schedule(seed));
+        prop_assert_eq!(p.plan(seed, None), p.plan(seed, None));
+    }
+
+    /// Distinct seeds decorrelate: across many seeds at least one pair of
+    /// schedules differs (retry storms from different jobs spread out).
+    #[test]
+    fn distinct_seeds_jitter_differently(seed in 0u64..u64::MAX) {
+        let p = policy(4, 50, 1000);
+        let differs = (1u64..32).any(|d| {
+            p.backoff_schedule(seed) != p.backoff_schedule(seed.wrapping_add(d))
+        });
+        prop_assert!(differs);
+    }
+
+    /// The plan's total sleep never exceeds the request deadline, so the
+    /// router never burns the whole budget backing off.
+    #[test]
+    fn total_backoff_respects_the_deadline(
+        seed in 0u64..u64::MAX,
+        attempts in 1u32..12,
+        base_ms in 1u64..500,
+        deadline_ms in 0u64..5000,
+    ) {
+        let p = policy(attempts, base_ms, base_ms * 8);
+        let deadline = Duration::from_millis(deadline_ms);
+        let plan = p.plan(seed, Some(deadline));
+        prop_assert!(
+            plan.total_backoff() <= deadline,
+            "total backoff {:?} exceeds deadline {:?}",
+            plan.total_backoff(),
+            deadline
+        );
+    }
+
+    /// Attempt counts are capped by the policy, deadline or not, and a
+    /// deadline can only shrink the plan.
+    #[test]
+    fn attempt_counts_are_capped(
+        seed in 0u64..u64::MAX,
+        attempts in 1u32..12,
+        has_deadline in proptest::bool::ANY,
+        deadline_ms in 0u64..5000,
+    ) {
+        let p = policy(attempts, 25, 1000);
+        let deadline = has_deadline.then(|| Duration::from_millis(deadline_ms));
+        let plan = p.plan(seed, deadline);
+        prop_assert!(plan.attempts() >= 1);
+        prop_assert!(plan.attempts() <= attempts as usize);
+        if deadline.is_some() {
+            prop_assert!(plan.attempts() <= p.plan(seed, None).attempts());
+        }
+    }
+
+    /// Every delay stays within the capped-exponential jitter envelope:
+    /// at least half the nominal value, strictly below the nominal value,
+    /// and never above `max_backoff`.
+    #[test]
+    fn delays_stay_in_the_jitter_envelope(
+        seed in 0u64..u64::MAX,
+        attempts in 2u32..12,
+        base_ms in 1u64..200,
+    ) {
+        let p = policy(attempts, base_ms, base_ms * 4);
+        for (i, d) in p.backoff_schedule(seed).iter().enumerate() {
+            let nominal = p
+                .base_backoff
+                .saturating_mul(1u32 << i.min(31))
+                .min(p.max_backoff);
+            prop_assert!(*d >= nominal.mul_f64(0.5));
+            prop_assert!(*d < nominal);
+            prop_assert!(*d <= p.max_backoff);
+        }
+    }
+}

@@ -11,8 +11,10 @@
 # `repro` binary (the solver-registry listing, bench-summary with a
 # sparse-suite/speedup gate, the sparse dense-vs-delta equivalence sweep,
 # a JSONL event trace, a JSONL command timeline with an exact-cost-sum and
-# probe/solve-overlap gate, the robustness sweep on a tiny graph, and the
-# serving layer: an ephemeral-port daemon driven through submit/ctl/loadgen).
+# probe/solve-overlap gate, the robustness sweep on a tiny graph, the
+# serving layer: an ephemeral-port daemon driven through submit/ctl/loadgen,
+# and the cluster layer: a router over 3 replicas with a forced replica
+# kill mid-workload, gated on zero lost jobs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +46,15 @@ fi
 echo "==> grep gate: no direct MvmUnit reads under crates/core/src/engine/"
 if grep -rn "\.forward(\|\.transposed(" crates/core/src/engine/; then
     echo "engine stages must submit Mvm commands through the device queue, not call MvmUnit::forward/transposed" >&2
+    exit 1
+fi
+
+# Router gate: dispatch reaches replicas only through the health-tracked
+# replica pool and the typed Client; a raw socket dial would bypass
+# checkout accounting, reconnect policy, and health bookkeeping.
+echo "==> grep gate: no raw TcpStream dials under crates/serve/src/router/"
+if grep -rn "TcpStream::connect" crates/serve/src/router/; then
+    echo "router code must dial replicas via the replica pool / Client, never raw TcpStream::connect" >&2
     exit 1
 fi
 
@@ -136,18 +147,15 @@ PY
     # it), and a failing kill inside the trap would turn a fully green
     # run into exit 1 under `set -e`.
     trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
-    for _ in $(seq 1 50); do
-        [[ -s "$smoke_dir/serve.port" ]] && break
-        sleep 0.1
-    done
-    [[ -s "$smoke_dir/serve.port" ]] || { echo "daemon never wrote its port file" >&2; exit 1; }
-    serve_addr=$(cat "$smoke_dir/serve.port")
+    # No shell polling loop here: `--port-file` consumers wait for the
+    # daemon's address themselves (bounded-backoff poll in the binary).
     # Plain `run` would echo its banner into the redirected JSONL, so these
     # three announce themselves on stderr instead.
     echo "==> repro submit (plain sa) > submit_sa.jsonl" >&2
     cargo run --release -q -p sophie-bench --bin repro -- submit \
-        --addr "$serve_addr" --solver sa --graph K40 \
+        --port-file "$smoke_dir/serve.port" --solver sa --graph K40 \
         --config '{"sweeps":50}' --deadline-ms 30000 > "$smoke_dir/submit_sa.jsonl"
+    serve_addr=$(cat "$smoke_dir/serve.port")
     echo "==> repro submit (streaming sophie) > submit_sophie.jsonl" >&2
     cargo run --release -q -p sophie-bench --bin repro -- submit \
         --addr "$serve_addr" --solver sophie --graph K20 --stream \
@@ -175,6 +183,27 @@ for path in sys.argv[1:]:
     for line in lines:
         json.loads(line)
 print(f"serve smoke: {len(sys.argv) - 1} JSONL artifacts valid")
+PY
+
+    # Cluster smoke: router over 3 replicas, chaos loadgen kills replica 0
+    # a quarter into the workload and restarts it past 60%. The gate:
+    # every record is valid JSONL and retry/failover hid the kill — every
+    # request completed `done`, none were lost or errored.
+    run cargo run --release -q -p sophie-bench --bin repro -- loadgen \
+        --cluster --replicas 3 --chaos --clients 4 --requests 6 --solver sa --graph K20 \
+        --config '{"sweeps":400}' --out "$smoke_dir/cluster.jsonl"
+    python3 - "$smoke_dir/cluster.jsonl" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+summary = lines[-1]
+assert summary["type"] == "summary", "last line must be the summary"
+requests = [l for l in lines if l["type"] == "request"]
+assert len(requests) == summary["requests"] == 24, "one record per request"
+assert summary["replicas"] == 3 and summary["chaos"] is True, "cluster provenance"
+assert summary["done"] == summary["requests"], (
+    f"chaos run lost jobs: {summary['done']}/{summary['requests']} done"
+)
+print(f"cluster smoke: {summary['done']}/{summary['requests']} done under replica kill/restart")
 PY
 fi
 
