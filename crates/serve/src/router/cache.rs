@@ -62,9 +62,24 @@ pub fn graph_digest(graph: &GraphSpec) -> u64 {
     h
 }
 
+/// Whether a submission's completed report may be cached and replayed.
+///
+/// Streamed jobs run every time (their value is the event stream, which
+/// the cache does not hold). Deadline-carrying jobs are excluded in both
+/// directions: the replica cooperatively stops them at their wall-clock
+/// `time_limit` and still reports `done`, so the report depends on host
+/// speed and load, not content — caching one would replay a truncated,
+/// timing-dependent answer to later identical submissions.
+#[must_use]
+pub fn cacheable(req: &SubmitRequest) -> bool {
+    !req.stream && req.deadline_ms.is_none()
+}
+
 /// The content key of a submission: everything that determines the report
 /// bytes — solver, graph digest, seed, budget knobs, canonical config.
-/// The client-chosen `id` and `stream` flag are deliberately excluded.
+/// The client-chosen `id` and `stream` flag are deliberately excluded, as
+/// is `deadline_ms`: deadline'd jobs never enter the cache (see
+/// [`cacheable`]), so the key only ever addresses deterministic reports.
 #[must_use]
 pub fn job_key(req: &SubmitRequest) -> String {
     format!(
@@ -260,6 +275,15 @@ mod tests {
         assert_eq!(job_key(&a), job_key(&b));
         let c = submit(",\"config\":{\"sweeps\":11,\"beta0\":0.5}");
         assert_ne!(job_key(&a), job_key(&c));
+    }
+
+    #[test]
+    fn streamed_and_deadlined_jobs_are_not_cacheable() {
+        assert!(cacheable(&submit(",\"seed\":7")));
+        assert!(!cacheable(&submit(",\"seed\":7,\"stream\":true")));
+        // A deadline'd run is stopped at wall-clock time, so its report is
+        // timing-dependent — it must never be cached or replayed.
+        assert!(!cacheable(&submit(",\"seed\":7,\"deadline_ms\":250")));
     }
 
     #[test]

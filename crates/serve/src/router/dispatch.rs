@@ -19,7 +19,7 @@ use crate::error::ClientError;
 use crate::json::Json;
 use crate::protocol::{failed_frame, rejected_frame, result_frame, SubmitRequest};
 
-use super::cache::{job_key, placement_hash, report_slice};
+use super::cache::{cacheable, job_key, placement_hash, report_slice};
 use super::RouterShared;
 
 /// Upper bound on a single dispatcher wait when nothing else bounds it;
@@ -107,12 +107,12 @@ pub(crate) fn dispatch(
     let metrics = &shared.metrics;
 
     // Cache fast path: identical completed submissions replay in
-    // microseconds without touching a replica. Streamed jobs always run
-    // (their value is the event stream, which the cache does not hold).
+    // microseconds without touching a replica. Streamed and deadline'd
+    // jobs always run — see `cacheable` for why neither may replay.
     // Metrics are bumped *before* the terminal frame goes out, here and in
     // every terminal path below: a client that has seen its result must
     // see the job reflected in `stats`, even when it asks immediately.
-    if !req.stream {
+    if cacheable(req) {
         if let Some(report) = shared.cache.lookup(&key) {
             let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
             metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -205,6 +205,7 @@ fn dispatch_unary(
     let mut hedged = false;
     let mut prev_replica: Option<usize> = None;
     let mut last_error: Option<String> = None;
+    let mut last_reject: Option<String> = None;
 
     let launch = |launched: &mut usize,
                   inflight: &mut usize,
@@ -261,7 +262,7 @@ fn dispatch_unary(
 
         match end {
             AttemptEnd::Completed { raw_line, status } => {
-                if status == "done" {
+                if status == "done" && cacheable(req) {
                     if let Some(report) = report_slice(&raw_line) {
                         shared.cache.insert(key, report);
                     }
@@ -279,13 +280,23 @@ fn dispatch_unary(
             }
             AttemptEnd::Rejected { reason } => {
                 // Capacity rejection: fail over immediately, no backoff,
-                // no health penalty — the replica is alive, just full.
+                // no health penalty — the replica is alive, just full. The
+                // reason is kept even when a hedge is still in flight, so
+                // a later transport failure cannot erase the typed answer.
+                last_reject = Some(reason);
                 if launched < max_attempts {
                     metrics.retries.fetch_add(1, Ordering::Relaxed);
                     launch(&mut launched, &mut inflight, &mut prev_replica, false);
                 } else if inflight == 0 {
-                    metrics.rejected_upstream.fetch_add(1, Ordering::Relaxed);
-                    conn.send(&rejected_frame(&req.id, &reason));
+                    emit_unary_failure(
+                        shared,
+                        conn,
+                        req,
+                        launched,
+                        start,
+                        &last_error,
+                        &last_reject,
+                    );
                     return;
                 }
             }
@@ -306,13 +317,15 @@ fn dispatch_unary(
                     metrics.retries.fetch_add(1, Ordering::Relaxed);
                     launch(&mut launched, &mut inflight, &mut prev_replica, false);
                 } else if inflight == 0 {
-                    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
-                    let message = format!(
-                        "job failed after {launched} attempt(s): {}",
-                        last_error.as_deref().unwrap_or("unknown transport error")
+                    emit_unary_failure(
+                        shared,
+                        conn,
+                        req,
+                        launched,
+                        start,
+                        &last_error,
+                        &last_reject,
                     );
-                    metrics.failed.fetch_add(1, Ordering::Relaxed);
-                    conn.send(&failed_frame(&req.id, elapsed_ms, &message));
                     return;
                 }
             }
@@ -329,6 +342,36 @@ fn dispatch_unary(
             .as_deref()
             .map(|e| format!("; last error: {e}"))
             .unwrap_or_default()
+    );
+    metrics.failed.fetch_add(1, Ordering::Relaxed);
+    conn.send(&failed_frame(&req.id, elapsed_ms, &message));
+}
+
+/// Terminal emission when a unary job's attempt budget is exhausted with
+/// nothing in flight. A typed upstream rejection, when one was observed,
+/// beats a generic transport failure: it is a replica's actual answer
+/// about the job (retry later), where the transport error only says a
+/// socket died — even a hedge dying after the rejection arrived must not
+/// downgrade the frame the client sees.
+fn emit_unary_failure(
+    shared: &Arc<RouterShared>,
+    conn: &Arc<Conn>,
+    req: &SubmitRequest,
+    launched: usize,
+    start: Instant,
+    last_error: &Option<String>,
+    last_reject: &Option<String>,
+) {
+    let metrics = &shared.metrics;
+    if let Some(reason) = last_reject {
+        metrics.rejected_upstream.fetch_add(1, Ordering::Relaxed);
+        conn.send(&rejected_frame(&req.id, reason));
+        return;
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let message = format!(
+        "job failed after {launched} attempt(s): {}",
+        last_error.as_deref().unwrap_or("unknown transport error")
     );
     metrics.failed.fetch_add(1, Ordering::Relaxed);
     conn.send(&failed_frame(&req.id, elapsed_ms, &message));

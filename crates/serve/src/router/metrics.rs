@@ -34,6 +34,9 @@ pub struct RouterMetrics {
     pub rejected_shutting_down: AtomicU64,
     /// Submits refused because every candidate replica refused them.
     pub rejected_upstream: AtomicU64,
+    /// Submits refused for reusing a job id still in flight on the
+    /// same connection.
+    pub rejected_duplicate_id: AtomicU64,
     /// Dispatches currently in flight.
     pub in_flight: AtomicU64,
 }
@@ -46,7 +49,7 @@ impl RouterMetrics {
         format!(
             "\"in_flight\":{},\"submitted\":{},\"done\":{},\"cancelled\":{},\"failed\":{},\
              \"cache_hits\":{},\"retries\":{},\"failovers\":{},\"hedges\":{},\"hedge_wins\":{},\
-             \"rejected\":{{\"cluster_degraded\":{},\"router_busy\":{},\"shutting_down\":{},\"upstream\":{}}}",
+             \"rejected\":{{\"cluster_degraded\":{},\"router_busy\":{},\"shutting_down\":{},\"upstream\":{},\"duplicate_id\":{}}}",
             get(&self.in_flight),
             get(&self.submitted),
             get(&self.done),
@@ -61,6 +64,7 @@ impl RouterMetrics {
             get(&self.rejected_router_busy),
             get(&self.rejected_shutting_down),
             get(&self.rejected_upstream),
+            get(&self.rejected_duplicate_id),
         )
     }
 }

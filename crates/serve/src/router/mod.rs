@@ -319,13 +319,20 @@ fn supervise(shared: &Arc<RouterShared>, listener: &TcpListener, prober: JoinHan
 fn accept_conn(shared: &Arc<RouterShared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_nonblocking(false);
-    if shared.conn_count.load(Ordering::Acquire) >= shared.config.max_connections {
+    // Bookkeeping for past connections is reaped here, on the accept
+    // path, so a long-running router's vectors track the number of *live*
+    // connections instead of growing one entry per connection ever made.
+    reap_finished_conns(shared);
+    // Claim-then-check: the returned prior value decides, so two accepts
+    // racing at the cap cannot both slip under it.
+    let prior = shared.conn_count.fetch_add(1, Ordering::AcqRel);
+    if prior >= shared.config.max_connections {
+        shared.conn_count.fetch_sub(1, Ordering::AcqRel);
         let mut stream = stream;
         let _ = writeln!(stream, "{}", rejected_frame("", "too_many_connections"));
         let _ = stream.shutdown(Shutdown::Both);
         return;
     }
-    shared.conn_count.fetch_add(1, Ordering::AcqRel);
     let shared2 = Arc::clone(shared);
     let handle = std::thread::Builder::new()
         .name("router-conn".into())
@@ -339,6 +346,25 @@ fn accept_conn(shared: &Arc<RouterShared>, stream: TcpStream) {
         .lock()
         .expect("conn threads lock")
         .push(handle);
+}
+
+/// Joins connection threads that have exited and drops `Weak`s to conns
+/// that are gone. Joining a finished thread does not block.
+fn reap_finished_conns(shared: &RouterShared) {
+    let finished: Vec<JoinHandle<()>> = {
+        let mut threads = shared.conn_threads.lock().expect("conn threads lock");
+        let (done, live): (Vec<_>, Vec<_>) = threads.drain(..).partition(JoinHandle::is_finished);
+        *threads = live;
+        done
+    };
+    for t in finished {
+        let _ = t.join();
+    }
+    shared
+        .conns
+        .lock()
+        .expect("conns lock")
+        .retain(|w| w.strong_count() > 0);
 }
 
 fn handle_conn(shared: &Arc<RouterShared>, stream: TcpStream) {
@@ -431,9 +457,13 @@ fn handle_submit(
         conn.send(&rejected_frame(&req.id, "shutting_down"));
         return;
     }
-    let inflight = shared.metrics.in_flight.load(Ordering::Acquire);
-    if inflight >= shared.config.max_inflight as u64 {
+    // Reserve the in-flight slot before checking the cap: fetch_add
+    // returns the prior value, so concurrent submits cannot both observe
+    // a below-limit load and race past `max_inflight` together.
+    let prior_inflight = shared.metrics.in_flight.fetch_add(1, Ordering::AcqRel);
+    if prior_inflight >= shared.config.max_inflight as u64 {
         // Typed backpressure instead of unbounded queueing.
+        shared.metrics.in_flight.fetch_sub(1, Ordering::AcqRel);
         shared
             .metrics
             .rejected_router_busy
@@ -442,14 +472,15 @@ fn handle_submit(
         return;
     }
     // Graceful degradation, decided at admission: with every replica
-    // quarantined, only submissions the cache can replay (non-streaming,
+    // quarantined, only submissions the cache can replay (cacheable,
     // key present) are worth accepting; everything else gets the typed
     // rejection now rather than a post-acceptance failure. Dispatch
     // re-checks, since health can change between admission and dispatch.
     let key = cache::job_key(&req);
     let home = (cache::placement_hash(&key) % shared.pool.replicas.len() as u64) as usize;
-    let cache_serveable = !req.stream && shared.cache.contains(&key);
+    let cache_serveable = cache::cacheable(&req) && shared.cache.contains(&key);
     if !cache_serveable && shared.pool.candidates(home).is_empty() {
+        shared.metrics.in_flight.fetch_sub(1, Ordering::AcqRel);
         shared
             .metrics
             .rejected_cluster_degraded
@@ -458,17 +489,29 @@ fn handle_submit(
         return;
     }
     let ctl = Arc::new(DispatchCtl::new(&req.id));
-    dispatches
-        .lock()
-        .expect("dispatches lock")
-        .insert(req.id.clone(), Arc::clone(&ctl));
+    {
+        // A submit reusing an id still in flight on this connection would
+        // otherwise overwrite the first job's ctl — orphaning whichever
+        // dispatch loses the race from cancel and connection-drop cleanup.
+        let mut live = dispatches.lock().expect("dispatches lock");
+        if live.contains_key(&req.id) {
+            drop(live);
+            shared.metrics.in_flight.fetch_sub(1, Ordering::AcqRel);
+            shared
+                .metrics
+                .rejected_duplicate_id
+                .fetch_add(1, Ordering::Relaxed);
+            conn.send(&rejected_frame(&req.id, "duplicate_id"));
+            return;
+        }
+        live.insert(req.id.clone(), Arc::clone(&ctl));
+    }
     shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-    shared.metrics.in_flight.fetch_add(1, Ordering::AcqRel);
     // `accepted` goes out before the dispatch thread exists, so it always
     // precedes this job's result — same ordering guarantee as the daemon.
     conn.send(&crate::protocol::accepted_frame(
         &req.id,
-        inflight as usize + 1,
+        prior_inflight as usize + 1,
     ));
 
     let shared = Arc::clone(shared);
@@ -478,7 +521,13 @@ fn handle_submit(
         .name("router-dispatch".into())
         .spawn(move || {
             dispatch::dispatch(&shared, &conn, &ctl, &raw_line, &req);
-            dispatches.lock().expect("dispatches lock").remove(&req.id);
+            // Remove only our own entry: guards against ever dropping a
+            // successor's ctl should the id be reused after this removal.
+            let mut live = dispatches.lock().expect("dispatches lock");
+            if live.get(&req.id).is_some_and(|cur| Arc::ptr_eq(cur, &ctl)) {
+                live.remove(&req.id);
+            }
+            drop(live);
             shared.metrics.in_flight.fetch_sub(1, Ordering::AcqRel);
         })
         .expect("spawn dispatch thread");

@@ -2,8 +2,10 @@
 //! killed mid-batch with every job still completing (reports
 //! byte-identical to a healthy run), quarantine and probe-driven
 //! re-admission, content-addressed cache replay (including cache-only
-//! serving when every replica is down), hedged requests, and router/direct
-//! byte-identity for streamed jobs.
+//! serving when every replica is down, and deadline'd jobs bypassing the
+//! cache — their reports are wall-clock-dependent), duplicate in-flight
+//! job ids, hedged requests, and router/direct byte-identity for streamed
+//! jobs.
 
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
@@ -248,6 +250,75 @@ fn cache_replays_reports_and_serves_when_every_replica_is_down() {
         admission.get("reason").and_then(Json::as_str),
         Some("cluster_degraded")
     );
+
+    cluster.shutdown();
+}
+
+#[test]
+fn deadlined_jobs_bypass_the_cache() {
+    let _serial = serial();
+    let cluster = LocalCluster::start(1, serve_config(2), router_config(64)).expect("cluster");
+    let mut client = connect(cluster.router_addr());
+
+    // Completes far inside its deadline, but a deadline'd run is stopped
+    // at wall-clock time and still reports `done`, so its report is not
+    // content-deterministic — it must execute every time, never replay.
+    let mut job = SubmitArgs::new("sa", GraphSpec::Named("K40".into()));
+    job.seed = 5;
+    job.config_json = Some(r#"{"sweeps": 2000}"#.into());
+    job.deadline_ms = Some(60_000);
+
+    for id in ["d1", "d2"] {
+        client.submit(id, &job).expect("submit");
+        let outcome = client.wait_result(id).expect("result");
+        assert_eq!(outcome.status, "done", "{id}");
+    }
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache block");
+    assert_eq!(
+        cache.get("inserts").and_then(Json::as_u64),
+        Some(0),
+        "deadline'd reports must not be cached: {stats}"
+    );
+    assert_eq!(
+        cache.get("hits").and_then(Json::as_u64),
+        Some(0),
+        "deadline'd submissions must not replay: {stats}"
+    );
+
+    cluster.shutdown();
+}
+
+#[test]
+fn duplicate_in_flight_id_is_rejected_and_the_first_job_stays_cancellable() {
+    let _serial = serial();
+    let cluster = LocalCluster::start(1, serve_config(1), router_config(0)).expect("cluster");
+    let mut client = connect(cluster.router_addr());
+
+    // A long-running job keeps the id in flight.
+    let mut long_job = SubmitArgs::new("sa", GraphSpec::Named("K60".into()));
+    long_job.seed = 1;
+    long_job.config_json = Some(r#"{"sweeps": 100000000}"#.into());
+    let admission = client.submit("dup", &long_job).expect("submit");
+    assert_eq!(admission.frame_type(), Some("accepted"));
+
+    // Reusing the id while the first dispatch is live is a typed
+    // rejection — not a silent overwrite that would orphan the first
+    // job's cancel plumbing.
+    let admission = client.submit("dup", &long_job).expect("resubmit");
+    assert_eq!(admission.frame_type(), Some("rejected"));
+    assert_eq!(
+        admission.get("reason").and_then(Json::as_str),
+        Some("duplicate_id")
+    );
+
+    // The original job is still tracked: cancel finds it and ends it.
+    assert!(
+        client.cancel("dup").expect("cancel"),
+        "cancel must still find the first job"
+    );
+    let outcome = client.wait_result("dup").expect("result");
+    assert_eq!(outcome.status, "cancelled");
 
     cluster.shutdown();
 }
