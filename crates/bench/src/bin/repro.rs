@@ -31,7 +31,7 @@ use std::process::ExitCode;
 use sophie_bench::experiments;
 use sophie_bench::{Fidelity, Instances, Report};
 
-const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|sparse|all|bench-summary> [--fast] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro timeline --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro solvers\n       repro <serve|cluster|submit|ctl|loadgen> ... (serving layer; wrong flags print the full usage)";
+const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|sparse|all|bench-summary> [--fast] [--out DIR]\n       repro tune [--check] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro timeline --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro solvers\n       repro <serve|cluster|submit|ctl|loadgen> ... (serving layer; wrong flags print the full usage)";
 
 /// `repro solvers`: one line per registered solver (name, capability
 /// flags, config type, summary), then a scheduler smoke-run of every
@@ -118,6 +118,7 @@ fn main() -> ExitCode {
 
     let mut command: Option<String> = None;
     let mut fast = false;
+    let mut check = false;
     let mut out_dir: Option<PathBuf> = None;
     let mut graph_name = "K100".to_string();
     let mut seed = 0u64;
@@ -126,6 +127,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => fast = true,
+            "--check" => check = true,
             "--out" => match args.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -255,6 +257,37 @@ fn main() -> ExitCode {
             start.elapsed(),
             path.display()
         );
+        return ExitCode::SUCCESS;
+    }
+
+    if command == "tune" {
+        // Host kernel autotuning record: measures every variant at the
+        // acceptance tile sizes and upserts the `kernel_tune` block of
+        // BENCH_sophie.json (next to the repo, or in --out DIR).
+        let path = out_dir
+            .map(|d| d.join("BENCH_sophie.json"))
+            .unwrap_or_else(|| PathBuf::from("BENCH_sophie.json"));
+        eprintln!("\n### running kernel autotune ###");
+        let start = std::time::Instant::now();
+        let outcome = sophie_bench::tune::run_tune();
+        sophie_bench::tune::print_report(&outcome);
+        if let Err(e) = sophie_bench::tune::write_kernel_tune(&path, &outcome) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "### tune done in {:.1?}, wrote {} ###",
+            start.elapsed(),
+            path.display()
+        );
+        if check && outcome.forward_64_speedup < sophie_bench::tune::CHECK_MIN_SPEEDUP {
+            eprintln!(
+                "tune --check FAILED: forward 64\u{b2} speedup {:.2}\u{d7} < required {:.1}\u{d7}",
+                outcome.forward_64_speedup,
+                sophie_bench::tune::CHECK_MIN_SPEEDUP
+            );
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
 

@@ -37,6 +37,7 @@ pub mod report;
 pub mod serving;
 pub mod timeline;
 pub mod trace;
+pub mod tune;
 
 pub use fidelity::Fidelity;
 pub use instances::Instances;

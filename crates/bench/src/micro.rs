@@ -582,8 +582,9 @@ pub fn merge_preserving_blocks(fresh: &str, old: &str) -> String {
 
 /// Pretty-printer matching the summary's house style: top-level and
 /// depth-1 objects span lines, everything deeper (array elements, nested
-/// values) renders inline.
-fn render_json(v: &sophie_serve::Json, depth: usize, out: &mut String) {
+/// values) renders inline. Shared with [`crate::tune`], which upserts the
+/// `kernel_tune` block into the same document.
+pub(crate) fn render_json(v: &sophie_serve::Json, depth: usize, out: &mut String) {
     use sophie_serve::Json;
     match v {
         Json::Null => out.push_str("null"),

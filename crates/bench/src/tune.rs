@@ -1,0 +1,248 @@
+//! `repro tune` — host kernel autotuning record.
+//!
+//! Runs the `sophie-linalg` kernel autotuner ([`sophie_linalg::kernel::tune`])
+//! at the acceptance tile sizes, prints the timing table, and upserts a
+//! `kernel_tune` block into `BENCH_sophie.json` (schema in EXPERIMENTS.md
+//! § "Kernel tuning"). Every other block of the document is preserved
+//! byte-for-byte, mirroring how `bench-summary` regeneration carries
+//! blocks it did not reproduce.
+//!
+//! `--check` mode additionally gates on the tentpole speedup claim: the
+//! tuned forward kernel at 64² must beat the scalar reference by at least
+//! [`CHECK_MIN_SPEEDUP`]×.
+
+use std::io;
+use std::path::Path;
+
+use sophie_hw::arch::MachineConfig;
+use sophie_hw::cost::timing::device_mvm_ns;
+use sophie_linalg::kernel::tune::{host_key, measure, TuneReport};
+use sophie_linalg::KernelVariant;
+use sophie_serve::Json;
+
+/// Tile edge lengths `repro tune` measures: the engine's default tile,
+/// a mid-size tile, and the non-multiple-of-lane acceptance size.
+pub const TUNE_SIZES: [usize; 3] = [64, 256, 500];
+
+/// Minimum scalar→tuned forward speedup at 64² that `--check` accepts.
+pub const CHECK_MIN_SPEEDUP: f64 = 1.3;
+
+/// One tuning run across [`TUNE_SIZES`], plus the 64² headline numbers.
+#[derive(Debug)]
+pub struct TuneOutcome {
+    /// Full per-size measurement reports, in [`TUNE_SIZES`] order.
+    pub reports: Vec<TuneReport>,
+    /// Scalar reference forward time at 64² (ns).
+    pub scalar_forward_64_ns: f64,
+    /// Tuned-plan forward time at 64² (ns).
+    pub tuned_forward_64_ns: f64,
+    /// `scalar_forward_64_ns / tuned_forward_64_ns`.
+    pub forward_64_speedup: f64,
+}
+
+/// Measures every kernel variant at each of [`TUNE_SIZES`].
+#[must_use]
+pub fn run_tune() -> TuneOutcome {
+    let reports: Vec<TuneReport> = TUNE_SIZES.iter().map(|&t| measure(t)).collect();
+    let r64 = &reports[0];
+    let scalar = r64.ns_for(KernelVariant::Scalar, true);
+    let tuned = r64.ns_for(r64.plan.forward, true);
+    TuneOutcome {
+        scalar_forward_64_ns: scalar,
+        tuned_forward_64_ns: tuned,
+        forward_64_speedup: scalar / tuned,
+        reports,
+    }
+}
+
+fn round1(ns: f64) -> Json {
+    Json::Num((ns * 10.0).round() / 10.0)
+}
+
+fn round3(x: f64) -> Json {
+    Json::Num((x * 1000.0).round() / 1000.0)
+}
+
+/// The `kernel_tune` block as a JSON value.
+#[must_use]
+pub fn kernel_tune_block(outcome: &TuneOutcome) -> Json {
+    let plans = outcome
+        .reports
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("tile".to_string(), Json::Num(r.tile_size as f64)),
+                (
+                    "forward".to_string(),
+                    Json::Str(r.plan.forward.name().to_string()),
+                ),
+                (
+                    "transposed".to_string(),
+                    Json::Str(r.plan.transposed.name().to_string()),
+                ),
+                (
+                    "pair".to_string(),
+                    Json::Str(r.plan.pair.name().to_string()),
+                ),
+            ])
+        })
+        .collect();
+    let r64 = &outcome.reports[0];
+    let table_64 = r64
+        .table
+        .iter()
+        .map(|&(v, f_ns, t_ns)| {
+            Json::Obj(vec![
+                ("variant".to_string(), Json::Str(v.name().to_string())),
+                ("forward_ns".to_string(), round1(f_ns)),
+                ("transposed_ns".to_string(), round1(t_ns)),
+            ])
+        })
+        .collect();
+    let machine = MachineConfig::sophie_default(1);
+    Json::Obj(vec![
+        (
+            "schema".to_string(),
+            Json::Str("sophie-kernel-tune-v1".to_string()),
+        ),
+        ("host".to_string(), Json::Str(host_key())),
+        ("plans".to_string(), Json::Arr(plans)),
+        ("table_64".to_string(), Json::Arr(table_64)),
+        (
+            "pair_64".to_string(),
+            Json::Obj(vec![
+                ("sequential_ns".to_string(), round1(r64.pair_sequential_ns)),
+                ("fused_ns".to_string(), round1(r64.pair_fused_ns)),
+            ]),
+        ),
+        (
+            "scalar_forward_64_ns".to_string(),
+            round1(outcome.scalar_forward_64_ns),
+        ),
+        (
+            "tuned_forward_64_ns".to_string(),
+            round1(outcome.tuned_forward_64_ns),
+        ),
+        (
+            "forward_64_speedup".to_string(),
+            round3(outcome.forward_64_speedup),
+        ),
+        (
+            "device_mvm_8bit_ns".to_string(),
+            round3(device_mvm_ns(&machine, 8, true)),
+        ),
+        (
+            "note".to_string(),
+            Json::Str(
+                "host-side simulation kernels; all variants are bit-identical, tuning picks \
+                 wall-clock only. device_mvm_8bit_ns is the modeled OPCM tile MVM latency \
+                 for context."
+                    .to_string(),
+            ),
+        ),
+    ])
+}
+
+/// Upserts the `kernel_tune` block into the summary document at `path`.
+///
+/// Every other top-level block is preserved unchanged (same contract as
+/// [`crate::micro::merge_preserving_blocks`]); a missing or unparseable
+/// document is replaced by a minimal one holding only the block.
+///
+/// # Errors
+///
+/// Propagates the I/O error if `path` cannot be written.
+pub fn write_kernel_tune(path: &Path, outcome: &TuneOutcome) -> io::Result<()> {
+    let block = kernel_tune_block(outcome);
+    let mut entries = match std::fs::read_to_string(path).map(|old| Json::parse(&old)) {
+        Ok(Ok(Json::Obj(entries))) => entries,
+        _ => vec![(
+            "schema".to_string(),
+            Json::Str("sophie-bench-v1".to_string()),
+        )],
+    };
+    match entries.iter_mut().find(|(k, _)| k == "kernel_tune") {
+        Some((_, slot)) => *slot = block,
+        None => entries.push(("kernel_tune".to_string(), block)),
+    }
+    let mut out = String::new();
+    crate::micro::render_json(&Json::Obj(entries), 0, &mut out);
+    out.push('\n');
+    std::fs::write(path, out)
+}
+
+/// Prints the tuning table for humans (stderr, like the other repro
+/// progress output).
+pub fn print_report(outcome: &TuneOutcome) {
+    for r in &outcome.reports {
+        eprintln!(
+            "  tile {:>3}: plan {} (pair seq {:.1} ns, fused {:.1} ns)",
+            r.tile_size,
+            r.plan.describe(),
+            r.pair_sequential_ns,
+            r.pair_fused_ns
+        );
+        for &(v, f_ns, t_ns) in &r.table {
+            eprintln!(
+                "    {:<7} forward {f_ns:>10.1} ns  transposed {t_ns:>10.1} ns",
+                v.name()
+            );
+        }
+    }
+    eprintln!(
+        "  forward 64²: scalar {:.1} ns → tuned {:.1} ns ({:.2}×)",
+        outcome.scalar_forward_64_ns, outcome.tuned_forward_64_ns, outcome.forward_64_speedup
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_has_headline_fields_and_upsert_preserves_others() {
+        // A fabricated outcome keeps the test off the wall clock.
+        let mut report = measure(8);
+        report.tile_size = 64;
+        let outcome = TuneOutcome {
+            reports: vec![report],
+            scalar_forward_64_ns: 1000.0,
+            tuned_forward_64_ns: 400.0,
+            forward_64_speedup: 2.5,
+        };
+        let block = kernel_tune_block(&outcome);
+        let Json::Obj(entries) = &block else {
+            panic!("block must be an object")
+        };
+        for key in [
+            "schema",
+            "host",
+            "plans",
+            "table_64",
+            "pair_64",
+            "scalar_forward_64_ns",
+            "tuned_forward_64_ns",
+            "forward_64_speedup",
+            "device_mvm_8bit_ns",
+        ] {
+            assert!(entries.iter().any(|(k, _)| k == key), "missing {key}");
+        }
+
+        let dir = std::env::temp_dir().join(format!("sophie-tune-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sophie.json");
+        std::fs::write(
+            &path,
+            "{\n  \"schema\": \"sophie-bench-v1\",\n  \"sparse_speedup\": {\"speedup\": 3.0}\n}\n",
+        )
+        .unwrap();
+        write_kernel_tune(&path, &outcome).unwrap();
+        // Upsert twice: the second write replaces the block in place.
+        write_kernel_tune(&path, &outcome).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Json::Obj(top) = doc else { panic!() };
+        assert!(top.iter().any(|(k, _)| k == "sparse_speedup"));
+        assert_eq!(top.iter().filter(|(k, _)| k == "kernel_tune").count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -2,6 +2,8 @@
 
 use crate::error::{Result, SophieError};
 
+pub use sophie_linalg::KernelChoice;
+
 /// Compute strategy of the exact floating-point backend.
 ///
 /// All three strategies produce **bit-identical** results and event
@@ -90,6 +92,15 @@ pub struct SophieConfig {
     /// buffer residency only.
     #[cfg_attr(feature = "serde", serde(default))]
     pub queue_depth: Option<usize>,
+    /// Tile-MVM kernel selection for the floating-point backends:
+    /// `auto` (startup-autotuned per tile size and host) or a pinned
+    /// variant name (`scalar`, `axpy`, `b8u4`, ...). **Result-invariant
+    /// by construction** — every variant accumulates in the same
+    /// canonical order, so outcomes and event streams are byte-identical
+    /// under any choice; the knob trades wall-clock only. The
+    /// `SOPHIE_KERNEL` environment variable overrides this at run time.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub kernel: KernelChoice,
 }
 
 impl Default for SophieConfig {
@@ -105,6 +116,7 @@ impl Default for SophieConfig {
             compute: ComputeMode::Auto,
             sparse_crossover: None,
             queue_depth: None,
+            kernel: KernelChoice::Auto,
         }
     }
 }
@@ -293,6 +305,23 @@ mod tests {
             assert_eq!(ComputeMode::parse(mode.name()), Some(mode));
         }
         assert_eq!(ComputeMode::parse("fancy"), None);
+    }
+
+    #[test]
+    fn kernel_choice_names_round_trip_and_default_is_auto() {
+        use sophie_linalg::KernelVariant;
+        assert_eq!(SophieConfig::default().kernel, KernelChoice::Auto);
+        assert_eq!(KernelChoice::parse("auto"), Some(KernelChoice::Auto));
+        for v in KernelVariant::ALL {
+            let c = KernelChoice::Pinned(v);
+            assert_eq!(KernelChoice::parse(c.name()), Some(c));
+        }
+        assert_eq!(KernelChoice::parse("fancy"), None);
+        let c = SophieConfig {
+            kernel: KernelChoice::Pinned(KernelVariant::B8U4),
+            ..SophieConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

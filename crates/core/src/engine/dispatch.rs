@@ -63,6 +63,7 @@ fn exec_ctx<'a>(
         seed,
         probe_seed,
         phi: solver.config.phi as f32,
+        plan: sophie_linalg::KernelPlan::for_choice(solver.config.kernel, solver.grid.tile()),
     }
 }
 
@@ -200,6 +201,12 @@ pub(super) fn flush_unit_serial<B: MvmBackend>(
 /// current global state (the first 8-bit pass of setup, and the refresh
 /// after a successful recovery): no noise, no thresholding, inputs read
 /// straight from the shared global vector.
+///
+/// The MVMs write directly into the partial buffers (no scratch +
+/// `save_partial` copy): the outputs are then distinct, which makes an
+/// off-diagonal pair's forward/transposed refresh eligible for the
+/// executor's fused-pair submission — one pass over the stored weights
+/// on kernel-plan-aware backends.
 pub(super) fn submit_partial_refresh<U>(queue: &mut CommandQueue, st: &PairState<U>) {
     match st.pair {
         sophie_linalg::TilePair::Diagonal(d) => {
@@ -209,9 +216,9 @@ pub(super) fn submit_partial_refresh<U>(queue: &mut CommandQueue, st: &PairState
                 CommandKind::Mvm {
                     dir: MvmDir::Forward,
                     input: Src::GlobalBlock(d),
-                    output: st.y,
+                    output: st.partial_primary,
                     quantize: true,
-                    save_partial: Some(st.partial_primary),
+                    save_partial: None,
                     threshold: None,
                 },
             );
@@ -223,9 +230,9 @@ pub(super) fn submit_partial_refresh<U>(queue: &mut CommandQueue, st: &PairState
                 CommandKind::Mvm {
                     dir: MvmDir::Forward,
                     input: Src::GlobalBlock(col),
-                    output: st.y,
+                    output: st.partial_primary,
                     quantize: true,
-                    save_partial: Some(st.partial_primary),
+                    save_partial: None,
                     threshold: None,
                 },
             );
@@ -235,9 +242,9 @@ pub(super) fn submit_partial_refresh<U>(queue: &mut CommandQueue, st: &PairState
                 CommandKind::Mvm {
                     dir: MvmDir::Transposed,
                     input: Src::GlobalBlock(row),
-                    output: st.y,
+                    output: st.partial_partner,
                     quantize: true,
-                    save_partial: Some(st.partial_partner),
+                    save_partial: None,
                     threshold: None,
                 },
             );

@@ -231,9 +231,12 @@ impl SophieSolver {
     /// with backend-specific runs.
     pub fn run(&self, graph: &Graph, seed: u64, target_cut: Option<f64>) -> Result<SophieOutcome> {
         match self.config.compute {
-            ComputeMode::Dense => {
-                self.run_with_backend(&IdealBackend::new(), graph, seed, target_cut)
-            }
+            ComputeMode::Dense => self.run_with_backend(
+                &IdealBackend::from_config(&self.config),
+                graph,
+                seed,
+                target_cut,
+            ),
             ComputeMode::Sparse | ComputeMode::Auto => self.run_with_backend(
                 &SparseBackend::from_config(&self.config),
                 graph,
@@ -257,7 +260,7 @@ impl SophieSolver {
     ) -> Result<SophieOutcome> {
         match self.config.compute {
             ComputeMode::Dense => self.run_with_backend_observed(
-                &IdealBackend::new(),
+                &IdealBackend::from_config(&self.config),
                 graph,
                 seed,
                 target_cut,

@@ -56,7 +56,7 @@ mod solver;
 pub mod sparse;
 
 pub use batch::{run_batch, run_batch_ideal, BatchOutcome};
-pub use config::{ComputeMode, SophieConfig};
+pub use config::{ComputeMode, KernelChoice, SophieConfig};
 pub use engine::SophieSolver;
 pub use error::{Result, SophieError};
 pub use gaussian::GaussianSource;
@@ -64,6 +64,7 @@ pub use health::{HealthConfig, RecoveryPolicy};
 pub use outcome::SophieOutcome;
 pub use schedule::{Round, Schedule};
 pub use solver::SophieIsing;
+pub use sophie_linalg::{KernelPlan, KernelVariant};
 pub use sparse::{SparseBackend, SparseUnit};
 
 // The instrumentation and solver-abstraction layers live in `sophie-solve`

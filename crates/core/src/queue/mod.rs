@@ -85,6 +85,7 @@ mod tests {
             seed: 0,
             probe_seed: 0,
             phi: 0.0,
+            plan: sophie_linalg::KernelPlan::scalar(),
         }
     }
 

@@ -37,7 +37,7 @@
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use sophie_linalg::{SparseCsr, Tile};
+use sophie_linalg::{KernelChoice, KernelPlan, SparseCsr, Tile};
 
 use crate::backend::{MvmBackend, MvmUnit};
 use crate::config::{ComputeMode, SophieConfig};
@@ -50,6 +50,7 @@ use crate::backend::IdealBackend;
 #[derive(Debug, Clone, Copy)]
 pub struct SparseBackend {
     crossover: f64,
+    kernel: KernelChoice,
 }
 
 impl SparseBackend {
@@ -60,6 +61,7 @@ impl SparseBackend {
     pub fn auto() -> Self {
         SparseBackend {
             crossover: calibrated_crossover(),
+            kernel: KernelChoice::Auto,
         }
     }
 
@@ -77,7 +79,10 @@ impl SparseBackend {
             theta > 0.0 && !theta.is_nan(),
             "crossover must be positive, got {theta}"
         );
-        SparseBackend { crossover: theta }
+        SparseBackend {
+            crossover: theta,
+            kernel: KernelChoice::Auto,
+        }
     }
 
     /// Backend that always takes the sparse path (θ = ∞), regardless of
@@ -86,6 +91,7 @@ impl SparseBackend {
     pub fn always_sparse() -> Self {
         SparseBackend {
             crossover: f64::INFINITY,
+            kernel: KernelChoice::Auto,
         }
     }
 
@@ -97,10 +103,14 @@ impl SparseBackend {
     /// as [`ComputeMode::Auto`].)
     #[must_use]
     pub fn from_config(config: &SophieConfig) -> Self {
-        match (config.compute, config.sparse_crossover) {
+        let base = match (config.compute, config.sparse_crossover) {
             (ComputeMode::Sparse, _) => Self::always_sparse(),
             (_, Some(theta)) => Self::with_crossover(theta),
             (_, None) => Self::auto(),
+        };
+        SparseBackend {
+            kernel: config.kernel,
+            ..base
         }
     }
 
@@ -115,7 +125,11 @@ impl MvmBackend for SparseBackend {
     type Unit = SparseUnit;
 
     fn unit(&self, tile_size: usize) -> SparseUnit {
-        SparseUnit::new(tile_size, self.crossover)
+        SparseUnit::new(
+            tile_size,
+            self.crossover,
+            KernelPlan::for_choice(self.kernel, tile_size),
+        )
     }
 }
 
@@ -147,6 +161,8 @@ impl DirCache {
 pub struct SparseUnit {
     tile_size: usize,
     crossover: f64,
+    /// Kernel plan for the dense fallback path.
+    plan: KernelPlan,
     /// Dense mirror for fallback kernels and cheap reprogramming.
     tile: Option<Tile>,
     /// CSR of the stored tile `T` (forward row dots).
@@ -169,10 +185,11 @@ pub struct SparseUnit {
 }
 
 impl SparseUnit {
-    fn new(tile_size: usize, crossover: f64) -> Self {
+    fn new(tile_size: usize, crossover: f64, plan: KernelPlan) -> Self {
         SparseUnit {
             tile_size,
             crossover,
+            plan,
             tile: None,
             csr: None,
             csr_t: None,
@@ -201,11 +218,11 @@ impl SparseUnit {
         )
     }
 
-    fn dense_kernel(tile: &Tile, forward: bool, x: &[f32], y: &mut [f32]) {
+    fn dense_kernel(plan: &KernelPlan, tile: &Tile, forward: bool, x: &[f32], y: &mut [f32]) {
         if forward {
-            tile.mvm(x, y);
+            plan.forward(tile, x, y);
         } else {
-            tile.mvm_transposed(x, y);
+            plan.transposed(tile, x, y);
         }
     }
 
@@ -230,7 +247,7 @@ impl SparseUnit {
             // Cold cache: no diff to exploit; the choice is full-sparse
             // O(nnz) vs dense.
             if (own.nnz() as f64) > budget {
-                Self::dense_kernel(tile, forward, x, y);
+                Self::dense_kernel(&self.plan, tile, forward, x, y);
                 self.dense_calls += 1;
             } else {
                 own.matvec(x, y);
@@ -260,7 +277,7 @@ impl SparseUnit {
         // `est` counts (changed input → fed output) pairs — a cheap proxy
         // for the touched-row recompute cost that needs no dedup pass.
         if (est as f64) > budget {
-            Self::dense_kernel(tile, forward, x, y);
+            Self::dense_kernel(&self.plan, tile, forward, x, y);
             cache.x.copy_from_slice(x);
             cache.y.copy_from_slice(y);
             self.dense_calls += 1;
@@ -360,7 +377,10 @@ fn measure_crossover() -> f64 {
     let x: Vec<f32> = (0..SIZE).map(|_| next()).collect();
     let mut y = vec![0.0_f32; SIZE];
 
-    let dense_t = time_probe(|x, y| tile.mvm(x, y), &x, &mut y);
+    // Probe the same plan the runtime units will use, so θ reflects the
+    // actual (autotuned) dense-kernel throughput on this host.
+    let plan = KernelPlan::for_size(SIZE);
+    let dense_t = time_probe(|x, y| plan.forward(&tile, x, y), &x, &mut y);
     let sparse_t = time_probe(|x, y| csr.matvec(x, y), &x, &mut y);
 
     let c_dense = dense_t / (SIZE * SIZE) as f64;

@@ -129,6 +129,19 @@ pub fn batch_time(
     })
 }
 
+/// Modeled latency of one device tile MVM, in nanoseconds.
+///
+/// A 1-bit read resolves in one cycle; an 8-bit read pays the bit-serial
+/// SAR conversion (`adc_cycles` per sample, §III-C). The host kernel
+/// autotuner records this next to its measured host-side kernel timings
+/// (the `kernel_tune` block of `BENCH_sophie.json`) so simulation
+/// throughput can be put in context against the device it emulates.
+#[must_use]
+pub fn device_mvm_ns(machine: &MachineConfig, adc_cycles: u64, eight_bit: bool) -> f64 {
+    let cycles = if eight_bit { adc_cycles } else { 1 };
+    machine.cycle_s() * cycles as f64 * 1e9
+}
+
 /// Wall-time of recovery reprograms alone.
 ///
 /// [`batch_time`] derives programming time from the workload shape and
@@ -221,6 +234,15 @@ mod tests {
         let single = batch_time(&m, &p, &workload(2000, 1.0, 100, 1), 8).unwrap();
         let batched = batch_time(&m, &p, &workload(2000, 1.0, 100, 100), 8).unwrap();
         assert!(batched.per_job_s < single.per_job_s);
+    }
+
+    #[test]
+    fn device_mvm_latency_scales_with_adc_cycles() {
+        let m = MachineConfig::sophie_default(1);
+        let one_bit = device_mvm_ns(&m, 8, false);
+        let eight_bit = device_mvm_ns(&m, 8, true);
+        assert!((one_bit - m.cycle_s() * 1e9).abs() < 1e-12);
+        assert!((eight_bit - 8.0 * one_bit).abs() < 1e-12);
     }
 
     #[test]

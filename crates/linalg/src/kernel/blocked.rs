@@ -1,0 +1,122 @@
+//! Cache-blocked register-blocking kernels and the fused pair kernel.
+//!
+//! The speed here comes entirely from instruction-level parallelism
+//! *across outputs*: a block of `L` outputs is held in registers and the
+//! k-loop feeds all `L` chains per iteration (one broadcast `x[k]`, `L`
+//! unit-stride loads, `L` independent mul-then-add chains). Each chain is
+//! still one output's sequential ascending-k sum from `+0.0`, so every
+//! `(L, U)` shape is bit-identical to the scalar reference — LLVM can
+//! vectorize the lane loop into f32x8 ops precisely because the lanes are
+//! independent, and it cannot reassociate within a chain (no `-ffast-math`
+//! in Rust) or contract to FMA (never implicit).
+//!
+//! `U` unrolls the k-loop of the *same* chains — more in-flight adds per
+//! lane without extra accumulators (extra accumulators per output would
+//! reassociate the sum and change bits; deliberately not offered).
+
+/// Register-blocked k-major sweep: `y[o] = Σ_k mat_km[k·t + o]·x[k]` for
+/// `o < out_used`, zero above. `L` = output lanes per block, `U` = k-loop
+/// unroll.
+pub fn sweep<const L: usize, const U: usize>(
+    mat_km: &[f32],
+    t: usize,
+    k_used: usize,
+    out_used: usize,
+    x: &[f32],
+    y: &mut [f32],
+) {
+    let mut o = 0;
+    while o + L <= out_used {
+        let mut acc = [0.0_f32; L];
+        let mut k = 0;
+        while k + U <= k_used {
+            for u in 0..U {
+                let xk = x[k + u];
+                let row = &mat_km[(k + u) * t + o..(k + u) * t + o + L];
+                for l in 0..L {
+                    acc[l] += xk * row[l];
+                }
+            }
+            k += U;
+        }
+        while k < k_used {
+            let xk = x[k];
+            let row = &mat_km[k * t + o..k * t + o + L];
+            for l in 0..L {
+                acc[l] += xk * row[l];
+            }
+            k += 1;
+        }
+        y[o..o + L].copy_from_slice(&acc);
+        o += L;
+    }
+    // Tail outputs: strided scalar chains, same ascending-k order.
+    for (out, yo) in y.iter_mut().enumerate().take(out_used).skip(o) {
+        let mut acc = 0.0_f32;
+        for (k, &xk) in x.iter().take(k_used).enumerate() {
+            acc += xk * mat_km[k * t + out];
+        }
+        *yo = acc;
+    }
+    y[out_used..].fill(0.0);
+}
+
+/// Fused symmetric-pair kernel: one pass over the row-major tile serves
+/// `y_f = T·x_f` and `y_t = Tᵀ·x_t` together, reading each stored weight
+/// once instead of twice. Columns are processed in 8-wide blocks; within
+/// a block, rows sweep `0..rows_used`:
+///
+/// * the transposed half keeps 8 column accumulators (`acc_t[l] +=
+///   x_t[r]·T[r][cb+l]`) — each is column `cb+l`'s sequential ascending-r
+///   chain;
+/// * the forward half resumes each row's accumulator from `y_f[r]`
+///   (`y_f[r] += Σ_l T[r][cb+l]·x_f[cb+l]`, `l` ascending) — because the
+///   column blocks advance left to right, the total per-row order is
+///   ascending-c, exactly the reference order.
+///
+/// Tail columns (`cb..cols_used` when not a multiple of 8) run
+/// column-outer / row-inner for the same reason. Bit-identical to two
+/// independent reference calls.
+#[allow(clippy::too_many_arguments)]
+pub fn fused8(
+    mat_rm: &[f32],
+    t: usize,
+    rows_used: usize,
+    cols_used: usize,
+    x_f: &[f32],
+    y_f: &mut [f32],
+    x_t: &[f32],
+    y_t: &mut [f32],
+) {
+    const L: usize = 8;
+    y_f[..rows_used].fill(0.0);
+    let mut cb = 0;
+    while cb + L <= cols_used {
+        let mut acc_t = [0.0_f32; L];
+        let xf8: [f32; L] = x_f[cb..cb + L].try_into().unwrap();
+        for (r, yfr) in y_f.iter_mut().enumerate().take(rows_used) {
+            let row8 = &mat_rm[r * t + cb..r * t + cb + L];
+            let xtr = x_t[r];
+            let mut s = *yfr;
+            for l in 0..L {
+                acc_t[l] += xtr * row8[l];
+                s += row8[l] * xf8[l];
+            }
+            *yfr = s;
+        }
+        y_t[cb..cb + L].copy_from_slice(&acc_t);
+        cb += L;
+    }
+    for c in cb..cols_used {
+        let xfc = x_f[c];
+        let mut acc_t = 0.0_f32;
+        for (r, yfr) in y_f.iter_mut().enumerate().take(rows_used) {
+            let w = mat_rm[r * t + c];
+            acc_t += x_t[r] * w;
+            *yfr += w * xfc;
+        }
+        y_t[c] = acc_t;
+    }
+    y_f[rows_used..].fill(0.0);
+    y_t[cols_used..].fill(0.0);
+}

@@ -183,11 +183,7 @@ impl SparseCsr {
     pub fn row_dot(&self, r: usize, x: &[f32]) -> f32 {
         assert_eq!(x.len(), self.cols, "row_dot: input length mismatch");
         let (cols, vals) = self.row(r);
-        let mut acc = 0.0_f32;
-        for (&c, &v) in cols.iter().zip(vals) {
-            acc += v * x[c as usize];
-        }
-        acc
+        crate::kernel::scalar::seq_dot_indexed(cols, vals, x)
     }
 
     /// `y = M·x`, one sequential row-dot per output.
@@ -201,11 +197,11 @@ impl SparseCsr {
         for (r, yr) in y.iter_mut().enumerate() {
             let lo = self.row_ptr[r] as usize;
             let hi = self.row_ptr[r + 1] as usize;
-            let mut acc = 0.0_f32;
-            for (&c, &v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
-                acc += v * x[c as usize];
-            }
-            *yr = acc;
+            *yr = crate::kernel::scalar::seq_dot_indexed(
+                &self.col_idx[lo..hi],
+                &self.values[lo..hi],
+                x,
+            );
         }
     }
 
@@ -223,9 +219,7 @@ impl SparseCsr {
         for (r, &xr) in x.iter().enumerate() {
             if xr != 0.0 {
                 let (cols, vals) = self.row(r);
-                for (&c, &v) in cols.iter().zip(vals) {
-                    y[c as usize] += v * xr;
-                }
+                crate::kernel::scalar::seq_scatter_axpy(xr, cols, vals, y);
             }
         }
     }

@@ -189,6 +189,14 @@ pub struct Tile {
     /// directions read their operand with unit stride: `mvm` sweeps the
     /// columns stored here, `mvm_transposed` sweeps the rows of `data`.
     data_t: Vec<f32>,
+    /// Live `(rows, cols)` extent for zero-padded fringe tiles — `None`
+    /// means the whole tile is live. Kernels trim their sweeps to this
+    /// extent; because padded rows/columns are exactly zero, trimming is
+    /// bitwise invisible (padded outputs are `+0.0` either way) and only
+    /// saves the fringe's wasted kernel work. Normalized: a full extent
+    /// is always stored as `None` so trim state never affects equality.
+    #[cfg_attr(feature = "serde", serde(default))]
+    used: Option<(usize, usize)>,
 }
 
 impl Tile {
@@ -215,11 +223,14 @@ impl Tile {
             }
         }
         let data_t = transpose_flat(t, &data);
-        Tile {
+        let mut tile = Tile {
             size: t,
             data,
             data_t,
-        }
+            used: None,
+        };
+        tile.set_used(rows.len(), cols.len());
+        tile
     }
 
     /// Builds a tile directly from a flat row-major `f32` buffer.
@@ -235,7 +246,12 @@ impl Tile {
             });
         }
         let data_t = transpose_flat(size, &data);
-        Ok(Tile { size, data, data_t })
+        Ok(Tile {
+            size,
+            data,
+            data_t,
+            used: None,
+        })
     }
 
     /// Tile edge length.
@@ -248,6 +264,44 @@ impl Tile {
     #[must_use]
     pub fn as_slice(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Flat row-major contents of the transposed mirror (column-major view
+    /// of the tile) — the k-major operand of the forward kernel sweep.
+    #[must_use]
+    pub fn data_t_slice(&self) -> &[f32] {
+        &self.data_t
+    }
+
+    /// Live row count (rows beyond this are all-zero padding).
+    #[must_use]
+    pub fn rows_used(&self) -> usize {
+        self.used.map_or(self.size, |(r, _)| r)
+    }
+
+    /// Live column count (columns beyond this are all-zero padding).
+    #[must_use]
+    pub fn cols_used(&self) -> usize {
+        self.used.map_or(self.size, |(_, c)| c)
+    }
+
+    /// Declares the live `(rows, cols)` extent; everything outside it must
+    /// already be zero. A full extent normalizes to "untrimmed" so trim
+    /// state never makes otherwise-equal tiles compare unequal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent exceeds the tile size.
+    pub fn set_used(&mut self, rows: usize, cols: usize) {
+        assert!(
+            rows <= self.size && cols <= self.size,
+            "set_used: extent exceeds tile size"
+        );
+        self.used = if rows == self.size && cols == self.size {
+            None
+        } else {
+            Some((rows, cols))
+        };
     }
 
     /// Column `c` as a contiguous slice (read from the transposed mirror).
@@ -283,16 +337,17 @@ impl Tile {
     pub fn mvm(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.size, "mvm: input length mismatch");
         assert_eq!(y.len(), self.size, "mvm: output length mismatch");
-        y.fill(0.0);
-        for (c, &xc) in x.iter().enumerate() {
-            // Spin inputs are 0/1-sparse, so skipping zero columns is a
-            // real win; the dense columns go through the vectorizable
-            // saxpy kernel with unit stride.
-            if xc != 0.0 {
-                let col = &self.data_t[c * self.size..(c + 1) * self.size];
-                crate::vector::axpy_f32(xc, col, y);
-            }
-        }
+        // Spin inputs are 0/1-sparse, so the zero-skipping axpy sweep is a
+        // sensible default for direct callers; hot paths pick faster
+        // variants through a [`crate::kernel::KernelPlan`].
+        crate::kernel::scalar::axpy_sweep(
+            &self.data_t,
+            self.size,
+            self.cols_used(),
+            self.rows_used(),
+            x,
+            y,
+        );
     }
 
     /// `y = Tᵀ · x`, i.e. the same stored array read in the other optical
@@ -304,16 +359,14 @@ impl Tile {
     pub fn mvm_transposed(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.size, "mvm_transposed: input length mismatch");
         assert_eq!(y.len(), self.size, "mvm_transposed: output length mismatch");
-        y.fill(0.0);
-        for (r, &xr) in x.iter().enumerate() {
-            // Spin inputs are sparse in ±1/0 encodings and padded tiles have
-            // zero fringe rows, so the skip is a real win; the dense rows go
-            // through the vectorizable saxpy kernel.
-            if xr != 0.0 {
-                let row = &self.data[r * self.size..(r + 1) * self.size];
-                crate::vector::axpy_f32(xr, row, y);
-            }
-        }
+        crate::kernel::scalar::axpy_sweep(
+            &self.data,
+            self.size,
+            self.rows_used(),
+            self.cols_used(),
+            x,
+            y,
+        );
     }
 
     /// Sum of each row (used for thresholds).

@@ -74,18 +74,16 @@ pub fn sum_f32(a: &[f32]) -> f32 {
     ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
 }
 
-/// `y += alpha * x` in `f32` (BLAS `saxpy`), the inner kernel of the
-/// transposed tile MVM. Elementwise with no cross-iteration dependency,
-/// so the plain loop vectorizes as-is.
+/// `y += alpha * x` in `f32` (BLAS `saxpy`). Elementwise with no
+/// cross-iteration dependency, so the plain loop vectorizes as-is; the
+/// single definition lives in [`crate::kernel::scalar::seq_axpy`].
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy_f32: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    crate::kernel::scalar::seq_axpy(alpha, x, y);
 }
 
 /// `y += alpha * x` (the BLAS `axpy` kernel).

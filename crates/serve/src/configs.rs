@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use sophie_baselines::{BlsConfig, PtConfig, SaConfig, SbConfig, SbVariant};
-use sophie_core::{ComputeMode, SophieConfig};
+use sophie_core::{ComputeMode, KernelChoice, SophieConfig};
 use sophie_hw::OpcmBackendConfig;
 use sophie_pris::PrisJobConfig;
 use sophie_solve::{Solver, SolverRegistry};
@@ -225,6 +225,19 @@ fn sophie_config(f: &Fields<'_>) -> Result<SophieConfig> {
                 .ok_or_else(|| f.type_err("queue_depth", "a non-negative integer"))?,
         ),
     };
+    let kernel = match f.get("kernel") {
+        None => d.kernel,
+        Some(v) => match v.as_str().and_then(KernelChoice::parse) {
+            Some(choice) => choice,
+            None => {
+                return Err(ServeError::Protocol {
+                    message: "config field `kernel` must be \"auto\" or a kernel variant name \
+                              (\"scalar\", \"axpy\", \"b8u1\", \"b8u4\", \"b16u4\", \"b32u2\")"
+                        .into(),
+                })
+            }
+        },
+    };
     Ok(SophieConfig {
         tile_size: f.usize("tile_size", d.tile_size)?,
         local_iters: f.usize("local_iters", d.local_iters)?,
@@ -236,6 +249,7 @@ fn sophie_config(f: &Fields<'_>) -> Result<SophieConfig> {
         compute,
         sparse_crossover,
         queue_depth,
+        kernel,
     })
 }
 
@@ -322,6 +336,17 @@ mod tests {
         let mistyped_depth = Json::parse(r#"{"queue_depth": "deep"}"#).unwrap();
         match build_solver(&reg, "sophie", Some(&mistyped_depth)).map(|_| ()) {
             Err(ServeError::Protocol { message }) => assert!(message.contains("queue_depth")),
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
+        // Kernel selection rides the same wire: "auto" and every variant
+        // name parse; an unknown name is a protocol error.
+        for kernel in ["auto", "scalar", "axpy", "b8u4"] {
+            let cfg = Json::parse(&format!(r#"{{"kernel": "{kernel}", "tile_size": 8}}"#)).unwrap();
+            assert!(build_solver(&reg, "sophie", Some(&cfg)).is_ok(), "{kernel}");
+        }
+        let bad_kernel = Json::parse(r#"{"kernel": "f64x2"}"#).unwrap();
+        match build_solver(&reg, "sophie", Some(&bad_kernel)).map(|_| ()) {
+            Err(ServeError::Protocol { message }) => assert!(message.contains("kernel")),
             other => panic!("expected Protocol error, got {other:?}"),
         }
         // Bad mode string is a protocol error; bad θ is a factory rejection.

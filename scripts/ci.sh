@@ -9,7 +9,8 @@
 # (called out below: the fault-injection/recovery and determinism suites),
 # builds the examples, denies rustdoc warnings, and smoke-runs the
 # `repro` binary (the solver-registry listing, bench-summary with a
-# sparse-suite/speedup gate, the sparse dense-vs-delta equivalence sweep,
+# sparse-suite/speedup gate, the kernel autotune smoke with its 1.3x
+# forward-speedup gate, the sparse dense-vs-delta equivalence sweep,
 # a JSONL event trace, a JSONL command timeline with an exact-cost-sum and
 # probe/solve-overlap gate, the robustness sweep on a tiny graph, the
 # serving layer: an ephemeral-port daemon driven through submit/ctl/loadgen,
@@ -49,6 +50,15 @@ if grep -rn "\.forward(\|\.transposed(" crates/core/src/engine/; then
     exit 1
 fi
 
+# Kernel-stack gate: engine and sparse code reach the MVM kernels only
+# through a resolved KernelPlan; raw Tile::mvm/mvm_transposed calls would
+# bypass variant selection, the SOPHIE_KERNEL override, and the autotuner.
+echo "==> grep gate: no direct Tile::mvm calls under crates/core/src/"
+if grep -rn "\.mvm(\|\.mvm_transposed(" crates/core/src/; then
+    echo "core code must dispatch MVMs through KernelPlan, never Tile::mvm/mvm_transposed directly" >&2
+    exit 1
+fi
+
 # Router gate: dispatch reaches replicas only through the health-tracked
 # replica pool and the typed Client; a raw socket dial would bypass
 # checkout accounting, reconnect policy, and health bookkeeping.
@@ -63,7 +73,7 @@ if [[ "$quick" -eq 0 ]]; then
     # Fault-aware runtime: injection/recovery behavior and the
     # thread-count bit-determinism of the fault/recovery event streams.
     run cargo test -q -p sophie-hw --test fault_injection --test fault_recovery --test command_queue
-    run cargo test -q -p sophie --test fault_determinism --test thread_determinism
+    run cargo test -q -p sophie --test fault_determinism --test thread_determinism --test kernel_determinism
     run cargo build --release --examples
     echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --workspace"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -91,6 +101,24 @@ for needed in (
 sp = doc["sparse_speedup"]["speedup"]
 assert sp >= 2.0, f"sparse polish speedup regressed to {sp}x (quick-mode floor: 2.0)"
 print(f"bench gate: sparse suites present, warm-polish speedup {sp:.1f}x")
+PY
+    # Kernel autotune smoke: measures every variant at the acceptance tile
+    # sizes, records the kernel_tune block, and --check enforces the
+    # tentpole claim inside the binary (tuned forward 64^2 >= 1.3x scalar).
+    run cargo run --release -q -p sophie-bench --bin repro -- tune --check --out "$smoke_dir"
+    python3 - "$smoke_dir/BENCH_sophie.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+kt = doc["kernel_tune"]
+assert kt["schema"] == "sophie-kernel-tune-v1", "kernel_tune schema"
+tiles = [p["tile"] for p in kt["plans"]]
+assert tiles == [64, 256, 500], f"kernel_tune plans cover {tiles}"
+assert len(kt["table_64"]) == 6, "one row per kernel variant"
+sp = kt["forward_64_speedup"]
+assert sp >= 1.3, f"tuned forward 64^2 speedup regressed to {sp}x (floor: 1.3)"
+# bench-summary regeneration must have preserved the block alongside its own
+assert "results" in doc and "sparse_speedup" in doc, "kernel_tune upsert dropped sibling blocks"
+print(f"kernel_tune gate: plans for {tiles}, forward 64^2 speedup {sp:.2f}x")
 PY
     # Sparse-path smoke: the sweep itself asserts that dense and sparse
     # compute modes produce identical reports on a G22-sized instance.
