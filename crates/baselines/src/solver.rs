@@ -13,6 +13,7 @@
 //! cooling exponent, exactly as running the legacy entry point with that
 //! smaller `sweeps` would.
 
+use sophie_graph::cut::spins_to_binary;
 use sophie_solve::{
     Capabilities, SolveError, SolveJob, SolveObserver, SolveReport, Solver, Tee, TraceRecorder,
 };
@@ -95,11 +96,14 @@ impl Solver for SaSolver {
         };
         let control = job.control();
         let mut recorder = TraceRecorder::new();
-        {
+        let out = {
             let mut tee = Tee::new(&mut recorder, observer);
-            anneal_controlled(&job.graph, &config, job.target, &control, &mut tee);
-        }
-        Ok(recorder.into_report())
+            anneal_controlled(&job.graph, &config, job.target, &control, &mut tee)
+        };
+        let mut report = recorder.into_report();
+        // Events carry no bits; attach the winning state out-of-band.
+        report.best_bits = spins_to_binary(&out.best_spins);
+        Ok(report)
     }
 }
 
@@ -158,11 +162,13 @@ impl Solver for SbSolver {
         };
         let control = job.control();
         let mut recorder = TraceRecorder::new();
-        {
+        let out = {
             let mut tee = Tee::new(&mut recorder, observer);
-            bifurcate_controlled(&job.graph, &config, job.target, &control, &mut tee);
-        }
-        Ok(recorder.into_report())
+            bifurcate_controlled(&job.graph, &config, job.target, &control, &mut tee)
+        };
+        let mut report = recorder.into_report();
+        report.best_bits = spins_to_binary(&out.best_spins);
+        Ok(report)
     }
 }
 
@@ -221,11 +227,13 @@ impl Solver for PtSolver {
         };
         let control = job.control();
         let mut recorder = TraceRecorder::new();
-        {
+        let out = {
             let mut tee = Tee::new(&mut recorder, observer);
-            temper_controlled(&job.graph, &config, job.target, &control, &mut tee);
-        }
-        Ok(recorder.into_report())
+            temper_controlled(&job.graph, &config, job.target, &control, &mut tee)
+        };
+        let mut report = recorder.into_report();
+        report.best_bits = spins_to_binary(&out.best_spins);
+        Ok(report)
     }
 }
 
@@ -281,11 +289,13 @@ impl Solver for BlsSolver {
         };
         let control = job.control();
         let mut recorder = TraceRecorder::new();
-        {
+        let out = {
             let mut tee = Tee::new(&mut recorder, observer);
-            search_controlled(&job.graph, &config, job.target, &control, &mut tee);
-        }
-        Ok(recorder.into_report())
+            search_controlled(&job.graph, &config, job.target, &control, &mut tee)
+        };
+        let mut report = recorder.into_report();
+        report.best_bits = spins_to_binary(&out.best_spins);
+        Ok(report)
     }
 }
 

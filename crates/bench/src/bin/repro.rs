@@ -31,7 +31,7 @@ use std::process::ExitCode;
 use sophie_bench::experiments;
 use sophie_bench::{Fidelity, Instances, Report};
 
-const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|sparse|all|bench-summary> [--fast] [--out DIR]\n       repro tune [--check] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro timeline --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro solvers\n       repro <serve|cluster|submit|ctl|loadgen> ... (serving layer; wrong flags print the full usage)";
+const USAGE: &str = "usage: repro <table1|table2|table3|fig6|fig7|fig8|fig9|fig10|summary|ablations|power|robustness|sparse|all|bench-summary> [--fast] [--out DIR]\n       repro tune [--check] [--out DIR]\n       repro problems [--fast] [--out DIR]\n       repro trace --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro timeline --out <path.jsonl> [--graph NAME] [--seed N] [--fast]\n       repro solvers\n       repro <serve|cluster|submit|ctl|loadgen> ... (serving layer; wrong flags print the full usage)";
 
 /// `repro solvers`: one line per registered solver (name, capability
 /// flags, config type, summary), then a scheduler smoke-run of every
@@ -288,6 +288,36 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        return ExitCode::SUCCESS;
+    }
+
+    if command == "problems" {
+        // Problem-compiler sweep: every front end compiled, solved through
+        // the registry, decoded; upserts the `problems` block of
+        // BENCH_sophie.json (next to the repo, or in --out DIR).
+        let path = out_dir
+            .map(|d| d.join("BENCH_sophie.json"))
+            .unwrap_or_else(|| PathBuf::from("BENCH_sophie.json"));
+        let fidelity = Fidelity::from_fast_flag(fast);
+        eprintln!("\n### running problem-compiler sweep ({fidelity:?}) ###");
+        let start = std::time::Instant::now();
+        let cells = match sophie_bench::problems::run_sweep(fidelity) {
+            Ok(cells) => cells,
+            Err(e) => {
+                eprintln!("problem sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        sophie_bench::problems::print_report(&cells);
+        if let Err(e) = sophie_bench::problems::write_problems(&path, &cells, fidelity) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "### problems done in {:.1?}, wrote {} ###",
+            start.elapsed(),
+            path.display()
+        );
         return ExitCode::SUCCESS;
     }
 

@@ -33,6 +33,7 @@ pub mod fidelity;
 pub mod instances;
 pub mod loadgen;
 pub mod micro;
+pub mod problems;
 pub mod report;
 pub mod serving;
 pub mod timeline;

@@ -551,7 +551,7 @@ impl SophieSolver {
             || !control.should_stop(),
         );
         let mut recorder = TraceRecorder::new();
-        {
+        let outcome = {
             let mut tee = Tee::new(&mut recorder, observer);
             self.run_impl(
                 backend, &job.graph, &schedule, planned, job.seed, job.target, None, health,
@@ -560,9 +560,13 @@ impl SophieSolver {
             .map_err(|e| SolveError::Failed {
                 solver: "sophie".to_string(),
                 message: e.to_string(),
-            })?;
-        }
-        Ok(recorder.into_report())
+            })?
+        };
+        let mut report = recorder.into_report();
+        // Events carry no bits; attach the winning state out-of-band so
+        // problem decoders can map the report back to their domain.
+        report.best_bits = outcome.best_bits;
+        Ok(report)
     }
 
     #[allow(clippy::too_many_arguments)]

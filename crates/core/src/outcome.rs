@@ -49,6 +49,19 @@ impl SophieOutcome {
             f64::NAN
         }
     }
+
+    /// Signed gap `best_cut - reference`, defined for any finite
+    /// reference including zero and negative values.
+    ///
+    /// Problem-domain targets are often feasibility thresholds at or
+    /// below zero (a 0-conflict coloring, a 0-BER decode lowered through
+    /// `sophie-problems`); [`Self::quality_vs`] deliberately returns NaN
+    /// there, so those consumers use this variant and test the sign,
+    /// matching [`sophie_solve::SolveReport::gap_vs`].
+    #[must_use]
+    pub fn gap_vs(&self, reference: f64) -> f64 {
+        self.best_cut - reference
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +105,13 @@ mod tests {
         assert!(o.quality_vs(0.0).is_nan());
         assert!(o.quality_vs(-25.0).is_nan());
         assert!(o.quality_vs(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn signed_gap_handles_feasibility_style_references() {
+        let o = sample();
+        assert!((o.gap_vs(0.0) - 95.0).abs() < 1e-12);
+        assert!((o.gap_vs(-25.0) - 120.0).abs() < 1e-12);
+        assert!((o.gap_vs(100.0) + 5.0).abs() < 1e-12);
     }
 }

@@ -1,9 +1,18 @@
-//! GSET text-format I/O.
+//! GSET and QUBO text-format I/O.
 //!
 //! GSET files start with a header line `<nodes> <edges>` followed by one
 //! `<u> <v> <w>` line per edge with **1-based** node ids and integer
 //! weights. Real GSET instances parsed with [`read_graph`] can replace the
 //! regenerated presets anywhere in the benchmark harness.
+//!
+//! QUBO files are the analogous format for 0/1 quadratic programs
+//! ([`read_qubo_limited`]): a `qubo <variables> <terms>` header followed
+//! by `<i> <j> <coeff>` coefficient lines, diagonal entries carrying the
+//! linear terms. Unlike the GSET path — where [`GraphBuilder`] rejects
+//! every duplicate edge — repeated QUBO entries with an *identical*
+//! coefficient are merged (idempotent re-statement is common in exported
+//! matrices), while a repeat with a conflicting coefficient is a typed
+//! error rather than a silent last-write-wins.
 //!
 //! # Untrusted input
 //!
@@ -251,6 +260,194 @@ pub fn format_graph(g: &Graph) -> String {
     String::from_utf8(buf).expect("gset output is ascii")
 }
 
+/// A QUBO document: minimize `x^T Q x` over `x ∈ {0,1}^n`.
+///
+/// `terms` holds normalized `(i, j, coeff)` triples with `i <= j` and
+/// 0-based ids; `i == j` entries are the linear (diagonal) coefficients.
+/// Produced by [`read_qubo_limited`]/[`parse_qubo`]; the lowering to Ising
+/// couplings lives in `sophie-problems`, keeping this crate purely about
+/// the text format and its hardening.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuboText {
+    /// Number of binary variables.
+    pub n: usize,
+    /// Normalized coefficient triples in first-appearance order.
+    pub terms: Vec<(usize, usize, f64)>,
+}
+
+/// Parses a QUBO-format document, enforcing `limits` on the header.
+///
+/// The format mirrors GSET: a header `qubo <variables> <terms>`, then one
+/// `<i> <j> <coeff>` line per term with 1-based ids (`i == j` for linear
+/// terms), `#`/`%` comments and blank lines skipped. The same hardening
+/// applies as in [`read_graph_limited`]: header caps are checked before
+/// any allocation sized by them (`max_nodes` bounds variables, `max_edges`
+/// bounds terms), weights must be finite, excess term lines are rejected
+/// eagerly, and every failure is a typed, line-annotated error. A repeated
+/// `(i, j)` entry with the same coefficient is merged; with a different
+/// coefficient it is rejected — coefficient conflicts must never resolve
+/// by write order.
+///
+/// # Errors
+///
+/// [`GraphError::Parse`] for malformed content or conflicting duplicate
+/// entries, [`GraphError::Oversized`] when the header exceeds `limits`,
+/// [`GraphError::Io`] for read failures.
+pub fn read_qubo_limited<R: Read>(reader: R, limits: &ParseLimits) -> Result<QuboText> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = loop {
+        match lines.next() {
+            None => {
+                return Err(GraphError::Parse {
+                    line: 1,
+                    message: "missing header line".into(),
+                })
+            }
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+        }
+    };
+    let mut parts = header.split_whitespace();
+    match parts.next() {
+        Some("qubo") => {}
+        Some(tok) => {
+            return Err(GraphError::Parse {
+                line: 1,
+                message: format!("expected `qubo` header keyword, found {tok:?}"),
+            })
+        }
+        None => {
+            return Err(GraphError::Parse {
+                line: 1,
+                message: "missing `qubo` header keyword".into(),
+            })
+        }
+    }
+    let n: usize = parse_field(&mut parts, 1, "variable count")?;
+    let terms: usize = parse_field(&mut parts, 1, "term count")?;
+    reject_trailing(&mut parts, 1)?;
+    if n == 0 {
+        return Err(GraphError::Parse {
+            line: 1,
+            message: "qubo needs at least one variable".into(),
+        });
+    }
+    if n > limits.max_nodes {
+        return Err(GraphError::Oversized {
+            what: "nodes",
+            got: n,
+            limit: limits.max_nodes,
+        });
+    }
+    if terms > limits.max_edges {
+        return Err(GraphError::Oversized {
+            what: "edges",
+            got: terms,
+            limit: limits.max_edges,
+        });
+    }
+
+    // Capacity clamped like the graph path: a lying header must not force
+    // a giant allocation.
+    let cap = terms.min(1 << 20);
+    let mut out: Vec<(usize, usize, f64)> = Vec::with_capacity(cap);
+    let mut index: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::with_capacity(cap);
+    let mut line_no = 1usize;
+    let mut seen = 0usize;
+    for line in lines {
+        line_no += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        if seen == terms {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("header promised {terms} terms but more follow"),
+            });
+        }
+        let mut parts = trimmed.split_whitespace();
+        let i: usize = parse_field(&mut parts, line_no, "index i")?;
+        let j: usize = parse_field(&mut parts, line_no, "index j")?;
+        let q: f64 = parse_field(&mut parts, line_no, "coefficient")?;
+        reject_trailing(&mut parts, line_no)?;
+        if i == 0 || j == 0 {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "qubo indices are 1-based; found 0".into(),
+            });
+        }
+        if i > n || j > n {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("index {} out of range for {n}-variable qubo", i.max(j)),
+            });
+        }
+        if !q.is_finite() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("non-finite coefficient {q}"),
+            });
+        }
+        let key = (i.min(j) - 1, i.max(j) - 1);
+        if let Some(&at) = index.get(&key) {
+            let prior = out[at].2;
+            if prior.to_bits() != q.to_bits() {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!(
+                        "conflicting duplicate entry ({}, {}): {prior} vs {q}",
+                        key.0 + 1,
+                        key.1 + 1
+                    ),
+                });
+            }
+        } else {
+            index.insert(key, out.len());
+            out.push((key.0, key.1, q));
+        }
+        seen += 1;
+    }
+    if seen != terms {
+        return Err(GraphError::Parse {
+            line: line_no,
+            message: format!("header promised {terms} terms but file contains {seen}"),
+        });
+    }
+    Ok(QuboText { n, terms: out })
+}
+
+/// Parses a QUBO document from an in-memory string without limits.
+///
+/// # Errors
+///
+/// Same as [`read_qubo_limited`].
+pub fn parse_qubo(text: &str) -> Result<QuboText> {
+    read_qubo_limited(text.as_bytes(), &ParseLimits::none())
+}
+
+/// Serializes a QUBO document to the text format (1-based ids).
+#[must_use]
+pub fn format_qubo(q: &QuboText) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "qubo {} {}", q.n, q.terms.len());
+    for &(i, j, c) in &q.terms {
+        if c.fract() == 0.0 && c.abs() < 1e15 {
+            let _ = writeln!(out, "{} {} {}", i + 1, j + 1, c as i64);
+        } else {
+            let _ = writeln!(out, "{} {} {}", i + 1, j + 1, c);
+        }
+    }
+    out
+}
+
 fn parse_field<'a, T: std::str::FromStr>(
     parts: &mut impl Iterator<Item = &'a str>,
     line: usize,
@@ -429,5 +626,78 @@ mod tests {
         assert_eq!(g.edges().next().unwrap().w, -2.5);
         let back = parse_graph(&format_graph(&g)).unwrap();
         assert_eq!(g, back);
+    }
+
+    #[test]
+    fn qubo_parses_linear_and_quadratic_terms() {
+        let q = parse_qubo("qubo 3 3\n1 1 -2\n# comment\n1 2 1.5\n3 2 -1\n").unwrap();
+        assert_eq!(q.n, 3);
+        assert_eq!(
+            q.terms,
+            vec![(0, 0, -2.0), (0, 1, 1.5), (1, 2, -1.0)],
+            "ids normalized to 0-based (min, max)"
+        );
+    }
+
+    #[test]
+    fn qubo_roundtrips_through_format() {
+        let q = QuboText {
+            n: 4,
+            terms: vec![(0, 0, 1.0), (0, 3, -2.5), (1, 2, 3.0)],
+        };
+        let back = parse_qubo(&format_qubo(&q)).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn qubo_merges_identical_duplicates_and_rejects_conflicts() {
+        // Re-stating (1,2) with the same coefficient is idempotent.
+        let q = parse_qubo("qubo 2 2\n1 2 1.5\n2 1 1.5\n").unwrap();
+        assert_eq!(q.terms, vec![(0, 1, 1.5)]);
+        // A conflicting restatement must never resolve by write order.
+        let err = parse_qubo("qubo 2 2\n1 2 1.5\n2 1 -3\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, ref message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("conflicting duplicate"), "{message}");
+                assert!(message.contains("(1, 2)"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qubo_rejects_malformed_documents() {
+        // Wrong or missing header keyword.
+        assert!(parse_qubo("3 1\n1 2 1\n").is_err());
+        assert!(parse_qubo("").is_err());
+        // Zero variables, 0-based ids, out-of-range ids.
+        assert!(parse_qubo("qubo 0 0\n").is_err());
+        assert!(parse_qubo("qubo 2 1\n0 1 1\n").is_err());
+        assert!(parse_qubo("qubo 2 1\n1 5 1\n").is_err());
+        // Non-finite coefficients and trailing junk.
+        assert!(parse_qubo("qubo 2 1\n1 2 NaN\n").is_err());
+        assert!(parse_qubo("qubo 2 1\n1 2 1 junk\n").is_err());
+        // Term-count mismatches, both directions.
+        assert!(parse_qubo("qubo 2 2\n1 2 1\n").is_err());
+        let err = parse_qubo("qubo 3 1\n1 2 1\n2 3 1\n").unwrap_err();
+        assert!(err.to_string().contains("more follow"));
+    }
+
+    #[test]
+    fn qubo_limits_reject_oversized_headers() {
+        let limits = ParseLimits::new(10, 20);
+        let err = read_qubo_limited("qubo 11 1\n1 2 1\n".as_bytes(), &limits).unwrap_err();
+        assert!(matches!(err, GraphError::Oversized { what: "nodes", .. }));
+        let err = read_qubo_limited("qubo 5 21\n".as_bytes(), &limits).unwrap_err();
+        assert!(matches!(err, GraphError::Oversized { what: "edges", .. }));
+        assert!(read_qubo_limited("qubo 10 1\n1 2 1\n".as_bytes(), &limits).is_ok());
+    }
+
+    #[test]
+    fn qubo_diagonal_entries_are_not_self_loops() {
+        // Unlike the GSET path, i == j is the linear term, not an error.
+        let q = parse_qubo("qubo 2 2\n1 1 4\n2 2 -4\n").unwrap();
+        assert_eq!(q.terms, vec![(0, 0, 4.0), (1, 1, -4.0)]);
     }
 }

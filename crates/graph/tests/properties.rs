@@ -4,7 +4,10 @@ use proptest::prelude::*;
 use sophie_graph::coupling::{coupling_matrix, delta_diagonal, hamiltonian};
 use sophie_graph::cut::{cut_value, flip_gain, ising_energy};
 use sophie_graph::generate::{complete, gnm};
-use sophie_graph::io::{format_graph, parse_graph, read_graph_limited, ParseLimits};
+use sophie_graph::io::{
+    format_graph, format_qubo, parse_graph, parse_qubo, read_graph_limited, read_qubo_limited,
+    ParseLimits, QuboText,
+};
 use sophie_graph::WeightDist;
 
 fn spins(n: usize) -> impl Strategy<Value = Vec<i8>> {
@@ -117,6 +120,46 @@ proptest! {
         mangled.extend(&junk[..junk_len.min(junk.len())]);
         let _ = parse_graph(&mangled);
         let _ = read_graph_limited(mangled.as_bytes(), &ParseLimits::new(16, 64));
+    }
+
+    #[test]
+    fn qubo_roundtrip(
+        n in 1_usize..20,
+        num_picks in 0_usize..30,
+        picks in proptest::collection::vec((0_usize..20, 0_usize..20, -9_i32..10), 30),
+    ) {
+        // Random upper-triangular entries (diagonal = linear terms),
+        // deduped the same way the parser normalizes them.
+        let mut seen = std::collections::HashSet::new();
+        let mut terms = Vec::new();
+        for &(a, b, c) in &picks[..num_picks] {
+            let (i, j) = (a.min(b) % n, a.max(b) % n);
+            let (i, j) = (i.min(j), i.max(j));
+            if seen.insert((i, j)) {
+                terms.push((i, j, f64::from(c)));
+            }
+        }
+        let q = QuboText { n, terms };
+        let back = parse_qubo(&format_qubo(&q)).unwrap();
+        prop_assert_eq!(q, back);
+    }
+
+    #[test]
+    fn malformed_qubo_never_panics(
+        chars in gset_chars(200),
+        len in 0_usize..200,
+        with_header in proptest::bool::ANY,
+    ) {
+        // Same hardening contract as the GSET parser: arbitrary text —
+        // with or without a plausible header — parses or fails with a
+        // typed error, never a panic or an oversized allocation.
+        let mut doc: String = chars[..len.min(chars.len())].iter().collect();
+        if with_header {
+            doc = format!("qubo {doc}");
+        }
+        let _ = parse_qubo(&doc);
+        let limits = ParseLimits::new(64, 256);
+        let _ = read_qubo_limited(doc.as_bytes(), &limits);
     }
 
     #[test]

@@ -116,11 +116,15 @@ impl Solver for PrisSolver {
         };
         let control = job.control();
         let mut recorder = TraceRecorder::new();
-        {
+        let outcome = {
             let mut tee = Tee::new(&mut recorder, observer);
-            run_controlled(&model, &job.graph, &run, &control, &mut tee).map_err(failed)?;
-        }
-        Ok(recorder.into_report())
+            run_controlled(&model, &job.graph, &run, &control, &mut tee).map_err(failed)?
+        };
+        let mut report = recorder.into_report();
+        // Events carry no bits; attach the winning state out-of-band so
+        // problem decoders can map the report back to their domain.
+        report.best_bits = outcome.best_bits;
+        Ok(report)
     }
 }
 

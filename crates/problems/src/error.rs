@@ -1,0 +1,76 @@
+//! Error type for the problem compiler.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from problem validation, compilation, or decoding.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProblemError {
+    /// The problem definition itself is malformed (bad indices,
+    /// non-finite coefficients, conflicting duplicates, empty instance).
+    Invalid {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A text-format ingestion failed; wraps the graph layer's typed,
+    /// line-annotated error verbatim.
+    Parse(sophie_graph::GraphError),
+    /// A solver result could not be mapped back to the problem domain.
+    Decode {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The solver run itself failed; wraps the solve layer's error.
+    Solve(sophie_solve::SolveError),
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::Invalid { message } => write!(f, "invalid problem: {message}"),
+            ProblemError::Parse(e) => write!(f, "problem parse error: {e}"),
+            ProblemError::Decode { message } => write!(f, "decode error: {message}"),
+            ProblemError::Solve(e) => write!(f, "solve error: {e}"),
+        }
+    }
+}
+
+impl Error for ProblemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProblemError::Parse(e) => Some(e),
+            ProblemError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sophie_graph::GraphError> for ProblemError {
+    fn from(e: sophie_graph::GraphError) -> Self {
+        ProblemError::Parse(e)
+    }
+}
+
+impl From<sophie_solve::SolveError> for ProblemError {
+    fn from(e: sophie_solve::SolveError) -> Self {
+        ProblemError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_sources() {
+        let e = ProblemError::Invalid {
+            message: "nope".into(),
+        };
+        assert!(e.to_string().contains("nope"));
+        let e = ProblemError::from(sophie_graph::GraphError::Empty);
+        assert!(e.source().is_some());
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProblemError>();
+    }
+}

@@ -1,0 +1,312 @@
+//! The compiler's intermediate representation: a lowered Ising instance.
+
+use std::sync::Arc;
+
+use sophie_graph::cut::cut_value_binary;
+use sophie_graph::Graph;
+
+use crate::error::ProblemError;
+
+/// A problem lowered to the solver substrate's native form: a weighted
+/// MAX-CUT graph, plus the bookkeeping needed to map solutions back.
+///
+/// The whole stack solves one workload — maximize the cut of a weighted
+/// graph, equivalently minimize the Ising energy
+/// `E(σ) = Σ_{(u,v)∈E} w_uv σ_u σ_v` (see `sophie_graph::cut`). A front
+/// end lowers its objective to exactly that shape:
+///
+/// * Quadratic terms `J_ij σ_i σ_j` become edge weights.
+/// * Linear fields `h_i σ_i` become edges to one extra **ancilla** spin
+///   appended after the problem spins: with the ancilla gauge-fixed to
+///   `+1`, the edge `(i, ancilla, h_i)` contributes exactly `h_i σ_i`.
+///   Cut values are invariant under a global spin flip, so a solver may
+///   return the mirrored state; [`Self::decode_bits`] flips the whole
+///   configuration back when the ancilla landed on `-1`.
+/// * The affine **offset** dropped by the lowering (constant terms of a
+///   QUBO's 0/1↔±1 map, penalty constants) is tracked so
+///   [`Self::objective`] reports energies in the problem's own units:
+///   `objective = offset + E_ising`.
+///
+/// Instances are only constructed by the front ends in this crate —
+/// bench and serve consume them through the compiler API, never build
+/// them by hand (CI greps for violations).
+#[derive(Debug, Clone)]
+pub struct IsingInstance {
+    graph: Arc<Graph>,
+    num_problem_spins: usize,
+    has_ancilla: bool,
+    offset: f64,
+    schedule_hint: Vec<usize>,
+}
+
+impl IsingInstance {
+    /// Assembles an instance from lowered couplings.
+    ///
+    /// `couplings` holds `(i, j, J_ij)` with `i < j < num_problem_spins`;
+    /// `fields` holds `(i, h_i)`. Zero-magnitude terms are dropped. The
+    /// ancilla spin is appended only when at least one field is nonzero.
+    pub(crate) fn assemble(
+        num_problem_spins: usize,
+        couplings: &[(usize, usize, f64)],
+        fields: &[(usize, f64)],
+        offset: f64,
+        schedule_hint: Vec<usize>,
+    ) -> Result<Self, ProblemError> {
+        if num_problem_spins == 0 {
+            return Err(ProblemError::Invalid {
+                message: "instance needs at least one spin".into(),
+            });
+        }
+        let live_fields: Vec<&(usize, f64)> = fields.iter().filter(|(_, h)| *h != 0.0).collect();
+        let has_ancilla = !live_fields.is_empty();
+        let n = num_problem_spins + usize::from(has_ancilla);
+        let mut b =
+            sophie_graph::GraphBuilder::with_edge_capacity(n, couplings.len() + live_fields.len());
+        for &(i, j, w) in couplings {
+            if w == 0.0 {
+                continue;
+            }
+            b.add_edge(i, j, w).map_err(|e| ProblemError::Invalid {
+                message: format!("bad coupling ({i}, {j}): {e}"),
+            })?;
+        }
+        let ancilla = num_problem_spins;
+        for &(i, h) in live_fields {
+            b.add_edge(i, ancilla, h)
+                .map_err(|e| ProblemError::Invalid {
+                    message: format!("bad field on spin {i}: {e}"),
+                })?;
+        }
+        let graph = b.build().map_err(|e| ProblemError::Invalid {
+            message: format!("lowered graph invalid: {e}"),
+        })?;
+        if schedule_hint.len() > num_problem_spins
+            || schedule_hint.iter().any(|&s| s >= num_problem_spins)
+        {
+            return Err(ProblemError::Invalid {
+                message: "schedule hint references spins outside the instance".into(),
+            });
+        }
+        Ok(IsingInstance {
+            graph: Arc::new(graph),
+            num_problem_spins,
+            has_ancilla,
+            offset,
+            schedule_hint,
+        })
+    }
+
+    /// Shifts the tracked offset by a constant a front end folded out of
+    /// its objective after lowering (e.g. the per-node one-hot constant
+    /// of the coloring encoding).
+    pub(crate) fn with_extra_offset(mut self, extra: f64) -> Result<Self, ProblemError> {
+        if !extra.is_finite() {
+            return Err(ProblemError::Invalid {
+                message: "offset shift must be finite".into(),
+            });
+        }
+        self.offset += extra;
+        Ok(self)
+    }
+
+    /// Attaches an update-schedule hint computed by a front end after
+    /// lowering (e.g. the LDPC greedy-coloring block order).
+    pub(crate) fn with_schedule_hint(mut self, hint: Vec<usize>) -> Result<Self, ProblemError> {
+        if hint.len() > self.num_problem_spins || hint.iter().any(|&s| s >= self.num_problem_spins)
+        {
+            return Err(ProblemError::Invalid {
+                message: "schedule hint references spins outside the instance".into(),
+            });
+        }
+        self.schedule_hint = hint;
+        Ok(self)
+    }
+
+    /// The lowered graph a [`sophie_solve::SolveJob`] runs on. Includes
+    /// the ancilla spin when the instance carries linear fields.
+    #[must_use]
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Spins belonging to the source problem (the ancilla excluded).
+    #[must_use]
+    pub fn num_problem_spins(&self) -> usize {
+        self.num_problem_spins
+    }
+
+    /// Index of the ancilla spin carrying linear fields, if one exists.
+    #[must_use]
+    pub fn ancilla(&self) -> Option<usize> {
+        self.has_ancilla.then_some(self.num_problem_spins)
+    }
+
+    /// Constant added back when mapping Ising energies to the problem's
+    /// objective units.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Update-schedule hint: problem-spin indices grouped so that spins
+    /// within one contiguous block are mutually uncoupled (greedy-coloring
+    /// block order, LDPC front end). Empty when the front end has no
+    /// preference. Purely advisory — solvers ignoring it stay correct.
+    #[must_use]
+    pub fn schedule_hint(&self) -> &[usize] {
+        &self.schedule_hint
+    }
+
+    /// Gauge-fixes a solver's best-bits vector and strips the ancilla.
+    ///
+    /// `bits` must have graph order. When the ancilla landed on `false`
+    /// (spin −1) the configuration is globally flipped first — cuts are
+    /// flip-invariant, so this is the same solution expressed in the
+    /// gauge the lowering assumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Decode`] if `bits` does not match the graph order.
+    pub fn decode_bits(&self, bits: &[bool]) -> Result<Vec<bool>, ProblemError> {
+        if bits.len() != self.graph.num_nodes() {
+            return Err(ProblemError::Decode {
+                message: format!(
+                    "solver returned {} bits for a {}-spin instance",
+                    bits.len(),
+                    self.graph.num_nodes()
+                ),
+            });
+        }
+        let flip = self.has_ancilla && !bits[self.num_problem_spins];
+        Ok(bits[..self.num_problem_spins]
+            .iter()
+            .map(|&b| b != flip)
+            .collect())
+    }
+
+    /// Problem-units objective of a gauge-fixed problem-spin assignment:
+    /// `offset + E_ising` with the ancilla at `+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `problem_bits.len() != self.num_problem_spins()`.
+    #[must_use]
+    pub fn objective(&self, problem_bits: &[bool]) -> f64 {
+        assert_eq!(
+            problem_bits.len(),
+            self.num_problem_spins,
+            "objective takes problem spins only"
+        );
+        let mut full = problem_bits.to_vec();
+        if self.has_ancilla {
+            full.push(true);
+        }
+        // E = W − 2·cut (see sophie_graph::cut docs).
+        let energy = self.graph.total_weight() - 2.0 * cut_value_binary(&self.graph, &full);
+        self.offset + energy
+    }
+
+    /// The cut value on the lowered graph corresponding to a
+    /// problem-units objective: from `objective = offset + (W − 2·cut)`,
+    /// `cut = (W + offset − objective) / 2`. Lets callers express a
+    /// problem-domain target (e.g. "objective 0" for a feasible coloring
+    /// or a clean decode) as the [`sophie_solve::SolveJob`] cut target.
+    #[must_use]
+    pub fn cut_for_objective(&self, objective: f64) -> f64 {
+        (self.graph.total_weight() + self.offset - objective) / 2.0
+    }
+
+    /// A canonical byte encoding of the instance, stable across processes
+    /// and thread counts — the determinism contract `SOPHIE_THREADS` 1/4
+    /// tests pin, and a convenient digest input.
+    #[must_use]
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.graph.num_nodes() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.num_problem_spins as u64).to_le_bytes());
+        out.push(u8::from(self.has_ancilla));
+        out.extend_from_slice(&self.offset.to_bits().to_le_bytes());
+        for e in self.graph.edges() {
+            out.extend_from_slice(&(e.u as u64).to_le_bytes());
+            out.extend_from_slice(&(e.v as u64).to_le_bytes());
+            out.extend_from_slice(&e.w.to_bits().to_le_bytes());
+        }
+        for &s in &self.schedule_hint {
+            out.extend_from_slice(&(s as u64).to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> IsingInstance {
+        IsingInstance::assemble(2, &[(0, 1, 2.0)], &[(0, -1.0)], 3.0, vec![]).unwrap()
+    }
+
+    #[test]
+    fn ancilla_appended_only_for_live_fields() {
+        let inst = simple();
+        assert_eq!(inst.ancilla(), Some(2));
+        assert_eq!(inst.graph().num_nodes(), 3);
+
+        let no_fields =
+            IsingInstance::assemble(2, &[(0, 1, 2.0)], &[(0, 0.0)], 0.0, vec![]).unwrap();
+        assert_eq!(no_fields.ancilla(), None);
+        assert_eq!(no_fields.graph().num_nodes(), 2);
+    }
+
+    #[test]
+    fn objective_matches_hand_computation() {
+        let inst = simple();
+        // σ = (+1, +1), ancilla +1: E = 2·(+1)(+1) + (−1)(+1)(+1) = 1.
+        assert!((inst.objective(&[true, true]) - (3.0 + 1.0)).abs() < 1e-12);
+        // σ = (−1, +1): E = −2 + 1 = −1.
+        assert!((inst.objective(&[false, true]) - (3.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_gauge_fixes_the_mirrored_state() {
+        let inst = simple();
+        let direct = inst.decode_bits(&[true, false, true]).unwrap();
+        let mirrored = inst.decode_bits(&[false, true, false]).unwrap();
+        assert_eq!(direct, vec![true, false]);
+        assert_eq!(direct, mirrored, "global flip is the same solution");
+        assert!(inst.decode_bits(&[true, false]).is_err(), "length checked");
+    }
+
+    #[test]
+    fn zero_terms_are_dropped_and_empty_instances_rejected() {
+        let inst =
+            IsingInstance::assemble(3, &[(0, 1, 0.0), (1, 2, 1.0)], &[], 0.0, vec![]).unwrap();
+        assert_eq!(inst.graph().num_edges(), 1);
+        assert!(IsingInstance::assemble(0, &[], &[], 0.0, vec![]).is_err());
+    }
+
+    #[test]
+    fn cut_for_objective_inverts_the_energy_map() {
+        let inst = simple();
+        for bits in [[true, true], [true, false], [false, true], [false, false]] {
+            let obj = inst.objective(&bits);
+            let mut full = bits.to_vec();
+            full.push(true);
+            let cut = cut_value_binary(inst.graph(), &full);
+            assert!((inst.cut_for_objective(obj) - cut).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn canonical_bytes_are_reproducible() {
+        assert_eq!(simple().canonical_bytes(), simple().canonical_bytes());
+        let other = IsingInstance::assemble(2, &[(0, 1, 2.5)], &[(0, -1.0)], 3.0, vec![]).unwrap();
+        assert_ne!(simple().canonical_bytes(), other.canonical_bytes());
+    }
+
+    #[test]
+    fn bad_hint_is_rejected() {
+        let err = IsingInstance::assemble(2, &[(0, 1, 1.0)], &[], 0.0, vec![5]);
+        assert!(err.is_err());
+    }
+}

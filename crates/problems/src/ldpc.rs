@@ -1,0 +1,607 @@
+//! LDPC decoding as Ising energy minimization.
+//!
+//! A parity check over variables `N(k)` is satisfied iff `Σ_{i∈N(k)} x_i`
+//! is even, i.e. iff there exist auxiliary binaries `a_k1..a_kT`
+//! (`T = ⌊|N(k)|/2⌋`) with `Σ_i x_i = 2 Σ_j a_kj`. Squaring that integer
+//! equality gives a penalty QUBO whose minimum over the auxiliaries is 0
+//! exactly when the check is satisfied. Adding the channel evidence term
+//! yields the decoder energy from the FPGA-annealer LDPC formulation in
+//! SNIPPETS.md:
+//!
+//! ```text
+//! E = h · Σ_i (1 − 2 r_i) x_i
+//!   + h_km · Σ_k ( Σ_{i∈N(k)} x_i − 2 Σ_j a_kj )²
+//! ```
+//!
+//! with defaults `h = 0.15`, `h_km = 0.25`. The square expands with
+//! `x² = x` into pure QUBO terms, which reuse the generic
+//! [`QuboProblem`] affine lowering. Variables are ordered code bits
+//! `x_0..x_{n−1}` first, then the auxiliaries appended in check order.
+//!
+//! The coupling graph of the expanded QUBO is sparse and locally dense
+//! (cliques per check); a DSATUR greedy coloring partitions the spins
+//! into mutually-uncoupled blocks, and the concatenated block order is
+//! exposed through [`IsingInstance::schedule_hint`] so chromatic-update
+//! solvers can sweep conflict-free groups — the same block ordering the
+//! SNIPPETS.md harness derives with `saturation_largest_first`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::ProblemError;
+use crate::instance::IsingInstance;
+use crate::qubo::QuboProblem;
+
+/// Default channel-evidence weight `h`.
+pub const DEFAULT_CHANNEL_WEIGHT: f64 = 0.15;
+/// Default parity-penalty weight `h_km`.
+pub const DEFAULT_CHECK_WEIGHT: f64 = 0.25;
+
+/// An LDPC decoding problem: a parity-check structure plus a received
+/// word to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdpcProblem {
+    /// Code length (number of codeword bits).
+    n: usize,
+    /// Variable indices per parity check.
+    checks: Vec<Vec<usize>>,
+    /// Channel output (hard-decision BSC).
+    received: Vec<bool>,
+    /// The transmitted codeword, when known (synthetic instances) — used
+    /// for bit-error accounting.
+    codeword: Option<Vec<bool>>,
+    h_channel: f64,
+    h_check: f64,
+}
+
+/// A decoded word with quality metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdpcSolution {
+    /// The decoded codeword estimate.
+    pub decoded: Vec<bool>,
+    /// Parity checks the estimate leaves unsatisfied.
+    pub unsatisfied_checks: usize,
+    /// Hamming distance to the true codeword, when it is known.
+    pub bit_errors: Option<usize>,
+    /// `bit_errors / n`, when the true codeword is known.
+    pub bit_error_rate: Option<f64>,
+    /// `true` iff every parity check is satisfied (a valid codeword).
+    pub feasible: bool,
+}
+
+impl LdpcProblem {
+    /// Validates a decoding problem from an explicit check structure and
+    /// received word, with the default energy weights.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Invalid`] for empty codes, out-of-range or
+    /// duplicate check members, degenerate (< 2 variable) checks, or a
+    /// received word of the wrong length.
+    pub fn new(
+        n: usize,
+        checks: Vec<Vec<usize>>,
+        received: Vec<bool>,
+    ) -> Result<Self, ProblemError> {
+        if n == 0 {
+            return Err(ProblemError::Invalid {
+                message: "code needs at least one bit".into(),
+            });
+        }
+        if received.len() != n {
+            return Err(ProblemError::Invalid {
+                message: format!(
+                    "received word has {} bits, code length is {n}",
+                    received.len()
+                ),
+            });
+        }
+        for (k, members) in checks.iter().enumerate() {
+            if members.len() < 2 {
+                return Err(ProblemError::Invalid {
+                    message: format!("check {k} has fewer than two variables"),
+                });
+            }
+            let mut seen = std::collections::HashSet::new();
+            for &i in members {
+                if i >= n {
+                    return Err(ProblemError::Invalid {
+                        message: format!("check {k} references variable {i} of {n}"),
+                    });
+                }
+                if !seen.insert(i) {
+                    return Err(ProblemError::Invalid {
+                        message: format!("check {k} lists variable {i} twice"),
+                    });
+                }
+            }
+        }
+        Ok(LdpcProblem {
+            n,
+            checks,
+            received,
+            codeword: None,
+            h_channel: DEFAULT_CHANNEL_WEIGHT,
+            h_check: DEFAULT_CHECK_WEIGHT,
+        })
+    }
+
+    /// Seeded synthetic instance: a Gallager-style `(w_c, w_r)`-regular
+    /// parity matrix over `n` bits, a uniformly random codeword from its
+    /// null space, and a received word with exactly `flips` bit flips.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Invalid`] unless `w_r ≥ 2`, `w_c ≥ 1`,
+    /// `n % w_r == 0`, and `flips ≤ n`.
+    pub fn random(
+        n: usize,
+        w_c: usize,
+        w_r: usize,
+        flips: usize,
+        seed: u64,
+    ) -> Result<Self, ProblemError> {
+        if n == 0 || w_r < 2 || w_c == 0 || !n.is_multiple_of(w_r) {
+            return Err(ProblemError::Invalid {
+                message: format!(
+                    "regular code needs w_r >= 2, w_c >= 1, n divisible by w_r (got n={n}, w_c={w_c}, w_r={w_r})"
+                ),
+            });
+        }
+        if flips > n {
+            return Err(ProblemError::Invalid {
+                message: format!("{flips} flips exceed code length {n}"),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Gallager construction: w_c bands of n/w_r checks; the first
+        // band partitions 0..n in order, later bands partition a random
+        // permutation of the variables.
+        let band = n / w_r;
+        // Fisher–Yates shuffle (the vendored rand has no `seq` module).
+        fn shuffle(v: &mut [usize], rng: &mut StdRng) {
+            for i in (1..v.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                v.swap(i, j);
+            }
+        }
+        let mut checks = Vec::with_capacity(w_c * band);
+        let mut perm: Vec<usize> = (0..n).collect();
+        for b in 0..w_c {
+            if b > 0 {
+                shuffle(&mut perm, &mut rng);
+            }
+            for t in 0..band {
+                let mut members: Vec<usize> = perm[t * w_r..(t + 1) * w_r].to_vec();
+                members.sort_unstable();
+                checks.push(members);
+            }
+        }
+        let mut p = LdpcProblem::new(n, checks, vec![false; n])?;
+        // Sample a codeword: random GF(2) combination of a null-space
+        // basis of the parity matrix.
+        let basis = p.nullspace_basis();
+        let mut codeword = vec![false; n];
+        for vector in &basis {
+            if rng.gen_bool(0.5) {
+                for (c, &v) in codeword.iter_mut().zip(vector) {
+                    *c ^= v;
+                }
+            }
+        }
+        let mut received = codeword.clone();
+        let mut positions: Vec<usize> = (0..n).collect();
+        shuffle(&mut positions, &mut rng);
+        for &i in positions.iter().take(flips) {
+            received[i] = !received[i];
+        }
+        p.received = received;
+        p.codeword = Some(codeword);
+        Ok(p)
+    }
+
+    /// Code length `n`.
+    #[must_use]
+    pub fn code_length(&self) -> usize {
+        self.n
+    }
+
+    /// The parity checks (variable indices per check).
+    #[must_use]
+    pub fn checks(&self) -> &[Vec<usize>] {
+        &self.checks
+    }
+
+    /// The received word being decoded.
+    #[must_use]
+    pub fn received(&self) -> &[bool] {
+        &self.received
+    }
+
+    /// The transmitted codeword, when known.
+    #[must_use]
+    pub fn codeword(&self) -> Option<&[bool]> {
+        self.codeword.as_deref()
+    }
+
+    /// The `(h, h_km)` energy weights.
+    #[must_use]
+    pub fn weights(&self) -> (f64, f64) {
+        (self.h_channel, self.h_check)
+    }
+
+    /// Auxiliary binaries per check (`⌊degree/2⌋` each).
+    #[must_use]
+    pub fn num_auxiliaries(&self) -> usize {
+        self.checks.iter().map(|c| c.len() / 2).sum()
+    }
+
+    /// A GF(2) basis of the parity matrix's null space (each vector is a
+    /// valid codeword; their combinations enumerate the whole code).
+    #[must_use]
+    pub fn nullspace_basis(&self) -> Vec<Vec<bool>> {
+        let m = self.checks.len();
+        let mut rows: Vec<Vec<bool>> = vec![vec![false; self.n]; m];
+        for (k, members) in self.checks.iter().enumerate() {
+            for &i in members {
+                rows[k][i] = true;
+            }
+        }
+        // Row-reduce, recording the pivot column of each reduced row.
+        let mut pivots: Vec<usize> = Vec::new();
+        let mut rank = 0usize;
+        for col in 0..self.n {
+            let Some(pivot_row) = (rank..m).find(|&r| rows[r][col]) else {
+                continue;
+            };
+            rows.swap(rank, pivot_row);
+            for r in 0..m {
+                if r != rank && rows[r][col] {
+                    let (head, tail) = rows.split_at_mut(rank.max(r));
+                    let (a, b) = if r < rank {
+                        (&mut head[r], &tail[0])
+                    } else {
+                        (&mut tail[0], &head[rank])
+                    };
+                    for (x, &y) in a.iter_mut().zip(b.iter()) {
+                        *x ^= y;
+                    }
+                }
+            }
+            pivots.push(col);
+            rank += 1;
+            if rank == m {
+                break;
+            }
+        }
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        let mut basis = Vec::new();
+        for free in (0..self.n).filter(|c| !pivot_set.contains(c)) {
+            let mut v = vec![false; self.n];
+            v[free] = true;
+            for (row, &pc) in pivots.iter().enumerate() {
+                if rows[row][free] {
+                    v[pc] = true;
+                }
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// The decoder-energy QUBO over `n` code bits plus the auxiliaries.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Invalid`] if the expansion is malformed
+    /// (cannot happen for validated problems).
+    pub fn to_qubo(&self) -> Result<QuboProblem, ProblemError> {
+        let total = self.n + self.num_auxiliaries();
+        let mut acc: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        let mut add = |i: usize, j: usize, q: f64| {
+            *acc.entry((i.min(j), i.max(j))).or_insert(0.0) += q;
+        };
+        // Channel evidence: h · (1 − 2 r_i) x_i.
+        for i in 0..self.n {
+            let sign = if self.received[i] { -1.0 } else { 1.0 };
+            add(i, i, self.h_channel * sign);
+        }
+        // Parity penalties: h_km (S − 2T)² with S = Σ x_i, T = Σ a_j,
+        // expanded via x² = x:
+        //   Σ x_i + 2 Σ_{i<i'} x_i x_i' − 4 Σ_i Σ_j x_i a_j
+        //   + 4 Σ a_j + 8 Σ_{j<j'} a_j a_j'.
+        let mut aux_base = self.n;
+        for members in &self.checks {
+            let t = members.len() / 2;
+            let aux: Vec<usize> = (aux_base..aux_base + t).collect();
+            aux_base += t;
+            for (p, &i) in members.iter().enumerate() {
+                add(i, i, self.h_check);
+                for &i2 in &members[p + 1..] {
+                    add(i, i2, 2.0 * self.h_check);
+                }
+                for &a in &aux {
+                    add(i, a, -4.0 * self.h_check);
+                }
+            }
+            for (p, &a) in aux.iter().enumerate() {
+                add(a, a, 4.0 * self.h_check);
+                for &a2 in &aux[p + 1..] {
+                    add(a, a2, 8.0 * self.h_check);
+                }
+            }
+        }
+        let terms: Vec<(usize, usize, f64)> =
+            acc.into_iter().map(|((i, j), q)| (i, j, q)).collect();
+        QuboProblem::new(total, &terms)
+    }
+
+    /// DSATUR greedy coloring of the QUBO coupling graph, returned as the
+    /// concatenated color-group order: spins sharing a contiguous block
+    /// are mutually uncoupled and may update in parallel.
+    fn schedule_hint(&self, qubo: &QuboProblem) -> Vec<usize> {
+        let total = qubo.num_variables();
+        let mut adj: Vec<std::collections::HashSet<usize>> =
+            vec![std::collections::HashSet::new(); total];
+        for &(i, j, q) in qubo.terms() {
+            if i != j && q != 0.0 {
+                adj[i].insert(j);
+                adj[j].insert(i);
+            }
+        }
+        let mut color = vec![usize::MAX; total];
+        let mut saturation: Vec<std::collections::HashSet<usize>> =
+            vec![std::collections::HashSet::new(); total];
+        for _ in 0..total {
+            // Highest saturation first, ties by degree then index —
+            // DSATUR / saturation_largest_first.
+            let v = (0..total)
+                .filter(|&v| color[v] == usize::MAX)
+                .max_by_key(|&v| (saturation[v].len(), adj[v].len(), std::cmp::Reverse(v)))
+                .expect("an uncolored vertex remains");
+            let mut c = 0;
+            while saturation[v].contains(&c) {
+                c += 1;
+            }
+            color[v] = c;
+            for &u in &adj[v] {
+                saturation[u].insert(c);
+            }
+        }
+        let num_colors = color.iter().max().map_or(0, |&c| c + 1);
+        let mut order = Vec::with_capacity(total);
+        for c in 0..num_colors {
+            order.extend((0..total).filter(|&v| color[v] == c));
+        }
+        order
+    }
+
+    /// Lowers to an [`IsingInstance`] through the QUBO expansion, with
+    /// the DSATUR block order attached as the schedule hint.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Invalid`] if the expansion cannot be lowered.
+    pub fn compile(&self) -> Result<IsingInstance, ProblemError> {
+        let qubo = self.to_qubo()?;
+        let hint = self.schedule_hint(&qubo);
+        qubo.compile()?.with_schedule_hint(hint)
+    }
+
+    /// Decodes a solver's best bits to a codeword estimate with quality
+    /// metrics. Auxiliary spins are dropped; parity is re-checked on the
+    /// code bits directly.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Decode`] on a length mismatch with the instance.
+    pub fn decode(
+        &self,
+        instance: &IsingInstance,
+        best_bits: &[bool],
+    ) -> Result<LdpcSolution, ProblemError> {
+        let vars = instance.decode_bits(best_bits)?;
+        if vars.len() != self.n + self.num_auxiliaries() {
+            return Err(ProblemError::Decode {
+                message: format!(
+                    "instance decodes {} spins, code needs {} + {} auxiliaries",
+                    vars.len(),
+                    self.n,
+                    self.num_auxiliaries()
+                ),
+            });
+        }
+        let decoded: Vec<bool> = vars[..self.n].to_vec();
+        let unsatisfied_checks = self
+            .checks
+            .iter()
+            .filter(|members| members.iter().filter(|&&i| decoded[i]).count() % 2 == 1)
+            .count();
+        let bit_errors = self
+            .codeword
+            .as_ref()
+            .map(|c| c.iter().zip(&decoded).filter(|(a, b)| a != b).count());
+        #[allow(clippy::cast_precision_loss)]
+        let bit_error_rate = bit_errors.map(|e| e as f64 / self.n as f64);
+        Ok(LdpcSolution {
+            decoded,
+            unsatisfied_checks,
+            bit_errors,
+            bit_error_rate,
+            feasible: unsatisfied_checks == 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimum parity penalty of one check over all auxiliary states.
+    fn min_check_penalty(p: &LdpcProblem, x: &[bool]) -> f64 {
+        let qubo = p.to_qubo().unwrap();
+        let total = qubo.num_variables();
+        let aux = total - p.code_length();
+        let channel: f64 = (0..p.code_length())
+            .map(|i| {
+                let sign = if p.received()[i] { -1.0 } else { 1.0 };
+                if x[i] {
+                    p.weights().0 * sign
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        (0u64..(1 << aux))
+            .map(|code| {
+                let mut full = x.to_vec();
+                full.extend((0..aux).map(|j| (code >> j) & 1 == 1));
+                qubo.objective(&full) - channel
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn parity_penalty_is_zero_iff_the_check_is_satisfied() {
+        // One check over 4 bits: penalty floor 0 for even parity,
+        // at least h_km for odd parity.
+        let p = LdpcProblem::new(4, vec![vec![0, 1, 2, 3]], vec![false; 4]).unwrap();
+        for code in 0u64..16 {
+            let x: Vec<bool> = (0..4).map(|i| (code >> i) & 1 == 1).collect();
+            let parity_even = x.iter().filter(|&&b| b).count() % 2 == 0;
+            let floor = min_check_penalty(&p, &x);
+            if parity_even {
+                assert!(floor.abs() < 1e-9, "x={x:?} even but penalty {floor}");
+            } else {
+                assert!(
+                    floor >= p.weights().1 - 1e-9,
+                    "x={x:?} odd but penalty only {floor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ground_state_decodes_a_one_flip_channel() {
+        // n=6, (2,3)-regular: 4 checks, 4 auxiliaries, 10 QUBO variables.
+        let p = LdpcProblem::random(6, 2, 3, 1, 42).unwrap();
+        let inst = p.compile().unwrap();
+        let best = p.to_qubo().unwrap().brute_force();
+        let mut bits = best.assignment.clone();
+        if inst.ancilla().is_some() {
+            bits.push(true);
+        }
+        let sol = p.decode(&inst, &bits).unwrap();
+        assert!(
+            sol.feasible,
+            "ground state must satisfy all checks: {sol:?}"
+        );
+        assert_eq!(sol.bit_errors, Some(0), "one flip within correction power");
+        assert_eq!(sol.bit_error_rate, Some(0.0));
+        // And the ground energy maps exactly through the lowering.
+        assert!((inst.objective(&best.assignment) - best.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_flip_channels_decode_to_the_codeword() {
+        for seed in [1, 2, 3] {
+            let p = LdpcProblem::random(6, 2, 3, 0, seed).unwrap();
+            let inst = p.compile().unwrap();
+            let best = p.to_qubo().unwrap().brute_force();
+            let mut bits = best.assignment;
+            if inst.ancilla().is_some() {
+                bits.push(true);
+            }
+            let sol = p.decode(&inst, &bits).unwrap();
+            assert!(sol.feasible);
+            assert_eq!(sol.bit_errors, Some(0), "seed {seed}: clean channel");
+        }
+    }
+
+    #[test]
+    fn nullspace_vectors_satisfy_every_check() {
+        let p = LdpcProblem::random(12, 2, 3, 0, 7).unwrap();
+        for v in p.nullspace_basis() {
+            for members in p.checks() {
+                let parity = members.iter().filter(|&&i| v[i]).count() % 2;
+                assert_eq!(parity, 0, "basis vector violates a check");
+            }
+        }
+        let c = p.codeword().unwrap();
+        for members in p.checks() {
+            assert_eq!(members.iter().filter(|&&i| c[i]).count() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn schedule_hint_blocks_are_mutually_uncoupled() {
+        let p = LdpcProblem::random(12, 2, 3, 1, 9).unwrap();
+        let inst = p.compile().unwrap();
+        let hint = inst.schedule_hint();
+        let total = p.code_length() + p.num_auxiliaries();
+        assert_eq!(hint.len(), total, "hint covers every problem spin");
+        let mut sorted = hint.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..total).collect::<Vec<_>>(), "a permutation");
+        // The hint concatenates DSATUR color classes, each an independent
+        // set of the coupling graph. Greedily splitting the hint into
+        // maximal uncoupled runs therefore yields at most as many blocks
+        // as colors, which DSATUR bounds by max degree + 1 — a random
+        // spin order would shatter into far more runs.
+        let qubo = p.to_qubo().unwrap();
+        let mut coupled: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
+        let mut degree = vec![0usize; total];
+        for &(i, j, q) in qubo.terms() {
+            if i != j && q != 0.0 {
+                coupled.insert((i, j));
+                degree[i] += 1;
+                degree[j] += 1;
+            }
+        }
+        let max_degree = degree.iter().copied().max().unwrap_or(0);
+        let mut blocks = 1usize;
+        let mut current: Vec<usize> = Vec::new();
+        for &v in hint {
+            let conflict = current
+                .iter()
+                .any(|&u| coupled.contains(&(u.min(v), u.max(v))));
+            if conflict {
+                blocks += 1;
+                current.clear();
+            }
+            current.push(v);
+        }
+        assert!(
+            blocks <= max_degree + 1,
+            "hint splits into {blocks} uncoupled runs; a coloring order \
+             admits at most {} (max degree + 1)",
+            max_degree + 1
+        );
+    }
+
+    #[test]
+    fn generator_validates_and_is_deterministic() {
+        assert!(LdpcProblem::random(7, 2, 3, 0, 1).is_err(), "n % w_r != 0");
+        assert!(LdpcProblem::random(6, 2, 1, 0, 1).is_err(), "w_r < 2");
+        assert!(LdpcProblem::random(6, 0, 3, 0, 1).is_err(), "w_c == 0");
+        assert!(LdpcProblem::random(6, 2, 3, 7, 1).is_err(), "flips > n");
+        let a = LdpcProblem::random(12, 2, 3, 2, 5).unwrap();
+        let b = LdpcProblem::random(12, 2, 3, 2, 5).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.compile().unwrap().canonical_bytes(),
+            b.compile().unwrap().canonical_bytes()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_malformed_checks() {
+        assert!(LdpcProblem::new(0, vec![], vec![]).is_err());
+        assert!(LdpcProblem::new(4, vec![vec![0]], vec![false; 4]).is_err());
+        assert!(LdpcProblem::new(4, vec![vec![0, 9]], vec![false; 4]).is_err());
+        assert!(LdpcProblem::new(4, vec![vec![0, 0]], vec![false; 4]).is_err());
+        assert!(LdpcProblem::new(4, vec![vec![0, 1]], vec![false; 3]).is_err());
+    }
+}

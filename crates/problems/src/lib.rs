@@ -1,0 +1,58 @@
+//! Problem-compiler front end: lower combinatorial problems to the
+//! solver substrate's native weighted MAX-CUT form and map solutions
+//! back.
+//!
+//! SOPHIE (the paper, §II) is a MAX-CUT machine, but the workloads the
+//! Ising-machine literature actually cares about arrive as QUBOs, graph
+//! colorings, Potts models, and LDPC decoding problems. This crate is
+//! the compiler between those domains and the rest of the workspace:
+//!
+//! ```text
+//! Problem ──compile──▶ IsingInstance ──SolveJob──▶ SolveReport
+//!    ▲                                                  │
+//!    └───────────── decode(best_bits) ◀────────────────┘
+//!                │
+//!                ▼
+//!        domain quality metrics (conflicts, BER, objective, cut)
+//! ```
+//!
+//! Front ends ([`KINDS`]):
+//!
+//! * [`QuboProblem`] — generic QUBO via the standard 0/1 ↔ ±1 affine
+//!   map, constant offset tracked exactly;
+//! * [`MaxCutProblem`] — the near-identity lowering, with hardened
+//!   GSET ingestion;
+//! * [`ColoringProblem`] — coloring / antiferromagnetic Potts via
+//!   one-hot encoding with a validated penalty-weight heuristic;
+//! * [`LdpcProblem`] — LDPC decoding as Ising energy, with a DSATUR
+//!   block order exposed as an update-schedule hint.
+//!
+//! Every front end ships a seeded synthetic-instance generator, a
+//! decoder back to its domain, and small-instance brute-force oracles
+//! for tests. [`ProblemSpec`] unifies them for dispatch through the
+//! [`sophie_solve::SolverRegistry`] (see [`ProblemSpec::solve_with`]),
+//! and [`ProblemSpec::digest`] gives serve a content digest so cached
+//! results stay keyed by problem identity, not just the lowered graph.
+//!
+//! Linear fields ride one ancilla spin (gauge-fixed at decode time);
+//! constant offsets are carried on the instance so reported energies
+//! map back to problem units with no residual — see [`IsingInstance`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod coloring;
+mod error;
+mod instance;
+mod ldpc;
+mod maxcut;
+mod qubo;
+mod spec;
+
+pub use coloring::{ColoringProblem, ColoringSolution};
+pub use error::ProblemError;
+pub use instance::IsingInstance;
+pub use ldpc::{LdpcProblem, LdpcSolution, DEFAULT_CHANNEL_WEIGHT, DEFAULT_CHECK_WEIGHT};
+pub use maxcut::{MaxCutProblem, MaxCutSolution};
+pub use qubo::{QuboProblem, QuboSolution};
+pub use spec::{Decoded, ProblemRun, ProblemSpec, KINDS};

@@ -1,0 +1,180 @@
+//! Weighted MAX-CUT: the substrate's native workload as a front end.
+//!
+//! The lowering is the near-identity one — the instance graph *is* the
+//! problem graph (couplings `K = −A` are implicit in the cut convention,
+//! see `sophie_graph::cut`), with no ancilla and zero offset. What the
+//! front end adds is the compiler contract: hardened ingestion through
+//! [`sophie_graph::io`] with [`ParseLimits`], a seeded generator, a
+//! decoder producing the partition, and domain metrics (cut value and
+//! the signed gap to a reference cut).
+
+use std::sync::Arc;
+
+use sophie_graph::cut::cut_value_binary;
+use sophie_graph::generate::{gnm, WeightDist};
+use sophie_graph::io::{read_graph_limited, ParseLimits};
+use sophie_graph::Graph;
+
+use crate::error::ProblemError;
+use crate::instance::IsingInstance;
+
+/// A weighted MAX-CUT problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxCutProblem {
+    graph: Arc<Graph>,
+}
+
+/// A MAX-CUT solution decoded from a solver's best state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxCutSolution {
+    /// Side assignment of every node (`true`/`false` = the two sides).
+    pub partition: Vec<bool>,
+    /// Total weight of edges crossing the partition.
+    pub cut: f64,
+}
+
+impl MaxCutProblem {
+    /// Wraps an existing graph.
+    #[must_use]
+    pub fn new(graph: Arc<Graph>) -> Self {
+        MaxCutProblem { graph }
+    }
+
+    /// Ingests a GSET-format document under `limits`
+    /// (see [`sophie_graph::io::read_graph_limited`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Parse`] for malformed or oversized documents.
+    pub fn from_text(text: &str, limits: &ParseLimits) -> Result<Self, ProblemError> {
+        let graph = read_graph_limited(text.as_bytes(), limits)?;
+        Ok(MaxCutProblem {
+            graph: Arc::new(graph),
+        })
+    }
+
+    /// Seeded synthetic instance: a `G(n, m)` random graph with ±1
+    /// weights, the paper's K-graph weight family on a sparse topology.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Invalid`] for `n == 0` or `m > n(n−1)/2`.
+    pub fn random(n: usize, m: usize, seed: u64) -> Result<Self, ProblemError> {
+        let graph =
+            gnm(n, m, WeightDist::PlusMinusOne, seed).map_err(|e| ProblemError::Invalid {
+                message: format!("max-cut generator: {e}"),
+            })?;
+        Ok(MaxCutProblem {
+            graph: Arc::new(graph),
+        })
+    }
+
+    /// The underlying problem graph.
+    #[must_use]
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Exhaustive best cut over all `2^(n−1)` partitions (node 0 fixed to
+    /// one side — cuts are flip-invariant), for small-instance checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 24 nodes.
+    #[must_use]
+    pub fn brute_force(&self) -> MaxCutSolution {
+        let n = self.graph.num_nodes();
+        assert!(n <= 24, "brute force caps at 24 nodes");
+        let mut best = (vec![false; n], f64::NEG_INFINITY);
+        for code in 0u64..(1u64 << (n - 1)) {
+            let bits: Vec<bool> = std::iter::once(false)
+                .chain((0..n - 1).map(|i| (code >> i) & 1 == 1))
+                .collect();
+            let cut = cut_value_binary(&self.graph, &bits);
+            if cut > best.1 {
+                best = (bits, cut);
+            }
+        }
+        MaxCutSolution {
+            partition: best.0,
+            cut: best.1,
+        }
+    }
+
+    /// Lowers to an [`IsingInstance`] — the identity lowering.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Invalid`] if the graph cannot be re-assembled
+    /// (cannot happen for graphs built by this crate's constructors).
+    pub fn compile(&self) -> Result<IsingInstance, ProblemError> {
+        let couplings: Vec<(usize, usize, f64)> =
+            self.graph.edges().map(|e| (e.u, e.v, e.w)).collect();
+        IsingInstance::assemble(self.graph.num_nodes(), &couplings, &[], 0.0, vec![])
+    }
+
+    /// Decodes a solver's best bits to a partition.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Decode`] on a length mismatch with the instance.
+    pub fn decode(
+        &self,
+        instance: &IsingInstance,
+        best_bits: &[bool],
+    ) -> Result<MaxCutSolution, ProblemError> {
+        let partition = instance.decode_bits(best_bits)?;
+        if partition.len() != self.graph.num_nodes() {
+            return Err(ProblemError::Decode {
+                message: format!(
+                    "instance decodes {} nodes, problem has {}",
+                    partition.len(),
+                    self.graph.num_nodes()
+                ),
+            });
+        }
+        let cut = cut_value_binary(&self.graph, &partition);
+        Ok(MaxCutSolution { partition, cut })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_lowering_preserves_the_graph() {
+        let p = MaxCutProblem::random(12, 30, 5).unwrap();
+        let inst = p.compile().unwrap();
+        assert_eq!(inst.graph().as_ref(), p.graph().as_ref());
+        assert_eq!(inst.ancilla(), None);
+        assert_eq!(inst.offset(), 0.0);
+    }
+
+    #[test]
+    fn decode_reports_the_cut_of_the_returned_partition() {
+        let p = MaxCutProblem::random(10, 20, 1).unwrap();
+        let inst = p.compile().unwrap();
+        let bits: Vec<bool> = (0..10).map(|i| i % 3 == 0).collect();
+        let sol = p.decode(&inst, &bits).unwrap();
+        assert_eq!(sol.partition, bits);
+        assert!((sol.cut - cut_value_binary(p.graph(), &bits)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brute_force_beats_or_matches_any_partition() {
+        let p = MaxCutProblem::random(8, 16, 9).unwrap();
+        let best = p.brute_force();
+        for code in 0u64..(1 << 8) {
+            let bits: Vec<bool> = (0..8).map(|i| (code >> i) & 1 == 1).collect();
+            assert!(cut_value_binary(p.graph(), &bits) <= best.cut + 1e-12);
+        }
+    }
+
+    #[test]
+    fn text_ingestion_is_hardened() {
+        let p = MaxCutProblem::from_text("3 2\n1 2 1\n2 3 -1\n", &ParseLimits::none()).unwrap();
+        assert_eq!(p.graph().num_nodes(), 3);
+        assert!(MaxCutProblem::from_text("999 1\n1 2 1\n", &ParseLimits::new(10, 10)).is_err());
+    }
+}

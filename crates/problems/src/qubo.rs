@@ -1,0 +1,318 @@
+//! Generic QUBO ingestion: minimize `x^T Q x` over `x ∈ {0,1}^n`.
+//!
+//! The lowering is the standard 0/1 ↔ ±1 affine map `x_i = (1 + σ_i)/2`:
+//!
+//! * quadratic coefficient `b_ij` → coupling `J_ij = b_ij / 4`,
+//! * linear coefficient `q_i` → field `h_i = q_i/2 + Σ_{j≠i} b_ij / 4`,
+//! * constant offset `Σ_i q_i/2 + Σ_{i<j} b_ij / 4`,
+//!
+//! so `objective(x) = offset + E_ising(σ)` **exactly** — reported
+//! energies map back to QUBO units with no residual.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sophie_graph::io::{read_qubo_limited, ParseLimits, QuboText};
+
+use crate::error::ProblemError;
+use crate::instance::IsingInstance;
+
+/// A validated QUBO: normalized upper-triangular coefficient triples
+/// (`i <= j`, 0-based; `i == j` entries are linear terms), sorted by
+/// `(i, j)` so compilation is canonical regardless of input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuboProblem {
+    n: usize,
+    terms: Vec<(usize, usize, f64)>,
+}
+
+/// A QUBO solution decoded from a solver's best state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuboSolution {
+    /// The 0/1 assignment (`x_i`).
+    pub assignment: Vec<bool>,
+    /// Objective `x^T Q x` in the problem's own units.
+    pub objective: f64,
+}
+
+impl QuboProblem {
+    /// Validates and normalizes raw `(i, j, coeff)` triples.
+    ///
+    /// Indices are 0-based in any order (normalized to `i <= j`),
+    /// duplicates with an identical coefficient are merged, and
+    /// duplicates with conflicting coefficients are rejected — matching
+    /// the text-format hardening in `sophie_graph::io`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Invalid`] for zero variables, out-of-range
+    /// indices, non-finite coefficients, or conflicting duplicates.
+    pub fn new(n: usize, terms: &[(usize, usize, f64)]) -> Result<Self, ProblemError> {
+        if n == 0 {
+            return Err(ProblemError::Invalid {
+                message: "qubo needs at least one variable".into(),
+            });
+        }
+        let mut map: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        for &(a, b, q) in terms {
+            if a >= n || b >= n {
+                return Err(ProblemError::Invalid {
+                    message: format!("index ({a}, {b}) out of range for {n}-variable qubo"),
+                });
+            }
+            if !q.is_finite() {
+                return Err(ProblemError::Invalid {
+                    message: format!("non-finite coefficient at ({a}, {b})"),
+                });
+            }
+            let key = (a.min(b), a.max(b));
+            if let Some(&prior) = map.get(&key) {
+                if prior.to_bits() != q.to_bits() {
+                    return Err(ProblemError::Invalid {
+                        message: format!(
+                            "conflicting duplicate entry ({}, {}): {prior} vs {q}",
+                            key.0, key.1
+                        ),
+                    });
+                }
+            } else {
+                map.insert(key, q);
+            }
+        }
+        Ok(QuboProblem {
+            n,
+            terms: map.into_iter().map(|((i, j), q)| (i, j, q)).collect(),
+        })
+    }
+
+    /// Ingests the `qubo` text format under `limits`
+    /// (see [`sophie_graph::io::read_qubo_limited`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Parse`] for malformed or oversized documents.
+    pub fn from_text(text: &str, limits: &ParseLimits) -> Result<Self, ProblemError> {
+        let QuboText { n, terms } = read_qubo_limited(text.as_bytes(), limits)?;
+        QuboProblem::new(n, &terms)
+    }
+
+    /// Seeded synthetic instance: every diagonal gets a coefficient in
+    /// `[-2, 2]`, and each off-diagonal pair is present with probability
+    /// `density` with a coefficient in `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `density` is outside `[0, 1]`.
+    #[must_use]
+    pub fn random(n: usize, density: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one variable");
+        assert!((0.0..=1.0).contains(&density), "density in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut terms = Vec::new();
+        for i in 0..n {
+            // Quarter-integer coefficients keep every objective and
+            // lowered coupling exactly representable.
+            let q = f64::from(rng.gen_range(-8i32..=8)) / 4.0;
+            if q != 0.0 {
+                terms.push((i, i, q));
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(density) {
+                    let q = f64::from(rng.gen_range(-4i32..=4)) / 4.0;
+                    if q != 0.0 {
+                        terms.push((i, j, q));
+                    }
+                }
+            }
+        }
+        QuboProblem { n, terms }
+    }
+
+    /// Number of binary variables.
+    #[must_use]
+    pub fn num_variables(&self) -> usize {
+        self.n
+    }
+
+    /// The normalized, `(i, j)`-sorted coefficient triples.
+    #[must_use]
+    pub fn terms(&self) -> &[(usize, usize, f64)] {
+        &self.terms
+    }
+
+    /// Objective `x^T Q x` of an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_variables()`.
+    #[must_use]
+    pub fn objective(&self, x: &[bool]) -> f64 {
+        assert_eq!(x.len(), self.n, "assignment length mismatch");
+        self.terms
+            .iter()
+            .filter(|&&(i, j, _)| x[i] && x[j])
+            .map(|&(_, _, q)| q)
+            .sum()
+    }
+
+    /// Exhaustive argmin over all `2^n` assignments, for small-instance
+    /// reference checks. Ties break toward the lexicographically first
+    /// assignment (lowest bit = variable 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24` — brute force is a test oracle, not a solver.
+    #[must_use]
+    pub fn brute_force(&self) -> QuboSolution {
+        assert!(self.n <= 24, "brute force caps at 24 variables");
+        let mut best = (vec![false; self.n], f64::INFINITY);
+        for code in 0u64..(1u64 << self.n) {
+            let x: Vec<bool> = (0..self.n).map(|i| (code >> i) & 1 == 1).collect();
+            let obj = self.objective(&x);
+            if obj < best.1 {
+                best = (x, obj);
+            }
+        }
+        QuboSolution {
+            assignment: best.0,
+            objective: best.1,
+        }
+    }
+
+    /// Lowers to an [`IsingInstance`] via the affine 0/1 ↔ ±1 map.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Invalid`] if the lowered graph cannot be built.
+    pub fn compile(&self) -> Result<IsingInstance, ProblemError> {
+        let mut couplings = Vec::new();
+        let mut fields = vec![0.0f64; self.n];
+        let mut offset = 0.0f64;
+        for &(i, j, q) in &self.terms {
+            if i == j {
+                fields[i] += q / 2.0;
+                offset += q / 2.0;
+            } else {
+                couplings.push((i, j, q / 4.0));
+                fields[i] += q / 4.0;
+                fields[j] += q / 4.0;
+                offset += q / 4.0;
+            }
+        }
+        let fields: Vec<(usize, f64)> = fields.into_iter().enumerate().collect();
+        IsingInstance::assemble(self.n, &couplings, &fields, offset, vec![])
+    }
+
+    /// Decodes a solver's best bits back to a QUBO assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::Decode`] on a length mismatch with the instance.
+    pub fn decode(
+        &self,
+        instance: &IsingInstance,
+        best_bits: &[bool],
+    ) -> Result<QuboSolution, ProblemError> {
+        let assignment = instance.decode_bits(best_bits)?;
+        if assignment.len() != self.n {
+            return Err(ProblemError::Decode {
+                message: format!(
+                    "instance decodes {} variables, problem has {}",
+                    assignment.len(),
+                    self.n
+                ),
+            });
+        }
+        let objective = self.objective(&assignment);
+        Ok(QuboSolution {
+            assignment,
+            objective,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_maps_exactly_through_the_lowering() {
+        // offset + E_ising must equal the QUBO objective for every x.
+        let q = QuboProblem::random(6, 0.6, 11);
+        let inst = q.compile().unwrap();
+        for code in 0u64..(1 << 6) {
+            let x: Vec<bool> = (0..6).map(|i| (code >> i) & 1 == 1).collect();
+            let direct = q.objective(&x);
+            let via_ising = inst.objective(&x);
+            assert!(
+                (direct - via_ising).abs() < 1e-9,
+                "x={x:?}: qubo {direct} vs ising {via_ising}"
+            );
+        }
+    }
+
+    #[test]
+    fn brute_force_minimum_is_an_ising_ground_state() {
+        let q = QuboProblem::random(8, 0.5, 3);
+        let best = q.brute_force();
+        let inst = q.compile().unwrap();
+        assert!((inst.objective(&best.assignment) - best.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_is_input_order_independent() {
+        let a = QuboProblem::new(3, &[(0, 1, 1.0), (2, 2, -1.0), (1, 2, 0.5)]).unwrap();
+        let b = QuboProblem::new(3, &[(2, 1, 0.5), (1, 0, 1.0), (2, 2, -1.0)]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.compile().unwrap().canonical_bytes(),
+            b.compile().unwrap().canonical_bytes()
+        );
+    }
+
+    #[test]
+    fn duplicate_handling_matches_the_text_format() {
+        assert!(QuboProblem::new(2, &[(0, 1, 1.0), (1, 0, 1.0)]).is_ok());
+        let err = QuboProblem::new(2, &[(0, 1, 1.0), (1, 0, 2.0)]).unwrap_err();
+        assert!(err.to_string().contains("conflicting duplicate"));
+    }
+
+    #[test]
+    fn text_ingestion_respects_limits() {
+        let q = QuboProblem::from_text("qubo 2 2\n1 1 -1\n1 2 2\n", &ParseLimits::none()).unwrap();
+        assert_eq!(q.num_variables(), 2);
+        assert!(
+            QuboProblem::from_text("qubo 99 0\n", &ParseLimits::new(10, 10)).is_err(),
+            "oversized header rejected"
+        );
+    }
+
+    #[test]
+    fn decode_round_trips_a_known_state() {
+        let q = QuboProblem::new(2, &[(0, 0, -1.0), (0, 1, 2.0)]).unwrap();
+        let inst = q.compile().unwrap();
+        // Optimal: x = (1, 0), objective −1.
+        let n = inst.graph().num_nodes();
+        assert_eq!(n, 3, "two variables + ancilla");
+        let sol = q.decode(&inst, &[true, false, true]).unwrap();
+        assert_eq!(sol.assignment, vec![true, false]);
+        assert!((sol.objective + 1.0).abs() < 1e-12);
+        // The mirrored solver state decodes identically.
+        let mirrored = q.decode(&inst, &[false, true, false]).unwrap();
+        assert_eq!(mirrored, sol);
+    }
+
+    #[test]
+    fn generator_is_seed_deterministic() {
+        assert_eq!(
+            QuboProblem::random(10, 0.4, 7),
+            QuboProblem::random(10, 0.4, 7)
+        );
+        assert_ne!(
+            QuboProblem::random(10, 0.4, 7),
+            QuboProblem::random(10, 0.4, 8)
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Round-trip properties of the problem compiler.
+//!
+//! Two families of evidence that the lowering is exact:
+//!
+//! * **Energy identities (proptest).** For arbitrary assignments — not
+//!   just optima — the lowered instance's problem-units objective must
+//!   equal the domain formula computed independently in this file: the
+//!   QUBO polynomial, the cut weight, the coloring penalty expansion,
+//!   and the LDPC channel + parity energy. Any sign, factor-of-two, or
+//!   offset slip in a front end breaks these on the first random case.
+//! * **Solver round trips.** Each front end compiled, solved by
+//!   simulated annealing through a [`SolverRegistry`] at a fixed seed,
+//!   and decoded must reproduce the brute-force optimum (QUBO, MAX-CUT)
+//!   or a feasible domain solution (coloring, LDPC).
+//!
+//! Plus the determinism pin: compilation is a pure function of the
+//! problem — `canonical_bytes()` and a seeded solve are byte-identical
+//! regardless of `SOPHIE_THREADS`.
+
+use proptest::prelude::*;
+use sophie_baselines::{SaConfig, SaSolver};
+use sophie_graph::cut::cut_value_binary;
+use sophie_problems::{ColoringProblem, LdpcProblem, MaxCutProblem, ProblemSpec, QuboProblem};
+use sophie_solve::{JobBudget, SolverRegistry};
+
+fn bits(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(proptest::bool::ANY, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The QUBO polynomial evaluated directly equals the lowered
+    /// instance's objective at every assignment.
+    #[test]
+    fn qubo_objective_survives_the_lowering(
+        n in 2usize..=7,
+        density in 0.1f64..=1.0,
+        seed in 0u64..1000,
+        pattern in bits(7),
+    ) {
+        let p = QuboProblem::random(n, density, seed);
+        let inst = p.compile().unwrap();
+        let x = &pattern[..n];
+        prop_assert!((p.objective(x) - inst.objective(x)).abs() < 1e-9);
+    }
+
+    /// MAX-CUT decodes to exactly the cut weight of the original graph,
+    /// and the lowering is the identity (no ancilla, no offset).
+    #[test]
+    fn maxcut_decode_reports_the_true_cut(
+        n in 3usize..=8,
+        extra in 0usize..=12,
+        seed in 0u64..1000,
+        pattern in bits(8),
+    ) {
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let p = MaxCutProblem::random(n, m, seed).unwrap();
+        let inst = p.compile().unwrap();
+        prop_assert!(inst.ancilla().is_none());
+        prop_assert_eq!(inst.offset(), 0.0);
+        let x = &pattern[..n];
+        let sol = p.decode(&inst, x).unwrap();
+        prop_assert!((sol.cut - cut_value_binary(p.graph(), x)).abs() < 1e-9);
+    }
+
+    /// The coloring instance's objective equals the penalty expansion
+    /// `A·Σ_v (s_v − 1)² + B·Σ_{(u,v,w)} w·Σ_c x_uc·x_vc` computed
+    /// straight from the definition.
+    #[test]
+    fn coloring_energy_matches_the_penalty_formula(
+        nodes in 2usize..=5,
+        colors in 2usize..=4,
+        num_edges in 0usize..=6,
+        edge_picks in proptest::collection::vec((0usize..5, 0usize..5, 0.5f64..2.0), 6),
+        pattern in bits(20),
+    ) {
+        let mut edges = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for &(a, b, w) in &edge_picks[..num_edges] {
+            let (u, v) = (a % nodes, b % nodes);
+            if u != v && seen.insert((u.min(v), u.max(v))) {
+                edges.push((u, v, w));
+            }
+        }
+        let p = ColoringProblem::new(nodes, colors, &edges).unwrap();
+        let inst = p.compile().unwrap();
+        let (a, b) = p.penalties();
+        let x = &pattern[..nodes * colors];
+        let mut direct = 0.0;
+        for v in 0..nodes {
+            let s = x[v * colors..(v + 1) * colors]
+                .iter()
+                .filter(|&&on| on)
+                .count() as f64;
+            direct += a * (s - 1.0) * (s - 1.0);
+        }
+        for &(u, v, w) in &edges {
+            for c in 0..colors {
+                if x[u * colors + c] && x[v * colors + c] {
+                    direct += b * w;
+                }
+            }
+        }
+        prop_assert!((inst.objective(x) - direct).abs() < 1e-9);
+    }
+
+    /// The LDPC instance's objective equals the channel + parity energy
+    /// `h·Σ_i (1 − 2r_i)·x_i + h_km·Σ_k (X_k − 2A_k)²` computed straight
+    /// from the definition (X_k: set bits in check k; A_k: set
+    /// auxiliaries of check k).
+    #[test]
+    fn ldpc_energy_matches_the_parity_formula(
+        flips in 0usize..=2,
+        seed in 0u64..1000,
+        pattern in bits(20),
+    ) {
+        let p = LdpcProblem::random(12, 2, 3, flips, seed).unwrap();
+        let (h, hk) = p.weights();
+        let inst = p.compile().unwrap();
+        let x = &pattern[..12 + p.num_auxiliaries()];
+        let mut direct = 0.0;
+        for (i, &r) in p.received().iter().enumerate() {
+            if x[i] {
+                direct += h * if r { -1.0 } else { 1.0 };
+            }
+        }
+        let mut aux_at = 12;
+        for check in p.checks() {
+            let t = check.len() / 2;
+            let xs = check.iter().filter(|&&i| x[i]).count() as f64;
+            let as_ = x[aux_at..aux_at + t].iter().filter(|&&on| on).count() as f64;
+            direct += hk * (xs - 2.0 * as_) * (xs - 2.0 * as_);
+            aux_at += t;
+        }
+        prop_assert_eq!(aux_at, x.len());
+        prop_assert!((inst.objective(x) - direct).abs() < 1e-9);
+    }
+}
+
+/// A registry holding only simulated annealing, the way the workspace
+/// facade registers it.
+fn sa_registry() -> SolverRegistry {
+    let mut reg = SolverRegistry::new();
+    reg.register("sa", "simulated annealing", |c: &SaConfig| {
+        SaSolver::new(*c)
+    });
+    reg
+}
+
+fn sa_config(sweeps: usize) -> SaConfig {
+    SaConfig {
+        sweeps,
+        ..SaConfig::default()
+    }
+}
+
+/// SA at a fixed seed reproduces the brute-force optimum for the exact
+/// kinds and a feasible domain solution for the penalty kinds.
+#[test]
+fn annealing_round_trips_every_front_end() {
+    let registry = sa_registry();
+    let config = sa_config(4000);
+    let budget = JobBudget::default();
+
+    let qubo = QuboProblem::random(8, 0.5, 7);
+    let truth = qubo.brute_force();
+    let run = ProblemSpec::Qubo(qubo)
+        .solve_with(&registry, "sa", Some(&config), 1, budget, None)
+        .unwrap();
+    let sophie_problems::Decoded::Qubo(sol) = &run.decoded else {
+        panic!("qubo decode")
+    };
+    assert!(
+        (sol.objective - truth.objective).abs() < 1e-9,
+        "sa {} vs brute force {}",
+        sol.objective,
+        truth.objective
+    );
+
+    let maxcut = MaxCutProblem::random(8, 16, 7).unwrap();
+    let truth = maxcut.brute_force();
+    let run = ProblemSpec::MaxCut(maxcut)
+        .solve_with(&registry, "sa", Some(&config), 1, budget, None)
+        .unwrap();
+    let sophie_problems::Decoded::MaxCut(sol) = &run.decoded else {
+        panic!("max-cut decode")
+    };
+    assert!((sol.cut - truth.cut).abs() < 1e-9);
+
+    let coloring = ColoringProblem::random(6, 9, 4, 7).unwrap();
+    assert!(coloring.chromatic_feasible(), "oracle: 4-colorable");
+    let run = ProblemSpec::Coloring(coloring)
+        .solve_with(&registry, "sa", Some(&config), 1, budget, Some(0.0))
+        .unwrap();
+    assert!(run.decoded.feasible(), "sa must find a proper coloring");
+    assert!(run.report.iterations_to_target.is_some());
+
+    let ldpc = LdpcProblem::random(12, 2, 3, 1, 7).unwrap();
+    let run = ProblemSpec::Ldpc(ldpc)
+        .solve_with(&registry, "sa", Some(&config), 1, budget, Some(0.0))
+        .unwrap();
+    let sophie_problems::Decoded::Ldpc(sol) = &run.decoded else {
+        panic!("ldpc decode")
+    };
+    assert!(sol.feasible, "sa must satisfy every check");
+    assert_eq!(sol.bit_errors, Some(0), "one channel flip must correct");
+}
+
+/// Compilation and a seeded solve are pure functions of the problem:
+/// `SOPHIE_THREADS` (the engine's worker-count knob) must not leak into
+/// `canonical_bytes()` or the solver's chosen state.
+#[test]
+fn compilation_and_solves_are_deterministic_across_thread_counts() {
+    let registry = sa_registry();
+    let config = sa_config(1000);
+    let spec = ProblemSpec::Coloring(ColoringProblem::random(8, 14, 4, 3).unwrap());
+
+    let run_once = || {
+        let instance = spec.compile().unwrap();
+        let run = spec
+            .solve_with(
+                &registry,
+                "sa",
+                Some(&config),
+                5,
+                JobBudget::default(),
+                None,
+            )
+            .unwrap();
+        (
+            instance.canonical_bytes(),
+            run.report.best_cut,
+            run.report.best_bits,
+        )
+    };
+
+    std::env::set_var("SOPHIE_THREADS", "1");
+    let one = run_once();
+    std::env::set_var("SOPHIE_THREADS", "4");
+    let four = run_once();
+    std::env::remove_var("SOPHIE_THREADS");
+
+    assert_eq!(one.0, four.0, "canonical bytes must not depend on threads");
+    assert!((one.1 - four.1).abs() < 1e-12, "best cut must match");
+    assert_eq!(one.2, four.2, "winning state must be identical");
+}

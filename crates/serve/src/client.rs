@@ -75,8 +75,10 @@ impl std::fmt::Display for RawFrame {
 pub struct SubmitArgs {
     /// Registry solver name.
     pub solver: String,
-    /// Instance to solve.
-    pub graph: GraphSpec,
+    /// Instance to solve (`None` for problem-typed submits).
+    pub graph: Option<GraphSpec>,
+    /// Raw JSON for the `problem` field (already valid JSON), if any.
+    pub problem_json: Option<String>,
     /// Job seed.
     pub seed: u64,
     /// Optional convergence target.
@@ -97,7 +99,25 @@ impl SubmitArgs {
     pub fn new(solver: &str, graph: GraphSpec) -> Self {
         SubmitArgs {
             solver: solver.to_string(),
-            graph,
+            graph: Some(graph),
+            problem_json: None,
+            seed: 0,
+            target: None,
+            deadline_ms: None,
+            max_iterations: None,
+            stream: false,
+            config_json: None,
+        }
+    }
+
+    /// A problem-typed job: the named solver on a compiled problem;
+    /// `problem_json` is the raw `problem` payload (already valid JSON).
+    #[must_use]
+    pub fn for_problem(solver: &str, problem_json: &str) -> Self {
+        SubmitArgs {
+            solver: solver.to_string(),
+            graph: None,
+            problem_json: Some(problem_json.to_string()),
             seed: 0,
             target: None,
             deadline_ms: None,
@@ -117,12 +137,16 @@ impl SubmitArgs {
             escape(&self.solver)
         );
         match &self.graph {
-            GraphSpec::Named(name) => {
+            Some(GraphSpec::Named(name)) => {
                 frame.push_str(&format!(",\"graph\":{{\"named\":\"{}\"}}", escape(name)));
             }
-            GraphSpec::Inline(gset) => {
+            Some(GraphSpec::Inline(gset)) => {
                 frame.push_str(&format!(",\"graph\":{{\"gset\":\"{}\"}}", escape(gset)));
             }
+            None => {}
+        }
+        if let Some(problem) = &self.problem_json {
+            frame.push_str(&format!(",\"problem\":{problem}"));
         }
         frame.push_str(&format!(",\"seed\":{}", self.seed));
         if let Some(t) = self.target {
@@ -564,7 +588,7 @@ mod tests {
         let frame = inline.to_frame("j2");
         match crate::protocol::parse_request(&frame).unwrap() {
             crate::protocol::Request::Submit(req) => {
-                assert_eq!(req.graph, GraphSpec::Inline("2 1\n1 2 1\n".into()));
+                assert_eq!(req.graph, Some(GraphSpec::Inline("2 1\n1 2 1\n".into())));
             }
             other => panic!("expected Submit, got {other:?}"),
         }

@@ -42,6 +42,7 @@ mod conn;
 mod error;
 pub mod json;
 pub mod metrics;
+pub mod problems;
 pub mod protocol;
 pub mod queue;
 pub mod router;

@@ -33,8 +33,14 @@ pub struct SubmitRequest {
     pub id: String,
     /// Registry name of the solver to run.
     pub solver: String,
-    /// The instance to solve.
-    pub graph: GraphSpec,
+    /// The instance to solve. Exactly one of `graph` and `problem` is
+    /// set — enforced at parse time.
+    pub graph: Option<GraphSpec>,
+    /// A problem-compiler payload (object with a `kind` field), lowered
+    /// server-side to the instance and decoded on the result frame. The
+    /// raw document is kept verbatim so the router can fold it into the
+    /// content-addressed job key without compiling.
+    pub problem: Option<Json>,
     /// Job seed (default 0).
     pub seed: u64,
     /// Optional convergence target (cut value).
@@ -105,25 +111,46 @@ fn parse_submit(doc: &Json) -> Result<SubmitRequest> {
     let graph = match doc.get("graph") {
         Some(g) => {
             if let Some(name) = g.get("named").and_then(Json::as_str) {
-                GraphSpec::Named(name.to_string())
+                Some(GraphSpec::Named(name.to_string()))
             } else if let Some(gset) = g.get("gset").and_then(Json::as_str) {
-                GraphSpec::Inline(gset.to_string())
+                Some(GraphSpec::Inline(gset.to_string()))
             } else {
                 return Err(ServeError::Protocol {
                     message: "`graph` must be {\"named\": ...} or {\"gset\": ...}".into(),
                 });
             }
         }
-        None => {
+        None => None,
+    };
+    let problem = match doc.get("problem") {
+        Some(p) => {
+            if p.get("kind").and_then(Json::as_str).is_none() {
+                return Err(ServeError::Protocol {
+                    message: "`problem` must be an object with a string `kind`".into(),
+                });
+            }
+            Some(p.clone())
+        }
+        None => None,
+    };
+    match (&graph, &problem) {
+        (None, None) => {
             return Err(ServeError::Protocol {
-                message: "submit requires `graph`".into(),
+                message: "submit requires `graph` or `problem`".into(),
             })
         }
-    };
+        (Some(_), Some(_)) => {
+            return Err(ServeError::Protocol {
+                message: "submit takes `graph` or `problem`, not both".into(),
+            })
+        }
+        _ => {}
+    }
     Ok(SubmitRequest {
         id,
         solver,
         graph,
+        problem,
         seed: optional_u64(doc, "seed")?.unwrap_or(0),
         target: optional_f64(doc, "target")?,
         deadline_ms: optional_u64(doc, "deadline_ms")?,
@@ -310,7 +337,8 @@ mod tests {
             Request::Submit(req) => {
                 assert_eq!(req.id, "j1");
                 assert_eq!(req.solver, "sa");
-                assert_eq!(req.graph, GraphSpec::Named("K100".into()));
+                assert_eq!(req.graph, Some(GraphSpec::Named("K100".into())));
+                assert_eq!(req.problem, None);
                 assert_eq!(req.seed, 7);
                 assert_eq!(req.target, Some(190.5));
                 assert_eq!(req.deadline_ms, Some(250));
@@ -330,7 +358,22 @@ mod tests {
                 assert_eq!(req.seed, 0);
                 assert!(!req.stream);
                 assert!(req.target.is_none() && req.deadline_ms.is_none());
-                assert!(matches!(req.graph, GraphSpec::Inline(_)));
+                assert!(matches!(req.graph, Some(GraphSpec::Inline(_))));
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn problem_submits_carry_the_raw_payload() {
+        let line = r#"{"cmd":"submit","id":"p1","solver":"sa",
+            "problem":{"kind":"coloring","random":{"nodes":6,"edges":9,"colors":3,"seed":1}}}"#
+            .replace('\n', " ");
+        match parse_request(&line).unwrap() {
+            Request::Submit(req) => {
+                assert_eq!(req.graph, None);
+                let p = req.problem.expect("problem payload");
+                assert_eq!(p.get("kind").and_then(Json::as_str), Some("coloring"));
             }
             other => panic!("expected Submit, got {other:?}"),
         }
@@ -363,6 +406,9 @@ mod tests {
             r#"{"cmd":"submit","id":"","solver":"sa","graph":{"named":"G1"}}"#,
             r#"{"cmd":"submit","id":"j","solver":"sa"}"#,
             r#"{"cmd":"submit","id":"j","solver":"sa","graph":{}}"#,
+            r#"{"cmd":"submit","id":"j","solver":"sa","problem":{"no_kind":1}}"#,
+            r#"{"cmd":"submit","id":"j","solver":"sa","problem":{"kind":7}}"#,
+            r#"{"cmd":"submit","id":"j","solver":"sa","graph":{"named":"G1"},"problem":{"kind":"qubo"}}"#,
             r#"{"cmd":"submit","id":"j","solver":"sa","graph":{"named":"G1"},"seed":-1}"#,
             r#"{"cmd":"submit","id":"j","solver":"sa","graph":{"named":"G1"},"stream":1}"#,
         ] {

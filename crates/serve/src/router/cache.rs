@@ -76,16 +76,24 @@ pub fn cacheable(req: &SubmitRequest) -> bool {
 }
 
 /// The content key of a submission: everything that determines the report
-/// bytes — solver, graph digest, seed, budget knobs, canonical config.
+/// bytes — solver, instance identity (graph digest, or the canonical
+/// rendering of a `problem` payload: problem compilation is seed-pinned
+/// and deterministic, and the decoded metrics spliced into the report
+/// depend on the full payload), seed, budget knobs, canonical config.
 /// The client-chosen `id` and `stream` flag are deliberately excluded, as
 /// is `deadline_ms`: deadline'd jobs never enter the cache (see
 /// [`cacheable`]), so the key only ever addresses deterministic reports.
 #[must_use]
 pub fn job_key(req: &SubmitRequest) -> String {
+    let instance = match (&req.graph, &req.problem) {
+        (Some(graph), _) => format!("{:016x}", graph_digest(graph)),
+        (None, Some(problem)) => format!("problem:{}", canonical_config(problem)),
+        (None, None) => "-".to_string(),
+    };
     format!(
-        "{}|{:016x}|{}|{}|{}|{}",
+        "{}|{}|{}|{}|{}|{}",
         req.solver,
-        graph_digest(&req.graph),
+        instance,
         req.seed,
         req.target
             .map_or_else(|| "-".to_string(), |t| t.to_bits().to_string()),
@@ -264,8 +272,34 @@ mod tests {
         c.seed = 8;
         assert_ne!(job_key(&a), job_key(&c));
         let mut d = a.clone();
-        d.graph = GraphSpec::Named("K41".into());
+        d.graph = Some(GraphSpec::Named("K41".into()));
         assert_ne!(job_key(&a), job_key(&d));
+    }
+
+    #[test]
+    fn problem_identity_reaches_the_key() {
+        let submit_problem = |payload: &str| {
+            let line = format!(
+                "{{\"cmd\":\"submit\",\"id\":\"j\",\"solver\":\"sa\",\"problem\":{payload}}}"
+            );
+            match crate::protocol::parse_request(&line).unwrap() {
+                crate::protocol::Request::Submit(req) => *req,
+                other => panic!("expected submit, got {other:?}"),
+            }
+        };
+        let a =
+            submit_problem(r#"{"kind":"ldpc","random":{"n":12,"wc":2,"wr":3,"flips":1,"seed":1}}"#);
+        // Key order inside the payload must not matter...
+        let b =
+            submit_problem(r#"{"random":{"n":12,"wc":2,"wr":3,"flips":1,"seed":1},"kind":"ldpc"}"#);
+        assert_eq!(job_key(&a), job_key(&b));
+        // ...but any content change (here the channel seed, which changes
+        // the decoded metrics) must produce a different key.
+        let c =
+            submit_problem(r#"{"kind":"ldpc","random":{"n":12,"wc":2,"wr":3,"flips":1,"seed":2}}"#);
+        assert_ne!(job_key(&a), job_key(&c));
+        // And a problem key can never collide with a graph key.
+        assert_ne!(job_key(&a), job_key(&submit(",\"seed\":0")));
     }
 
     #[test]

@@ -45,11 +45,14 @@ use sophie_solve::{
     CancelToken, FnObserver, JobBudget, NullObserver, SolveJob, Solver, SolverRegistry,
 };
 
+use sophie::problems::{IsingInstance, ProblemSpec};
+
 use crate::config::ServeConfig;
 use crate::configs::build_solver;
 use crate::conn::Conn;
 use crate::error::{Result, ServeError};
 use crate::metrics::Metrics;
+use crate::problems::compile_problem;
 use crate::protocol::{
     accepted_frame, cancel_ok_frame, error_frame, event_frame, failed_frame, hello_frame,
     parse_request, read_line_bounded, rejected_frame, result_frame, GraphSpec, Request,
@@ -61,6 +64,9 @@ use crate::queue::{AdmissionQueue, PushError};
 struct QueuedJob {
     request: SubmitRequest,
     graph: Arc<Graph>,
+    /// Set for `problem`-typed submits: the compiled spec + instance the
+    /// worker decodes the winning state through.
+    problem: Option<(ProblemSpec, IsingInstance)>,
     solver: Arc<dyn Solver>,
     cancel: CancelToken,
     conn: Arc<Conn>,
@@ -329,8 +335,24 @@ fn handle_submit(
     jobs: &mut HashMap<String, CancelToken>,
     request: SubmitRequest,
 ) {
-    let graph = match resolve_graph(shared, &request.graph) {
-        Ok(g) => g,
+    // Exactly one of `graph` / `problem` is set (parse-time invariant):
+    // direct submits resolve their instance, problem submits compile one.
+    let resolved = match (&request.graph, &request.problem) {
+        (Some(spec), None) => resolve_graph(shared, spec).map(|g| (g, None)),
+        (None, Some(payload)) => {
+            let limits = ParseLimits::new(
+                shared.config.max_instance_nodes,
+                shared.config.max_instance_edges,
+            );
+            compile_problem(payload, &limits)
+                .map(|(spec, instance)| (Arc::clone(instance.graph()), Some((spec, instance))))
+        }
+        _ => Err(ServeError::Protocol {
+            message: "submit requires exactly one of `graph` and `problem`".into(),
+        }),
+    };
+    let (graph, problem) = match resolved {
+        Ok(r) => r,
         Err(e) => {
             conn.send(&error_frame(&request.id, &e.to_string()));
             return;
@@ -348,6 +370,7 @@ fn handle_submit(
     let job = QueuedJob {
         request,
         graph,
+        problem,
         solver,
         cancel: cancel.clone(),
         conn: Arc::clone(conn),
@@ -437,9 +460,14 @@ fn solvers_frame(shared: &Shared) -> String {
             )
         })
         .collect();
+    let problems: Vec<String> = sophie::problems::KINDS
+        .iter()
+        .map(|k| format!("\"{k}\""))
+        .collect();
     format!(
-        "{{\"type\":\"solvers\",\"solvers\":[{}]}}",
-        entries.join(",")
+        "{{\"type\":\"solvers\",\"solvers\":[{}],\"problems\":[{}]}}",
+        entries.join(","),
+        problems.join(",")
     )
 }
 
@@ -481,8 +509,14 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         max_iterations: job.request.max_iterations,
         time_limit: job.request.deadline_ms.map(Duration::from_millis),
     };
+    // For problem-typed submits the client's target is in the problem's
+    // own objective units; translate it to the lowered graph's cut scale.
+    let target = match (&job.problem, job.request.target) {
+        (Some((_, instance)), Some(objective)) => Some(instance.cut_for_objective(objective)),
+        (_, target) => target,
+    };
     let solve_job = SolveJob::new(Arc::clone(&job.graph), job.request.seed)
-        .with_target(job.request.target)
+        .with_target(target)
         .with_budget(budget)
         .with_cancel(job.cancel.clone());
 
@@ -516,8 +550,22 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                     .record_latency(&job.request.solver, latency_ms);
                 "done"
             };
+            let mut report_json = report.to_json();
+            if let Some((spec, instance)) = &job.problem {
+                // Splice the decoded domain metrics INSIDE the report
+                // object so the router's report-slice cache replays them
+                // verbatim with the rest of the report bytes.
+                let decoded_json = spec.decode(instance, &report.best_bits).map_or_else(
+                    |e| format!("{{\"error\":\"{}\"}}", crate::json::escape(&e.to_string())),
+                    |d| d.to_json(),
+                );
+                report_json.truncate(report_json.len() - 1);
+                report_json.push_str(",\"problem\":");
+                report_json.push_str(&decoded_json);
+                report_json.push('}');
+            }
             job.conn
-                .send(&result_frame(&id, status, latency_ms, &report.to_json()));
+                .send(&result_frame(&id, status, latency_ms, &report_json));
         }
         Err(e) => {
             shared.metrics.failed.fetch_add(1, Ordering::Relaxed);

@@ -240,3 +240,101 @@ fn shutdown_fails_queued_jobs_and_rejects_new_ones() {
     assert_eq!(parked.frame.get("report"), Some(&Json::Null));
     server.join();
 }
+
+#[test]
+fn problem_submits_return_decoded_metrics() {
+    let server = start_server(8, 2);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // list-solvers advertises the problem-compiler capability list.
+    let solvers = client.list_solvers().expect("list-solvers");
+    let kinds: Vec<&str> = solvers
+        .get("problems")
+        .and_then(Json::as_arr)
+        .expect("problems array")
+        .iter()
+        .map(|k| k.as_str().unwrap())
+        .collect();
+    assert_eq!(kinds, vec!["qubo", "max-cut", "coloring", "ldpc"]);
+
+    // One small instance per front end; SA with enough sweeps to reach a
+    // feasible decode on instances this small.
+    let cases = [
+        (
+            "qubo",
+            r#"{"kind":"qubo","random":{"n":12,"density":0.4,"seed":3}}"#,
+        ),
+        (
+            "max-cut",
+            r#"{"kind":"max-cut","random":{"n":12,"m":30,"seed":3}}"#,
+        ),
+        (
+            "coloring",
+            r#"{"kind":"coloring","random":{"nodes":8,"edges":14,"colors":4,"seed":3}}"#,
+        ),
+        (
+            "ldpc",
+            r#"{"kind":"ldpc","random":{"n":12,"wc":2,"wr":3,"flips":1,"seed":3}}"#,
+        ),
+    ];
+    for (kind, payload) in cases {
+        let mut job = SubmitArgs::for_problem("sa", payload);
+        job.seed = 5;
+        job.config_json = Some(r#"{"sweeps": 4000}"#.into());
+        let id = format!("p-{kind}");
+        let admission = client.submit(&id, &job).expect("submit problem");
+        assert_eq!(
+            admission.get("type").and_then(Json::as_str),
+            Some("accepted"),
+            "{kind}"
+        );
+        let outcome = client.wait_result(&id).expect("problem result");
+        assert_eq!(outcome.status, "done", "{kind}");
+        let report = outcome.frame.get("report").expect("report");
+        let problem = report.get("problem").unwrap_or_else(|| {
+            panic!(
+                "{kind}: result report carries no problem block: {}",
+                outcome.frame
+            )
+        });
+        assert_eq!(problem.get("kind").and_then(Json::as_str), Some(kind));
+        match kind {
+            "qubo" => assert!(problem.get("objective").and_then(Json::as_f64).is_some()),
+            "max-cut" => assert!(problem.get("cut").and_then(Json::as_f64).is_some()),
+            "coloring" | "ldpc" => {
+                assert_eq!(
+                    problem.get("feasible").and_then(Json::as_bool),
+                    Some(true),
+                    "{kind}: SA should find a feasible state on a tiny instance: {problem:?}"
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // A problem-units target is translated to the cut scale: asking for
+    // objective 0 on a colorable instance converges early.
+    let mut targeted = SubmitArgs::for_problem(
+        "sa",
+        r#"{"kind":"coloring","random":{"nodes":8,"edges":14,"colors":4,"seed":3}}"#,
+    );
+    targeted.seed = 5;
+    targeted.target = Some(0.0);
+    targeted.config_json = Some(r#"{"sweeps": 4000}"#.into());
+    client
+        .submit("targeted", &targeted)
+        .expect("submit targeted");
+    let outcome = client.wait_result("targeted").expect("targeted result");
+    assert_eq!(outcome.status, "done");
+    let report = outcome.frame.get("report").expect("report");
+    assert!(
+        report
+            .get("iterations_to_target")
+            .and_then(Json::as_u64)
+            .is_some(),
+        "feasibility target should be reached: {report:?}"
+    );
+
+    server.shutdown();
+}

@@ -51,6 +51,13 @@ pub struct SolveReport {
     pub tiles_recovered: usize,
     /// Units on which recovery gave up (quarantined or left faulty).
     pub recoveries_exhausted: usize,
+    /// Binary configuration attaining `best_cut` (graph order; `true` for
+    /// spin +1). Empty for recorders fed only an event stream — events
+    /// deliberately carry no bits — and populated out-of-band by solver
+    /// adapters that have the winning state in hand. Excluded from
+    /// [`Self::to_json`]: the wire payload stays summary-sized and
+    /// byte-identical whether or not bits were attached.
+    pub best_bits: Vec<bool>,
 }
 
 impl SolveReport {
@@ -103,6 +110,19 @@ impl SolveReport {
             f64::NAN
         }
     }
+
+    /// Signed gap `best_cut - reference`: positive when the run beat the
+    /// reference, negative when it fell short, zero on an exact match.
+    ///
+    /// Unlike [`Self::quality_vs`] this is well-defined for any finite
+    /// reference, including zero and negative values — the shape
+    /// feasibility-style problem targets take (a 0-conflict coloring, a
+    /// 0-BER decode), where a ratio against the reference would be NaN or
+    /// meaningless.
+    #[must_use]
+    pub fn gap_vs(&self, reference: f64) -> f64 {
+        self.best_cut - reference
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +170,23 @@ mod tests {
         assert!(r.quality_vs(0.0).is_nan());
         assert!(r.quality_vs(-10.0).is_nan());
         assert!(r.quality_vs(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn signed_gap_is_defined_for_any_finite_reference() {
+        let r = sample();
+        assert!((r.gap_vs(100.0) + 5.0).abs() < 1e-12);
+        assert!((r.gap_vs(0.0) - 95.0).abs() < 1e-12);
+        assert!((r.gap_vs(-10.0) - 105.0).abs() < 1e-12);
+        assert!((r.gap_vs(95.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_bits_never_reach_the_wire_payload() {
+        let mut r = sample();
+        r.best_bits = vec![true, false, true];
+        let json = r.to_json();
+        assert!(!json.contains("best_bits"));
+        assert_eq!(json, sample().to_json());
     }
 }

@@ -10,7 +10,8 @@
 # builds the examples, denies rustdoc warnings, and smoke-runs the
 # `repro` binary (the solver-registry listing, bench-summary with a
 # sparse-suite/speedup gate, the kernel autotune smoke with its 1.3x
-# forward-speedup gate, the sparse dense-vs-delta equivalence sweep,
+# forward-speedup gate, the problem-compiler sweep with a feasible-decode
+# gate on every annealer row, the sparse dense-vs-delta equivalence sweep,
 # a JSONL event trace, a JSONL command timeline with an exact-cost-sum and
 # probe/solve-overlap gate, the robustness sweep on a tiny graph, the
 # serving layer: an ephemeral-port daemon driven through submit/ctl/loadgen,
@@ -56,6 +57,16 @@ fi
 echo "==> grep gate: no direct Tile::mvm calls under crates/core/src/"
 if grep -rn "\.mvm(\|\.mvm_transposed(" crates/core/src/; then
     echo "core code must dispatch MVMs through KernelPlan, never Tile::mvm/mvm_transposed directly" >&2
+    exit 1
+fi
+
+# Problem-compiler gate: bench and serve code obtains Ising instances only
+# through the front-end compilers (ProblemSpec::compile / *Problem::compile);
+# assembling instances by hand would skip offset bookkeeping, ancilla
+# handling, and the decode contract.
+echo "==> grep gate: no direct IsingInstance assembly under crates/bench/ or crates/serve/"
+if grep -rn "IsingInstance::assemble\|IsingInstance {" crates/bench/src/ crates/serve/src/; then
+    echo "bench/serve code must lower problems via the compiler front ends, never assemble IsingInstance directly" >&2
     exit 1
 fi
 
@@ -119,6 +130,27 @@ assert sp >= 1.3, f"tuned forward 64^2 speedup regressed to {sp}x (floor: 1.3)"
 # bench-summary regeneration must have preserved the block alongside its own
 assert "results" in doc and "sparse_speedup" in doc, "kernel_tune upsert dropped sibling blocks"
 print(f"kernel_tune gate: plans for {tiles}, forward 64^2 speedup {sp:.2f}x")
+PY
+    # Problem-compiler smoke: every front end (QUBO, MAX-CUT, coloring,
+    # LDPC) compiled, solved through the registry, and decoded; the gate
+    # requires a feasible decode on every annealer row and the `problems`
+    # block upserted without dropping siblings.
+    run cargo run --release -q -p sophie-bench --bin repro -- problems --fast --out "$smoke_dir"
+    python3 - "$smoke_dir/BENCH_sophie.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+pb = doc["problems"]
+assert pb["schema"] == "sophie-problems-v1", "problems schema"
+entries = pb["entries"]
+kinds = {e["kind"] for e in entries}
+assert kinds == {"qubo", "max-cut", "coloring", "ldpc"}, f"kinds covered: {kinds}"
+for e in entries:
+    assert e["decoded"]["kind"] == e["kind"], "decoded metrics match the kind"
+    if e["solver"] == "sa":
+        assert e["feasible_runs"] >= 1, f"{e['label']} via sa never decoded feasibly"
+assert "kernel_tune" in doc and "results" in doc, "problems upsert dropped sibling blocks"
+sa = [e for e in entries if e["solver"] == "sa"]
+print(f"problems gate: {len(kinds)} kinds, {len(sa)} annealer rows all feasible")
 PY
     # Sparse-path smoke: the sweep itself asserts that dense and sparse
     # compute modes produce identical reports on a G22-sized instance.

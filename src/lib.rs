@@ -17,7 +17,10 @@
 //! * [`hw`] — OPCM device models, the 2.5D accelerator hierarchy, and the
 //!   power/performance/area models ([`sophie_hw`]);
 //! * [`baselines`] — simulated annealing/bifurcation, local search, and
-//!   published competitor numbers ([`sophie_baselines`]).
+//!   published competitor numbers ([`sophie_baselines`]);
+//! * [`problems`] — the problem-compiler front end: QUBO, MAX-CUT,
+//!   coloring/Potts, and LDPC lowered to Ising jobs and decoded back to
+//!   domain metrics ([`sophie_problems`]).
 //!
 //! Every solver implements [`solve::Solver`]; [`solvers::default_registry`]
 //! constructs any of the seven configurations by name, and
@@ -51,6 +54,7 @@ pub use sophie_graph as graph;
 pub use sophie_hw as hw;
 pub use sophie_linalg as linalg;
 pub use sophie_pris as pris;
+pub use sophie_problems as problems;
 pub use sophie_solve as solve;
 
 pub use solvers::default_registry;

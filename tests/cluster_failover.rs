@@ -430,3 +430,82 @@ fn routed_stream_is_byte_identical_to_direct_serving() {
 
     cluster.shutdown();
 }
+
+#[test]
+fn problem_submits_route_cache_and_advertise_through_the_router() {
+    let _serial = serial();
+    let cluster = LocalCluster::start(2, serve_config(2), router_config(64)).expect("cluster");
+    let mut client = connect(cluster.router_addr());
+
+    // The router forwards a replica's `list-solvers` frame verbatim, so
+    // the problem-compiler capability list reaches clients unchanged.
+    let solvers = client.list_solvers().expect("list-solvers via router");
+    let kinds: Vec<&str> = solvers
+        .get("problems")
+        .and_then(Json::as_arr)
+        .expect("problems array forwarded")
+        .iter()
+        .map(|k| k.as_str().unwrap())
+        .collect();
+    assert_eq!(kinds, vec!["qubo", "max-cut", "coloring", "ldpc"]);
+
+    // A problem-typed submit through the router returns decoded metrics
+    // inside the report.
+    let mut job = SubmitArgs::for_problem(
+        "sa",
+        r#"{"kind":"coloring","random":{"nodes":8,"edges":14,"colors":4,"seed":3}}"#,
+    );
+    job.seed = 5;
+    job.config_json = Some(r#"{"sweeps": 4000}"#.into());
+    client.submit("p-first", &job).expect("submit p-first");
+    let first = client.wait_result("p-first").expect("p-first result");
+    assert_eq!(first.status, "done");
+    let first_report = report_bytes(&first.frame.line).to_string();
+    let problem = first
+        .frame
+        .get("report")
+        .and_then(|r| r.get("problem"))
+        .expect("decoded problem metrics in routed result");
+    assert_eq!(problem.get("kind").and_then(Json::as_str), Some("coloring"));
+    assert_eq!(problem.get("feasible").and_then(Json::as_bool), Some(true));
+
+    // Identical problem content under a new id replays from the cache,
+    // byte-identical — including the spliced problem block.
+    client.submit("p-second", &job).expect("submit p-second");
+    let second = client.wait_result("p-second").expect("p-second result");
+    assert_eq!(second.status, "done");
+    assert_eq!(report_bytes(&second.frame.line), first_report);
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats
+            .get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "identical problem submission must hit the cache"
+    );
+
+    // Different problem content (another generator seed) must miss.
+    let mut other_job = SubmitArgs::for_problem(
+        "sa",
+        r#"{"kind":"coloring","random":{"nodes":8,"edges":14,"colors":4,"seed":4}}"#,
+    );
+    other_job.seed = 5;
+    other_job.config_json = Some(r#"{"sweeps": 4000}"#.into());
+    assert_ne!(
+        job_key(&parse_submit(&job.to_frame("x"))),
+        job_key(&parse_submit(&other_job.to_frame("x"))),
+        "problem identity must reach the cache key"
+    );
+
+    cluster.shutdown();
+}
+
+/// Parses a rendered submit frame back into the request the router keys.
+fn parse_submit(line: &str) -> sophie_serve::SubmitRequest {
+    match sophie_serve::protocol::parse_request(line).expect("valid submit frame") {
+        sophie_serve::Request::Submit(req) => *req,
+        other => panic!("expected Submit, got {other:?}"),
+    }
+}
